@@ -1,0 +1,183 @@
+//! A buffer-based ABR (BBA-style, [31] in the paper).
+//!
+//! During steady state, the bitrate is a function of the buffer level only:
+//! below a *reservoir* the lowest rung is chosen; above `reservoir +
+//! cushion` the highest; in between, the rate map interpolates linearly
+//! between the lowest and highest ladder bitrates. During startup (no
+//! throughput history yet, tiny buffer) a throughput-based component picks
+//! the rung, as noted in §2.1 ("buffer-based algorithms can also include a
+//! throughput-based component during startup").
+
+use video::{Abr, AbrContext, AbrDecision, PlayerPhase};
+
+/// Configuration for [`Bba`].
+#[derive(Debug, Clone, Copy)]
+pub struct BbaConfig {
+    /// Buffer level (seconds) below which the lowest rung is used.
+    pub reservoir_s: f64,
+    /// Width (seconds) of the linear interpolation region.
+    pub cushion_s: f64,
+    /// Safety factor on the startup throughput estimate.
+    pub startup_safety: f64,
+}
+
+impl Default for BbaConfig {
+    fn default() -> Self {
+        BbaConfig { reservoir_s: 12.0, cushion_s: 96.0, startup_safety: 0.8 }
+    }
+}
+
+/// Buffer-based bitrate selection.
+#[derive(Debug, Clone)]
+pub struct Bba {
+    cfg: BbaConfig,
+}
+
+impl Bba {
+    /// Create a BBA instance.
+    ///
+    /// # Panics
+    /// Panics if the reservoir or cushion is non-positive.
+    pub fn new(cfg: BbaConfig) -> Self {
+        assert!(cfg.reservoir_s > 0.0, "reservoir must be positive");
+        assert!(cfg.cushion_s > 0.0, "cushion must be positive");
+        Bba { cfg }
+    }
+
+    /// The rate-map value for a buffer level: a bitrate in bits/sec.
+    pub fn rate_map(&self, buffer_s: f64, min_bps: f64, max_bps: f64) -> f64 {
+        if buffer_s <= self.cfg.reservoir_s {
+            min_bps
+        } else if buffer_s >= self.cfg.reservoir_s + self.cfg.cushion_s {
+            max_bps
+        } else {
+            let f = (buffer_s - self.cfg.reservoir_s) / self.cfg.cushion_s;
+            min_bps + f * (max_bps - min_bps)
+        }
+    }
+}
+
+impl Default for Bba {
+    fn default() -> Self {
+        Bba::new(BbaConfig::default())
+    }
+}
+
+impl Abr for Bba {
+    fn select(&mut self, ctx: &AbrContext<'_>) -> AbrDecision {
+        // Startup: use throughput if we have it, else lowest.
+        if ctx.phase == PlayerPhase::Initial {
+            let rung = match ctx.history.ewma(0.5) {
+                Some(est) => ctx
+                    .ladder
+                    .highest_at_most(est * self.cfg.startup_safety),
+                None => ctx.ladder.lowest(),
+            };
+            return AbrDecision::unpaced(rung);
+        }
+        let min_bps = ctx.ladder.rung(ctx.ladder.lowest()).bitrate.bps();
+        let max_bps = ctx.ladder.top_bitrate().bps();
+        let target = self.rate_map(ctx.buffer.as_secs_f64(), min_bps, max_bps);
+        let rung = ctx
+            .ladder
+            .highest_at_most(netsim::Rate::from_bps(target));
+        AbrDecision::unpaced(rung)
+    }
+
+    fn name(&self) -> &'static str {
+        "bba"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SimDuration, SimTime};
+    use video::{ChunkMeasurement, Ladder, ThroughputHistory, Title, TitleConfig, VmafModel};
+
+    fn title() -> Title {
+        Title::generate(
+            Ladder::hd(&VmafModel::standard()),
+            &TitleConfig { size_cv: 0.0, ..Default::default() },
+        )
+    }
+
+    fn ctx<'a>(
+        t: &'a Title,
+        h: &'a ThroughputHistory,
+        phase: PlayerPhase,
+        buffer_s: u64,
+    ) -> AbrContext<'a> {
+        AbrContext {
+            now: SimTime::ZERO,
+            phase,
+            buffer: SimDuration::from_secs(buffer_s),
+            max_buffer: SimDuration::from_secs(240),
+            ladder: &t.ladder,
+            upcoming: t.upcoming(0),
+            history: h,
+            last_rung: None,
+        }
+    }
+
+    #[test]
+    fn reservoir_picks_lowest() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        let d = Bba::default().select(&ctx(&t, &h, PlayerPhase::Playing, 5));
+        assert_eq!(d.rung, 0);
+    }
+
+    #[test]
+    fn full_cushion_picks_top() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        let d = Bba::default().select(&ctx(&t, &h, PlayerPhase::Playing, 200));
+        assert_eq!(d.rung, t.ladder.top());
+    }
+
+    #[test]
+    fn monotone_in_buffer() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        let mut bba = Bba::default();
+        let mut prev = 0;
+        for buf in (0..=220).step_by(10) {
+            let d = bba.select(&ctx(&t, &h, PlayerPhase::Playing, buf));
+            assert!(d.rung >= prev, "rung decreased at buffer {buf}");
+            prev = d.rung;
+        }
+        assert_eq!(prev, t.ladder.top());
+    }
+
+    #[test]
+    fn rate_map_interpolates() {
+        let bba = Bba::default();
+        let mid = bba.rate_map(12.0 + 48.0, 1e6, 9e6);
+        assert!((mid - 5e6).abs() < 1e-6, "midpoint should be halfway: {mid}");
+    }
+
+    #[test]
+    fn startup_uses_throughput() {
+        let t = title();
+        let mut h = ThroughputHistory::new();
+        h.record(ChunkMeasurement {
+            index: 0,
+            rung: 0,
+            bytes: 2_000_000,
+            download_time: SimDuration::from_secs(1),
+            completed_at: SimTime::ZERO,
+        }); // 16 Mbps
+        let d = Bba::default().select(&ctx(&t, &h, PlayerPhase::Initial, 0));
+        // 16 * 0.8 = 12.8 Mbps -> below the 16 Mbps top rung, above 5.8.
+        assert_eq!(t.ladder.rung(d.rung).bitrate.mbps(), 5.8);
+    }
+
+    #[test]
+    fn startup_without_history_is_lowest() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        let d = Bba::default().select(&ctx(&t, &h, PlayerPhase::Initial, 0));
+        assert_eq!(d.rung, 0);
+    }
+}

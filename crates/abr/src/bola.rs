@@ -1,0 +1,209 @@
+//! BOLA — Lyapunov-based buffer-only bitrate adaptation ([65] in the
+//! paper's related work; the algorithm behind dash.js's steady-state mode).
+//!
+//! BOLA selects the rung maximizing `(V·u_m + V·γ·p − Q) / S_m`, where
+//! `u_m` is the rung's utility (log of relative size), `S_m` its chunk
+//! size, `Q` the current buffer in chunk units, and `V`, `γp` control the
+//! buffer operating point. It consults no throughput estimate at all in
+//! steady state, which makes it naturally pacing-tolerant — a useful
+//! contrast to throughput-based algorithms when studying Sammy: BOLA keeps
+//! its decisions unchanged under any pace rate that still grows the buffer.
+
+use video::{Abr, AbrContext, AbrDecision, PlayerPhase};
+
+/// Configuration for [`Bola`].
+#[derive(Debug, Clone, Copy)]
+pub struct BolaConfig {
+    /// Target buffer level in seconds (sets the control parameter `V`).
+    pub target_buffer_s: f64,
+    /// Minimum buffer (in seconds) BOLA treats as its low threshold.
+    pub min_buffer_s: f64,
+    /// Safety factor on the startup throughput estimate (startup only).
+    pub startup_safety: f64,
+}
+
+impl Default for BolaConfig {
+    fn default() -> Self {
+        BolaConfig { target_buffer_s: 60.0, min_buffer_s: 8.0, startup_safety: 0.8 }
+    }
+}
+
+/// Lyapunov utility-maximizing buffer-based ABR.
+#[derive(Debug, Clone)]
+pub struct Bola {
+    cfg: BolaConfig,
+}
+
+impl Bola {
+    /// Create a BOLA instance.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_buffer_s < target_buffer_s`.
+    pub fn new(cfg: BolaConfig) -> Self {
+        assert!(cfg.min_buffer_s > 0.0, "min buffer must be positive");
+        assert!(
+            cfg.target_buffer_s > cfg.min_buffer_s,
+            "target must exceed the minimum buffer"
+        );
+        Bola { cfg }
+    }
+
+    /// The BOLA objective for one rung: `(V(u_m + γp) − Q) / S_m`, in
+    /// units where chunk sizes are normalized by the lowest rung's size.
+    fn objective(&self, utilities: &[f64], sizes: &[f64], rung: usize, buffer_s: f64, chunk_s: f64) -> f64 {
+        // Derive V and γp from the two buffer anchors, following the BOLA
+        // paper's design rules: at `min_buffer` the lowest rung's objective
+        // crosses zero; at `target_buffer` the highest rung's does.
+        let q = buffer_s / chunk_s; // buffer in chunk units
+        let q_min = self.cfg.min_buffer_s / chunk_s;
+        let q_max = self.cfg.target_buffer_s / chunk_s;
+        let u_top = utilities[utilities.len() - 1];
+        // Solve V(u_low + gp) = q_min with u_low = 0, and V(u_top + gp) = q_max.
+        // => V*gp = q_min; V = (q_max - q_min)/u_top.
+        let v = (q_max - q_min) / u_top.max(1e-9);
+        let vgp = q_min;
+        (v * utilities[rung] + vgp - q) / sizes[rung]
+    }
+}
+
+impl Default for Bola {
+    fn default() -> Self {
+        Bola::new(BolaConfig::default())
+    }
+}
+
+impl Abr for Bola {
+    fn select(&mut self, ctx: &AbrContext<'_>) -> AbrDecision {
+        // Startup: throughput-based (BOLA-U style), as in dash.js.
+        if ctx.phase == PlayerPhase::Initial {
+            let rung = match ctx.history.ewma(0.5) {
+                Some(est) => ctx.ladder.highest_at_most(est * self.cfg.startup_safety),
+                None => ctx.ladder.lowest(),
+            };
+            return AbrDecision::unpaced(rung);
+        }
+
+        let chunk_s = ctx
+            .upcoming
+            .first()
+            .map(|c| c.duration.as_secs_f64())
+            .unwrap_or(4.0);
+        // Normalized sizes and log utilities relative to the lowest rung.
+        let s0 = ctx.ladder.rung(0).bitrate.bps();
+        let sizes: Vec<f64> = ctx
+            .ladder
+            .rungs()
+            .iter()
+            .map(|r| r.bitrate.bps() / s0)
+            .collect();
+        let utilities: Vec<f64> = sizes.iter().map(|s| s.ln()).collect();
+
+        let buffer_s = ctx.buffer.as_secs_f64();
+        // Below the low threshold, take the lowest rung outright (the
+        // dash.js insufficient-buffer rule); the objective's anchors only
+        // order rungs correctly above it.
+        if buffer_s < self.cfg.min_buffer_s {
+            return AbrDecision::unpaced(ctx.ladder.lowest());
+        }
+        let mut best = ctx.ladder.lowest();
+        let mut best_obj = f64::NEG_INFINITY;
+        for rung in 0..ctx.ladder.len() {
+            let obj = self.objective(&utilities, &sizes, rung, buffer_s, chunk_s);
+            if obj > best_obj {
+                best_obj = obj;
+                best = rung;
+            }
+        }
+        AbrDecision::unpaced(best)
+    }
+
+    fn name(&self) -> &'static str {
+        "bola"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SimDuration, SimTime};
+    use video::{Ladder, ThroughputHistory, Title, TitleConfig, VmafModel};
+
+    fn title() -> Title {
+        Title::generate(
+            Ladder::hd(&VmafModel::standard()),
+            &TitleConfig { size_cv: 0.0, ..Default::default() },
+        )
+    }
+
+    fn ctx<'a>(t: &'a Title, h: &'a ThroughputHistory, buffer_s: u64) -> AbrContext<'a> {
+        AbrContext {
+            now: SimTime::ZERO,
+            phase: PlayerPhase::Playing,
+            buffer: SimDuration::from_secs(buffer_s),
+            max_buffer: SimDuration::from_secs(240),
+            ladder: &t.ladder,
+            upcoming: t.upcoming(0),
+            history: h,
+            last_rung: None,
+        }
+    }
+
+    #[test]
+    fn low_buffer_low_rung() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        let d = Bola::default().select(&ctx(&t, &h, 2));
+        assert_eq!(d.rung, 0);
+    }
+
+    #[test]
+    fn target_buffer_reaches_top() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        let d = Bola::default().select(&ctx(&t, &h, 80));
+        assert_eq!(d.rung, t.ladder.top());
+    }
+
+    #[test]
+    fn monotone_in_buffer() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        let mut bola = Bola::default();
+        let mut prev = 0;
+        for buf in (0..=100).step_by(5) {
+            let d = bola.select(&ctx(&t, &h, buf));
+            assert!(d.rung >= prev, "rung fell from {prev} to {} at buffer {buf}", d.rung);
+            prev = d.rung;
+        }
+    }
+
+    #[test]
+    fn decisions_are_throughput_independent() {
+        // BOLA's steady-state choice must not depend on throughput history
+        // at all — the property that makes it pacing-tolerant.
+        let t = title();
+        let empty = ThroughputHistory::new();
+        let mut rich = ThroughputHistory::new();
+        for i in 0..20 {
+            rich.record(video::ChunkMeasurement {
+                index: i,
+                rung: 0,
+                bytes: 10_000_000,
+                download_time: SimDuration::from_secs(1),
+                completed_at: SimTime::ZERO,
+            });
+        }
+        let mut bola = Bola::default();
+        for buf in [5u64, 20, 40, 70, 100] {
+            let a = bola.select(&ctx(&t, &empty, buf));
+            let b = bola.select(&ctx(&t, &rich, buf));
+            assert_eq!(a.rung, b.rung, "history changed BOLA's choice at buffer {buf}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target must exceed")]
+    fn invalid_config_panics() {
+        Bola::new(BolaConfig { target_buffer_s: 5.0, min_buffer_s: 8.0, startup_safety: 0.8 });
+    }
+}

@@ -1,0 +1,221 @@
+//! An MPC-style lookahead ABR — the stand-in for the proprietary production
+//! algorithm (§4.3: "Sammy uses Netflix's production ABR algorithm, which is
+//! an MPC-style algorithm").
+//!
+//! Following the published MPC formulation, the algorithm maximizes a QoE
+//! utility over a lookahead horizon: time-weighted quality, minus a penalty
+//! for quality switches, minus a large penalty for predicted rebuffer time.
+//! Throughput is predicted with a robust (harmonic-mean, error-discounted)
+//! estimator. Quality is measured as the rung's VMAF, so the utility is in
+//! VMAF-seconds.
+
+use video::{Abr, AbrContext, AbrDecision, ChunkMeasurement};
+
+/// Configuration for [`Mpc`].
+#[derive(Debug, Clone, Copy)]
+pub struct MpcConfig {
+    /// Lookahead horizon in chunks.
+    pub horizon: usize,
+    /// Recent chunks in the throughput predictor.
+    pub window: usize,
+    /// Penalty per unit of VMAF change between adjacent chunks.
+    pub switch_penalty: f64,
+    /// Penalty per second of predicted rebuffering (VMAF-seconds scale;
+    /// large, as rebuffers dominate QoE).
+    pub rebuffer_penalty: f64,
+    /// Discount on the throughput prediction (robust-MPC style): the
+    /// prediction is divided by `1 + error_margin`.
+    pub error_margin: f64,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig {
+            horizon: 5,
+            window: 5,
+            switch_penalty: 1.0,
+            rebuffer_penalty: 500.0,
+            error_margin: 0.25,
+        }
+    }
+}
+
+/// Lookahead QoE-utility maximization.
+#[derive(Debug, Clone)]
+pub struct Mpc {
+    cfg: MpcConfig,
+}
+
+impl Mpc {
+    /// Create an MPC instance.
+    ///
+    /// # Panics
+    /// Panics on a zero horizon.
+    pub fn new(cfg: MpcConfig) -> Self {
+        assert!(cfg.horizon >= 1, "horizon must be at least one chunk");
+        Mpc { cfg }
+    }
+
+    /// Utility of committing to `rung` for the whole horizon.
+    fn utility(&self, ctx: &AbrContext<'_>, rung: usize, predicted_bps: f64) -> f64 {
+        let horizon = &ctx.upcoming[..self.cfg.horizon.min(ctx.upcoming.len())];
+        let vmaf = ctx.ladder.rung(rung).vmaf;
+        let mut buf = ctx.buffer.as_secs_f64();
+        let mut rebuffer_s = 0.0;
+        let mut quality = 0.0;
+        for chunk in horizon {
+            let dl = chunk.size(rung) as f64 * 8.0 / predicted_bps;
+            if dl > buf {
+                rebuffer_s += dl - buf;
+                buf = 0.0;
+            } else {
+                buf -= dl;
+            }
+            buf += chunk.duration.as_secs_f64();
+            quality += vmaf * chunk.duration.as_secs_f64();
+        }
+        let switch = match ctx.last_rung {
+            Some(prev) => (ctx.ladder.rung(prev).vmaf - vmaf).abs(),
+            None => 0.0,
+        };
+        quality - self.cfg.switch_penalty * switch - self.cfg.rebuffer_penalty * rebuffer_s
+    }
+}
+
+impl Default for Mpc {
+    fn default() -> Self {
+        Mpc::new(MpcConfig::default())
+    }
+}
+
+impl Abr for Mpc {
+    fn select(&mut self, ctx: &AbrContext<'_>) -> AbrDecision {
+        let Some(est) = ctx.history.harmonic_mean_last(self.cfg.window) else {
+            return AbrDecision::unpaced(ctx.ladder.lowest());
+        };
+        let predicted = est.bps() / (1.0 + self.cfg.error_margin);
+        if predicted <= 0.0 {
+            return AbrDecision::unpaced(ctx.ladder.lowest());
+        }
+        let mut best = ctx.ladder.lowest();
+        let mut best_u = f64::NEG_INFINITY;
+        for rung in 0..ctx.ladder.len() {
+            let u = self.utility(ctx, rung, predicted);
+            // Ties break upward: equal utility prefers higher quality.
+            if u >= best_u {
+                best_u = u;
+                best = rung;
+            }
+        }
+        AbrDecision::unpaced(best)
+    }
+
+    fn on_chunk_downloaded(&mut self, _m: &ChunkMeasurement) {}
+
+    fn name(&self) -> &'static str {
+        "mpc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SimDuration, SimTime};
+    use video::{Ladder, PlayerPhase, ThroughputHistory, Title, TitleConfig, VmafModel};
+
+    fn title() -> Title {
+        Title::generate(
+            Ladder::hd(&VmafModel::standard()),
+            &TitleConfig { size_cv: 0.0, ..Default::default() },
+        )
+    }
+
+    fn history_at(mbps: f64) -> ThroughputHistory {
+        let mut h = ThroughputHistory::new();
+        for i in 0..10 {
+            h.record(ChunkMeasurement {
+                index: i,
+                rung: 0,
+                bytes: (mbps * 1e6 / 8.0) as u64,
+                download_time: SimDuration::from_secs(1),
+                completed_at: SimTime::ZERO,
+            });
+        }
+        h
+    }
+
+    fn ctx<'a>(
+        t: &'a Title,
+        h: &'a ThroughputHistory,
+        buffer_s: u64,
+        last_rung: Option<usize>,
+    ) -> AbrContext<'a> {
+        AbrContext {
+            now: SimTime::ZERO,
+            phase: PlayerPhase::Playing,
+            buffer: SimDuration::from_secs(buffer_s),
+            max_buffer: SimDuration::from_secs(240),
+            ladder: &t.ladder,
+            upcoming: t.upcoming(0),
+            history: h,
+            last_rung,
+        }
+    }
+
+    #[test]
+    fn no_history_lowest() {
+        let t = title();
+        let h = ThroughputHistory::new();
+        assert_eq!(Mpc::default().select(&ctx(&t, &h, 0, None)).rung, 0);
+    }
+
+    #[test]
+    fn ample_throughput_picks_top() {
+        let t = title();
+        let h = history_at(100.0);
+        let d = Mpc::default().select(&ctx(&t, &h, 30, None));
+        assert_eq!(d.rung, t.ladder.top());
+    }
+
+    #[test]
+    fn rebuffer_risk_lowers_choice() {
+        let t = title();
+        let h = history_at(6.0);
+        let mpc = &mut Mpc::default();
+        let d_low_buf = mpc.select(&ctx(&t, &h, 1, None));
+        let d_high_buf = mpc.select(&ctx(&t, &h, 120, None));
+        assert!(d_low_buf.rung < d_high_buf.rung);
+        // With 6 Mbps measured (4.8 predicted), never pick 16 Mbps at B=1s.
+        assert!(t.ladder.rung(d_low_buf.rung).bitrate.mbps() < 4.8);
+    }
+
+    #[test]
+    fn switch_penalty_dampens_oscillation() {
+        let t = title();
+        let h = history_at(6.2);
+        // Strong switching penalty holds the previous rung when utilities
+        // are close.
+        let mut sticky = Mpc::new(MpcConfig { switch_penalty: 50.0, ..Default::default() });
+        let mut loose = Mpc::new(MpcConfig { switch_penalty: 0.0, ..Default::default() });
+        let prev = Some(4usize);
+        let d_sticky = sticky.select(&ctx(&t, &h, 18, prev));
+        let d_loose = loose.select(&ctx(&t, &h, 18, prev));
+        assert!(
+            d_sticky.rung.abs_diff(4) <= d_loose.rung.abs_diff(4),
+            "penalty should keep choices closer to the previous rung"
+        );
+    }
+
+    #[test]
+    fn monotone_in_throughput() {
+        let t = title();
+        let mut mpc = Mpc::default();
+        let mut prev = 0;
+        for mbps in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let h = history_at(mbps);
+            let d = mpc.select(&ctx(&t, &h, 20, None));
+            assert!(d.rung >= prev, "rung decreased at {mbps} Mbps");
+            prev = d.rung;
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The A/B experiment runner.
+//!
+//! Mirrors the paper's methodology (§5): users are randomly assigned to a
+//! control arm (the production algorithm) or a treatment arm; sessions run
+//! for each user; per-session metrics are aggregated as medians with
+//! bootstrap CIs on the percent change. As in §5.7, historical throughput
+//! is reset (or pre-seeded identically) in both arms for an
+//! apples-to-apples comparison, via a configurable pre-experiment phase
+//! that also establishes each user's pre-experiment p95 chunk throughput
+//! for the Fig 3 bucketing.
+
+use crate::population::{bucket_of, UserProfile};
+use crate::stats::{compare_paired, paired_delta, percentile, Aggregate, PairedDelta, PercentChange};
+use abr::{
+    initial_rung_for, shared_history, HistoryPolicy, InitialSelectorConfig, Mpc, ProductionAbr,
+    SharedHistory,
+};
+use fluidsim::{run_session, FluidConfig, SessionOutcome, SessionParams, StartPolicy};
+use netsim::SimDuration;
+use sammy_core::{NaivePacedAbr, PaceSelector, Sammy, SammyConfig};
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+use video::Abr;
+
+/// An experiment arm: which algorithm variant users run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Arm {
+    /// The production algorithm: MPC playing phase, all-samples history,
+    /// no pacing.
+    Production,
+    /// Sammy with the given pace multipliers (§4.3; production parameters
+    /// are `c0 = 3.2`, `c1 = 2.8`).
+    Sammy {
+        /// Pace multiplier at empty buffer.
+        c0: f64,
+        /// Pace multiplier at full buffer.
+        c1: f64,
+    },
+    /// Sammy's initial-phase changes only, without pacing (Table 3).
+    InitialOnly,
+    /// The §5.5 baseline: production ABR with a constant pace multiplier
+    /// on every chunk including the initial phase.
+    NaivePaced {
+        /// Constant pace multiplier (the paper uses 4.0).
+        multiplier: f64,
+    },
+}
+
+impl Arm {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Arm::Production => "production".into(),
+            Arm::Sammy { c0, c1 } => format!("sammy(c0={c0},c1={c1})"),
+            Arm::InitialOnly => "initial-only".into(),
+            Arm::NaivePaced { multiplier } => format!("naive-paced({multiplier}x)"),
+        }
+    }
+
+    /// Build the ABR for one session of this arm.
+    pub fn build_abr(&self, history: SharedHistory) -> Box<dyn Abr> {
+        match *self {
+            Arm::Production => Box::new(ProductionAbr::new(
+                Mpc::default(),
+                history,
+                HistoryPolicy::AllSamples,
+            )),
+            Arm::Sammy { c0, c1 } => Box::new(Sammy::new(
+                Mpc::default(),
+                history,
+                SammyConfig { pace: PaceSelector::new(c0, c1) },
+            )),
+            Arm::InitialOnly => Box::new(ProductionAbr::new(
+                Mpc::default(),
+                history,
+                HistoryPolicy::InitialOnly,
+            )),
+            Arm::NaivePaced { multiplier } => Box::new(NaivePacedAbr::new(
+                ProductionAbr::new(Mpc::default(), history, HistoryPolicy::AllSamples),
+                multiplier,
+            )),
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Users per arm.
+    pub users_per_arm: usize,
+    /// Pre-experiment sessions per user (run with production; builds
+    /// history and pre-experiment throughput).
+    pub pre_sessions: usize,
+    /// Experiment sessions per user.
+    pub sessions_per_user: usize,
+    /// Seed for population and session randomness.
+    pub seed: u64,
+    /// Bootstrap replicates for CIs.
+    pub bootstrap_reps: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            users_per_arm: 400,
+            pre_sessions: 3,
+            sessions_per_user: 4,
+            seed: 1,
+            bootstrap_reps: 600,
+        }
+    }
+}
+
+/// Per-session record kept by the harness.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// The owning user's id.
+    pub user: u64,
+    /// The user's pre-experiment p95 chunk throughput (Mbps).
+    pub pre_p95_mbps: f64,
+    /// The session's metrics.
+    pub outcome: SessionOutcome,
+}
+
+/// All sessions of one arm.
+#[derive(Debug, Clone, Default)]
+pub struct ArmResult {
+    /// Session records in run order.
+    pub sessions: Vec<SessionRecord>,
+}
+
+impl ArmResult {
+    /// Extract a per-session metric as a vector.
+    pub fn metric(&self, f: impl Fn(&SessionRecord) -> Option<f64>) -> Vec<f64> {
+        self.sessions.iter().filter_map(|s| f(s)).collect()
+    }
+
+    /// Extract a per-session metric grouped by user (cluster structure for
+    /// the paired bootstrap). Users appear in first-seen order.
+    pub fn metric_by_user(&self, f: impl Fn(&SessionRecord) -> Option<f64>) -> Vec<Vec<f64>> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: std::collections::HashMap<u64, Vec<f64>> = std::collections::HashMap::new();
+        for s in &self.sessions {
+            if !groups.contains_key(&s.user) {
+                order.push(s.user);
+            }
+            let entry = groups.entry(s.user).or_default();
+            if let Some(v) = f(s) {
+                entry.push(v);
+            }
+        }
+        order.into_iter().map(|u| groups.remove(&u).unwrap_or_default()).collect()
+    }
+}
+
+/// Run all sessions for one user under `arm`, returning the records.
+///
+/// The pre-experiment sessions always use [`Arm::Production`] (they model
+/// the user's traffic before the test began) and their chunk throughputs
+/// define the user's pre-experiment p95.
+pub fn run_user(
+    user: &UserProfile,
+    arm: Arm,
+    cfg: &ExperimentConfig,
+) -> Vec<SessionRecord> {
+    let history = shared_history();
+    let init_cfg = InitialSelectorConfig::default();
+    let fluid = FluidConfig::default();
+
+    // Pre-experiment phase.
+    let mut pre_tputs: Vec<f64> = Vec::new();
+    for s in 0..cfg.pre_sessions {
+        let out = run_one(
+            user,
+            Arm::Production,
+            history.clone(),
+            &init_cfg,
+            &fluid,
+            s as u64,
+            cfg.seed,
+        );
+        pre_tputs.extend(out.chunk_throughputs_mbps.iter().copied());
+    }
+    let pre_p95 = percentile(&pre_tputs, 0.95);
+
+    // Experiment phase.
+    (0..cfg.sessions_per_user)
+        .map(|s| {
+            let out = run_one(
+                user,
+                arm,
+                history.clone(),
+                &init_cfg,
+                &fluid,
+                (cfg.pre_sessions + s) as u64,
+                cfg.seed,
+            );
+            SessionRecord { user: user.id, pre_p95_mbps: pre_p95, outcome: out }
+        })
+        .collect()
+}
+
+fn run_one(
+    user: &UserProfile,
+    arm: Arm,
+    history: SharedHistory,
+    init_cfg: &InitialSelectorConfig,
+    fluid: &FluidConfig,
+    session_idx: u64,
+    seed: u64,
+) -> SessionOutcome {
+    let title = Rc::new(user.title(session_idx));
+    let estimate = history.borrow().discounted_estimate();
+    let predicted_rung = initial_rung_for(estimate, &title.ladder, init_cfg);
+    let abr = arm.build_abr(history.clone());
+    let outcome = run_session(SessionParams {
+        profile: &user.network,
+        title,
+        abr,
+        start: StartPolicy::default(),
+        history_estimate: estimate,
+        predicted_initial_rung: predicted_rung,
+        max_wall_clock: user.title_duration * 3 + SimDuration::from_secs(120),
+        seed: user
+            .seed
+            .wrapping_add(session_idx.wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(seed),
+        fluid: *fluid,
+        max_buffer: SimDuration::from_secs(240),
+        startup_latency: user.startup_latency,
+    });
+    // Fold this session's samples into the device's historical store.
+    history.borrow_mut().end_session();
+    outcome
+}
+
+/// Run a full two-arm experiment over a pre-drawn population, as a
+/// *paired* design: every user runs both arms with identical titles,
+/// seeds, and pre-experiment history.
+///
+/// A production A/B test must randomize users between arms and rely on
+/// scale to wash out population imbalance (the paper's tests cover
+/// thousands of user-years). A simulator can do better: it can run the
+/// exact counterfactual. Pairing removes all between-user variance from
+/// the comparison; CIs come from a cluster bootstrap over users
+/// ([`compare_paired`]).
+pub fn run_experiment(
+    population: &[UserProfile],
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+) -> (ArmResult, ArmResult) {
+    let mut c = ArmResult::default();
+    let mut t = ArmResult::default();
+    for user in population.iter() {
+        c.sessions.extend(run_user(user, control, cfg));
+        t.sessions.extend(run_user(user, treatment, cfg));
+    }
+    (c, t)
+}
+
+/// One row of a Table 2 / Table 3 style report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricRow {
+    /// Metric name as the table prints it.
+    pub name: String,
+    /// The median-based comparison (the paper's headline statistic).
+    pub change: PercentChange,
+    /// The paired per-session mean delta — resolves sub-percent effects
+    /// the pooled median ties away.
+    pub paired: PairedDelta,
+}
+
+/// The full Table 2-style report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Rows in table order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl Report {
+    /// Build the report comparing `treatment` to `control`.
+    pub fn build(control: &ArmResult, treatment: &ArmResult, reps: usize, seed: u64) -> Report {
+        let metrics: Vec<(&str, Aggregate, Box<dyn Fn(&SessionRecord) -> Option<f64>>)> = vec![
+            (
+                "Chunk Throughput",
+                Aggregate::Median,
+                Box::new(|s| s.outcome.avg_chunk_throughput.map(|r| r.mbps())),
+            ),
+            (
+                "% Retransmits",
+                Aggregate::Median,
+                Box::new(|s| Some(s.outcome.retx_fraction * 100.0)),
+            ),
+            (
+                "RTT",
+                Aggregate::Median,
+                Box::new(|s| {
+                    let v = s.outcome.median_rtt_ms;
+                    v.is_finite().then_some(v)
+                }),
+            ),
+            (
+                "Initial VMAF",
+                Aggregate::Median,
+                Box::new(|s| s.outcome.qoe.initial_vmaf),
+            ),
+            ("VMAF", Aggregate::Median, Box::new(|s| s.outcome.qoe.mean_vmaf)),
+            (
+                "Play Delay",
+                Aggregate::Median,
+                Box::new(|s| s.outcome.qoe.play_delay.map(|d| d.as_secs_f64())),
+            ),
+            (
+                "Rebuffers (% sess)",
+                Aggregate::Mean,
+                Box::new(|s| Some(if s.outcome.qoe.had_rebuffer() { 1.0 } else { 0.0 })),
+            ),
+            (
+                "Rebuffers (/ hr)",
+                Aggregate::Mean,
+                Box::new(|s| Some(s.outcome.qoe.rebuffers_per_hour())),
+            ),
+        ];
+        let rows = metrics
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, agg, f))| {
+                let c = control.metric_by_user(&f);
+                let t = treatment.metric_by_user(&f);
+                MetricRow {
+                    name: name.to_string(),
+                    change: compare_paired(&c, &t, agg, reps, seed.wrapping_add(i as u64)),
+                    paired: paired_delta(&c, &t, reps, seed.wrapping_add(100 + i as u64)),
+                }
+            })
+            .collect();
+        Report { rows }
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>12} {:>26} {:>12}\n",
+            "Metric", "Control", "Treatment", "Median % Chg [95% CI]", "Paired mean"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<20} {:>12.4} {:>12.4} {:>26} {:>12}\n",
+                r.name,
+                r.change.control,
+                r.change.treatment,
+                r.change.display(),
+                r.paired.display()
+            ));
+        }
+        out
+    }
+
+    /// Look up a row by name.
+    pub fn row(&self, name: &str) -> Option<&MetricRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+/// Fig 3: percent change in chunk throughput by pre-experiment p95 bucket.
+pub fn throughput_by_bucket(
+    control: &ArmResult,
+    treatment: &ArmResult,
+    reps: usize,
+    seed: u64,
+) -> Vec<(usize, PercentChange)> {
+    (0..5)
+        .filter_map(|b| {
+            let in_bucket = |s: &&SessionRecord| bucket_of(s.pre_p95_mbps) == b;
+            let cf = ArmResult {
+                sessions: control.sessions.iter().filter(in_bucket).cloned().collect(),
+            };
+            let tf = ArmResult {
+                sessions: treatment.sessions.iter().filter(in_bucket).cloned().collect(),
+            };
+            if cf.sessions.len() < 10 || tf.sessions.len() < 10 {
+                return None;
+            }
+            let c = cf.metric_by_user(|s| s.outcome.avg_chunk_throughput.map(|r| r.mbps()));
+            let t = tf.metric_by_user(|s| s.outcome.avg_chunk_throughput.map(|r| r.mbps()));
+            if c.len() != t.len() {
+                // A user can land in a bucket in one arm only if sessions
+                // were dropped; skip such degenerate buckets.
+                return None;
+            }
+            Some((b, compare_paired(&c, &t, Aggregate::Median, reps, seed + b as u64)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{draw_population, PopulationConfig};
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            users_per_arm: 30,
+            pre_sessions: 2,
+            sessions_per_user: 2,
+            seed: 11,
+            bootstrap_reps: 200,
+        }
+    }
+
+    #[test]
+    fn arm_labels() {
+        assert_eq!(Arm::Production.label(), "production");
+        assert!(Arm::Sammy { c0: 3.2, c1: 2.8 }.label().contains("3.2"));
+        assert!(Arm::NaivePaced { multiplier: 4.0 }.label().contains("4x"));
+    }
+
+    #[test]
+    fn sammy_reduces_chunk_throughput_maintains_vmaf() {
+        let cfg = tiny_cfg();
+        let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
+        let (c, t) =
+            run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
+        assert!(!c.sessions.is_empty() && !t.sessions.is_empty());
+        let report = Report::build(&c, &t, cfg.bootstrap_reps, 5);
+
+        let tput = &report.row("Chunk Throughput").unwrap().change;
+        assert!(
+            tput.pct_change < -30.0,
+            "Sammy must cut chunk throughput substantially: {tput:?}"
+        );
+        let vmaf = &report.row("VMAF").unwrap().change;
+        assert!(
+            vmaf.pct_change.abs() < 2.0,
+            "Sammy must not meaningfully change VMAF: {vmaf:?}"
+        );
+        let retx = &report.row("% Retransmits").unwrap().change;
+        assert!(retx.pct_change < 0.0, "retransmits should improve: {retx:?}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let cfg = ExperimentConfig {
+            users_per_arm: 6,
+            pre_sessions: 1,
+            sessions_per_user: 1,
+            seed: 3,
+            bootstrap_reps: 50,
+        };
+        let pop = draw_population(&PopulationConfig::default(), 12, 3);
+        let (c, t) = run_experiment(&pop, Arm::Production, Arm::Production, &cfg);
+        let report = Report::build(&c, &t, 50, 1);
+        let s = report.render();
+        assert!(s.contains("Chunk Throughput"));
+        assert!(s.contains("Play Delay"));
+        assert!(s.contains("Rebuffers"));
+    }
+
+    #[test]
+    fn identical_arms_are_exactly_null() {
+        // A/A test: in the paired design the same arm on the same users is
+        // deterministic, so every metric change is exactly zero.
+        let cfg = tiny_cfg();
+        let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 21);
+        let (c, t) = run_experiment(&pop, Arm::Production, Arm::Production, &cfg);
+        let report = Report::build(&c, &t, cfg.bootstrap_reps, 9);
+        for row in &report.rows {
+            assert!(
+                row.change.pct_change == 0.0 || row.change.pct_change.is_nan(),
+                "A/A {} moved: {:?}",
+                row.name,
+                row.change
+            );
+            assert!(!row.change.significant(), "A/A {} significant", row.name);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # abtest — the production A/B-experiment harness
+//!
+//! Reproduces the methodology of the paper's §5 evaluation on the fluid
+//! simulator:
+//!
+//! - [`population`]: heavy-tailed user network profiles spanning the Fig 3
+//!   throughput buckets, per-title ladders, deterministic per-seed draws.
+//! - [`experiment`]: arms ([`Arm::Production`], [`Arm::Sammy`],
+//!   [`Arm::InitialOnly`], [`Arm::NaivePaced`]), the pre-experiment phase
+//!   that builds history and pre-experiment p95 throughput, the session
+//!   loop, and [`Report`] — the Table 2/3-style percent-change table with
+//!   bootstrap CIs.
+//! - [`stats`]: medians, percentiles, and the seeded percentile bootstrap.
+//! - [`sweep`]: the (c0, c1) grid behind Fig 5's VMAF-vs-throughput
+//!   tradeoff.
+//! - [`longitudinal`]: the Fig 6 historical-data cold-start experiment.
+//! - [`optimize`]: the §5.3 parameter-search loop (the Ax analogue):
+//!   coordinate refinement over (c0, c1) under QoE guards.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod longitudinal;
+pub mod optimize;
+pub mod population;
+pub mod stats;
+pub mod sweep;
+
+pub use experiment::{
+    run_experiment, run_user, Arm, ArmResult, ExperimentConfig, MetricRow, Report, SessionRecord,
+    throughput_by_bucket,
+};
+pub use longitudinal::{run_cold_start, ColdStartConfig, ColdStartResult};
+pub use optimize::{search, Candidate, QoeGuards, SearchOutcome};
+pub use population::{
+    bucket_label, bucket_of, draw_population, ladder_with_top, PopulationConfig, UserProfile,
+    THROUGHPUT_BUCKETS,
+};
+pub use stats::{compare, compare_paired, mean, median, paired_delta, percentile, Aggregate, PairedDelta, PercentChange};
+pub use sweep::{default_grid, run_sweep, SweepPoint};

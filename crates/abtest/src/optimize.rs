@@ -1,0 +1,232 @@
+//! Parameter search over Sammy's `(c0, c1)` multipliers — the reproduction
+//! of §5.3's tuning loop, where the paper used the Ax adaptive-
+//! experimentation platform over multiple A/B rounds to find a Pareto
+//! improvement on all metrics of interest.
+//!
+//! Our stand-in is a deterministic coordinate-refinement search: each round
+//! evaluates a small grid of candidate arms against control (paired
+//! experiments), discards candidates that degrade any guarded QoE metric,
+//! and recenters a shrunken grid on the best survivor. This mirrors what
+//! the Bayesian optimizer accomplishes — walking the tradeoff curve of
+//! Fig 5 to the lowest throughput that still Pareto-improves QoE — without
+//! pretending to reproduce Ax internals.
+
+use crate::experiment::{run_experiment, Arm, ExperimentConfig, Report};
+use crate::population::UserProfile;
+use serde::{Deserialize, Serialize};
+
+/// Constraints an acceptable arm must satisfy (percent-change bounds vs
+/// control, from the median statistic).
+#[derive(Debug, Clone, Copy)]
+pub struct QoeGuards {
+    /// Lowest acceptable VMAF change (e.g. −0.1%).
+    pub min_vmaf_pct: f64,
+    /// Highest acceptable play-delay change (e.g. +1%).
+    pub max_play_delay_pct: f64,
+    /// Highest acceptable rebuffer-rate change (e.g. +5%).
+    pub max_rebuffer_pct: f64,
+}
+
+impl Default for QoeGuards {
+    fn default() -> Self {
+        QoeGuards { min_vmaf_pct: -0.1, max_play_delay_pct: 1.0, max_rebuffer_pct: 5.0 }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Pace multiplier at empty buffer.
+    pub c0: f64,
+    /// Pace multiplier at full buffer.
+    pub c1: f64,
+    /// Chunk-throughput change vs control (%; more negative = smoother).
+    pub tput_pct: f64,
+    /// VMAF change (%).
+    pub vmaf_pct: f64,
+    /// Play-delay change (%).
+    pub play_delay_pct: f64,
+    /// Rebuffers-per-hour change (%).
+    pub rebuffer_pct: f64,
+    /// Whether the candidate satisfied all QoE guards.
+    pub feasible: bool,
+}
+
+/// Result of the search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The chosen parameters (best feasible candidate).
+    pub best: Candidate,
+    /// Every candidate evaluated, in order.
+    pub trace: Vec<Candidate>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Search for the smoothest feasible `(c0, c1)`.
+///
+/// `rounds` of evaluation, each refining around the best survivor. The
+/// objective is minimal chunk throughput subject to the QoE guards.
+pub fn search(
+    population: &[UserProfile],
+    cfg: &ExperimentConfig,
+    guards: QoeGuards,
+    rounds: usize,
+) -> SearchOutcome {
+    assert!(rounds >= 1, "need at least one round");
+    let mut center = (3.0, 3.0);
+    let mut spread = 1.6;
+    let mut trace: Vec<Candidate> = Vec::new();
+
+    for _round in 0..rounds {
+        let candidates = round_grid(center, spread);
+        for (c0, c1) in candidates {
+            // Skip re-evaluating near-duplicates from earlier rounds.
+            if trace
+                .iter()
+                .any(|c| (c.c0 - c0).abs() < 0.05 && (c.c1 - c1).abs() < 0.05)
+            {
+                continue;
+            }
+            let cand = evaluate(population, cfg, c0, c1, guards);
+            trace.push(cand);
+        }
+        if let Some(best) = best_feasible(&trace) {
+            center = (best.c0, best.c1);
+        }
+        spread *= 0.5;
+    }
+
+    let best = best_feasible(&trace)
+        .cloned()
+        // Nothing feasible (extremely strict guards): fall back to the
+        // most conservative candidate evaluated.
+        .unwrap_or_else(|| {
+            trace
+                .iter()
+                .max_by(|a, b| (a.c0 + a.c1).partial_cmp(&(b.c0 + b.c1)).expect("finite"))
+                .expect("non-empty trace")
+                .clone()
+        });
+    SearchOutcome { best, trace, rounds }
+}
+
+fn round_grid(center: (f64, f64), spread: f64) -> Vec<(f64, f64)> {
+    let (c0, c1) = center;
+    let mut grid = Vec::new();
+    for dc0 in [-spread, 0.0, spread] {
+        for dc1 in [-spread, 0.0, spread] {
+            let a = (c0 + dc0).max(0.6);
+            let b = (c1 + dc1).max(0.6).min(a + 0.01);
+            grid.push((round2(a), round2(b)));
+        }
+    }
+    grid.dedup();
+    grid
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn evaluate(
+    population: &[UserProfile],
+    cfg: &ExperimentConfig,
+    c0: f64,
+    c1: f64,
+    guards: QoeGuards,
+) -> Candidate {
+    let (control, treatment) =
+        run_experiment(population, Arm::Production, Arm::Sammy { c0, c1 }, cfg);
+    let report = Report::build(&control, &treatment, cfg.bootstrap_reps, cfg.seed);
+    let get = |name: &str| {
+        report
+            .row(name)
+            .map(|r| {
+                let p = r.change.pct_change;
+                if p.is_finite() {
+                    p
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0)
+    };
+    let tput_pct = get("Chunk Throughput");
+    let vmaf_pct = get("VMAF");
+    let play_delay_pct = get("Play Delay");
+    let rebuffer_pct = get("Rebuffers (/ hr)");
+    let feasible = vmaf_pct >= guards.min_vmaf_pct
+        && play_delay_pct <= guards.max_play_delay_pct
+        && rebuffer_pct <= guards.max_rebuffer_pct;
+    Candidate { c0, c1, tput_pct, vmaf_pct, play_delay_pct, rebuffer_pct, feasible }
+}
+
+fn best_feasible(trace: &[Candidate]) -> Option<&Candidate> {
+    trace
+        .iter()
+        .filter(|c| c.feasible)
+        .min_by(|a, b| a.tput_pct.partial_cmp(&b.tput_pct).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{draw_population, PopulationConfig};
+
+    #[test]
+    fn search_finds_a_feasible_smoother_point() {
+        let cfg = ExperimentConfig {
+            users_per_arm: 24,
+            pre_sessions: 2,
+            sessions_per_user: 2,
+            seed: 6,
+            bootstrap_reps: 100,
+        };
+        let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 6);
+        let out = search(&pop, &cfg, QoeGuards::default(), 2);
+        assert!(out.rounds == 2);
+        assert!(!out.trace.is_empty());
+        let b = &out.best;
+        assert!(b.feasible, "search must end feasible: {b:?}");
+        // The winner must smooth substantially without violating guards.
+        assert!(b.tput_pct < -25.0, "best {b:?}");
+        assert!(b.vmaf_pct >= -0.1);
+        // And it must be the minimum-throughput feasible candidate.
+        for c in out.trace.iter().filter(|c| c.feasible) {
+            assert!(b.tput_pct <= c.tput_pct);
+        }
+    }
+
+    #[test]
+    fn infeasible_guards_fall_back_conservatively() {
+        let cfg = ExperimentConfig {
+            users_per_arm: 10,
+            pre_sessions: 1,
+            sessions_per_user: 1,
+            seed: 8,
+            bootstrap_reps: 50,
+        };
+        let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 8);
+        // Impossible guard: require a VMAF *gain* of 5%.
+        let guards = QoeGuards { min_vmaf_pct: 5.0, ..Default::default() };
+        let out = search(&pop, &cfg, guards, 1);
+        assert!(!out.best.feasible);
+        // Fallback is the most conservative (largest multipliers) candidate.
+        let max_sum = out
+            .trace
+            .iter()
+            .map(|c| c.c0 + c.c1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((out.best.c0 + out.best.c1 - max_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_respects_floors_and_ordering() {
+        for (c0, c1) in round_grid((1.0, 1.0), 1.6) {
+            assert!(c0 >= 0.6);
+            assert!(c1 >= 0.6);
+            assert!(c1 <= c0 + 0.011, "c1 {c1} should not exceed c0 {c0}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The simulated user population.
+//!
+//! Stands in for the production fleet: each user gets a network profile
+//! drawn from heavy-tailed distributions spanning the paper's
+//! pre-experiment throughput buckets (<6, 6–15, 15–30, 30–90, >90 Mbps,
+//! Fig 3), a per-title ladder whose top bitrate reflects per-title
+//! encoding (most titles top out at a few Mbps — the paper's footnote puts
+//! the median session's throughput at ~13x its bitrate), and a watch
+//! duration.
+
+use fluidsim::NetworkProfile;
+use netsim::{Rate, SimDuration};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use video::{Ladder, Title, TitleConfig, VmafModel};
+
+/// The pre-experiment throughput buckets of Fig 3 (Mbps boundaries).
+pub const THROUGHPUT_BUCKETS: [(f64, f64); 5] = [
+    (0.0, 6.0),
+    (6.0, 15.0),
+    (15.0, 30.0),
+    (30.0, 90.0),
+    (90.0, f64::INFINITY),
+];
+
+/// Label for a bucket index.
+pub fn bucket_label(idx: usize) -> &'static str {
+    ["<6 Mbps", "6-15 Mbps", "15-30 Mbps", "30-90 Mbps", ">90 Mbps"][idx]
+}
+
+/// The bucket index for a throughput in Mbps.
+pub fn bucket_of(mbps: f64) -> usize {
+    THROUGHPUT_BUCKETS
+        .iter()
+        .position(|&(lo, hi)| mbps >= lo && mbps < hi)
+        .unwrap_or(4)
+}
+
+/// Population-level distribution parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Capacity-range weights for the five buckets (need not sum to 1).
+    pub bucket_weights: [f64; 5],
+    /// Median base RTT in ms.
+    pub rtt_median_ms: f64,
+    /// Median bufferbloat (self-congestion queue delay) in ms at 30 Mbps;
+    /// slower links get proportionally more.
+    pub bloat_median_ms: f64,
+    /// Median ambient loss fraction.
+    pub ambient_loss_median: f64,
+    /// Median self-congestion loss fraction.
+    pub self_loss_median: f64,
+    /// Weights over top-of-ladder bitrates (Mbps) for per-title ladders.
+    pub top_bitrates_mbps: Vec<(f64, f64)>,
+    /// Title duration range (seconds).
+    pub title_duration_s: (u64, u64),
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            // Roughly FCC-like fixed-broadband mix.
+            bucket_weights: [0.08, 0.15, 0.22, 0.33, 0.22],
+            rtt_median_ms: 35.0,
+            bloat_median_ms: 8.0,
+            ambient_loss_median: 0.0045,
+            self_loss_median: 0.0025,
+            // Per-title ladder tops: mostly a few Mbps (per-title encoding),
+            // some premium 4K-ish streams.
+            top_bitrates_mbps: vec![
+                (1.75, 0.10),
+                (2.35, 0.20),
+                (3.0, 0.25),
+                (4.3, 0.25),
+                (5.8, 0.12),
+                (8.1, 0.05),
+                (16.0, 0.03),
+            ],
+            title_duration_s: (15 * 60, 30 * 60),
+        }
+    }
+}
+
+/// One simulated user/device.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Stable user id.
+    pub id: u64,
+    /// The user's network.
+    pub network: NetworkProfile,
+    /// Top-of-ladder bitrate for this user's typical titles (Mbps).
+    pub top_bitrate_mbps: f64,
+    /// Title duration for this user's sessions.
+    pub title_duration: SimDuration,
+    /// Fixed session-setup latency (manifest, DRM, player init).
+    pub startup_latency: SimDuration,
+    /// Per-user RNG seed.
+    pub seed: u64,
+}
+
+impl UserProfile {
+    /// The user's bitrate ladder.
+    pub fn ladder(&self) -> Ladder {
+        ladder_with_top(self.top_bitrate_mbps)
+    }
+
+    /// Generate a title for session `session_idx` of this user.
+    pub fn title(&self, session_idx: u64) -> Title {
+        Title::generate(
+            self.ladder(),
+            &TitleConfig {
+                duration: self.title_duration,
+                chunk_duration: SimDuration::from_secs(4),
+                size_cv: 0.15,
+                vmaf_sd: 1.5,
+                seed: self.seed ^ (session_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            },
+        )
+    }
+}
+
+/// Build a ladder topping out at `top_mbps`, with standard lower rungs.
+pub fn ladder_with_top(top_mbps: f64) -> Ladder {
+    let vmaf = VmafModel::standard();
+    let mut rates: Vec<f64> = [0.235, 0.56, 1.05, 1.75, 3.0, 4.3, 5.8, 8.1]
+        .iter()
+        .map(|m| m * 1e6)
+        .filter(|&r| r < top_mbps * 1e6 * 0.99)
+        .collect();
+    rates.push(top_mbps * 1e6);
+    Ladder::from_bitrates(&rates, &vmaf)
+}
+
+/// Draw a user population of `n` users, deterministically from `seed`.
+pub fn draw_population(cfg: &PopulationConfig, n: usize, seed: u64) -> Vec<UserProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| draw_user(cfg, i as u64, seed, &mut rng)).collect()
+}
+
+fn draw_user(cfg: &PopulationConfig, id: u64, seed: u64, rng: &mut StdRng) -> UserProfile {
+    // Capacity: pick a bucket by weight, then log-uniform within it.
+    let total: f64 = cfg.bucket_weights.iter().sum();
+    let mut pick = rng.gen::<f64>() * total;
+    let mut bucket = 0;
+    for (i, w) in cfg.bucket_weights.iter().enumerate() {
+        if pick < *w {
+            bucket = i;
+            break;
+        }
+        pick -= w;
+    }
+    let (lo, hi) = match bucket {
+        0 => (2.0, 6.0),
+        1 => (6.0, 15.0),
+        2 => (15.0, 30.0),
+        3 => (30.0, 90.0),
+        _ => (90.0, 500.0),
+    };
+    let capacity_mbps = log_uniform(rng, lo, hi);
+
+    let base_rtt_ms = lognormal(rng, cfg.rtt_median_ms, 0.5).clamp(5.0, 250.0);
+    // Slower links buy cheaper, deeper-buffered gear: bloat scales down
+    // with capacity.
+    let bloat_scale = (30.0 / capacity_mbps).powf(0.4);
+    let bloat_ms = lognormal(rng, cfg.bloat_median_ms * bloat_scale, 0.8).clamp(2.0, 800.0);
+    let ambient = lognormal(rng, cfg.ambient_loss_median, 0.9).clamp(0.0, 0.05);
+    let self_loss = lognormal(rng, cfg.self_loss_median, 0.7).clamp(0.0005, 0.08);
+
+    let top = weighted_choice(rng, &cfg.top_bitrates_mbps);
+    let dur = rng.gen_range(cfg.title_duration_s.0..=cfg.title_duration_s.1);
+
+    UserProfile {
+        id,
+        network: NetworkProfile {
+            capacity: Rate::from_mbps(capacity_mbps),
+            base_rtt: SimDuration::from_secs_f64(base_rtt_ms / 1e3),
+            bufferbloat: SimDuration::from_secs_f64(bloat_ms / 1e3),
+            ambient_loss: ambient,
+            self_loss,
+            jitter_cv: 0.15,
+            fade_prob: 0.03,
+            fade_depth: 0.05,
+        },
+        top_bitrate_mbps: top,
+        title_duration: SimDuration::from_secs(dur),
+        startup_latency: SimDuration::from_secs_f64(
+            lognormal(rng, 0.9, 0.4).clamp(0.3, 3.0),
+        ),
+        seed: id.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(seed),
+    }
+}
+
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+}
+
+fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+fn weighted_choice(rng: &mut StdRng, options: &[(f64, f64)]) -> f64 {
+    let total: f64 = options.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for &(v, w) in options {
+        if pick < w {
+            return v;
+        }
+        pick -= w;
+    }
+    options.last().expect("non-empty options").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_throughputs() {
+        assert_eq!(bucket_of(0.1), 0);
+        assert_eq!(bucket_of(5.99), 0);
+        assert_eq!(bucket_of(6.0), 1);
+        assert_eq!(bucket_of(20.0), 2);
+        assert_eq!(bucket_of(45.0), 3);
+        assert_eq!(bucket_of(90.0), 4);
+        assert_eq!(bucket_of(1000.0), 4);
+        assert_eq!(bucket_label(0), "<6 Mbps");
+    }
+
+    #[test]
+    fn population_deterministic() {
+        let cfg = PopulationConfig::default();
+        let a = draw_population(&cfg, 50, 9);
+        let b = draw_population(&cfg, 50, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.network.capacity, y.network.capacity);
+            assert_eq!(x.top_bitrate_mbps, y.top_bitrate_mbps);
+        }
+        let c = draw_population(&cfg, 50, 10);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.network.capacity != y.network.capacity));
+    }
+
+    #[test]
+    fn capacity_distribution_matches_weights() {
+        let cfg = PopulationConfig::default();
+        let pop = draw_population(&cfg, 5000, 3);
+        let mut counts = [0usize; 5];
+        for u in &pop {
+            counts[bucket_of(u.network.capacity.mbps())] += 1;
+        }
+        let total: f64 = cfg.bucket_weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = cfg.bucket_weights[i] / total;
+            let got = c as f64 / pop.len() as f64;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "bucket {i}: got {got:.3}, expect {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladders_top_out_correctly() {
+        let l = ladder_with_top(4.3);
+        assert!((l.top_bitrate().mbps() - 4.3).abs() < 1e-9);
+        assert!(l.len() >= 5);
+        // Small ladder still valid.
+        let l = ladder_with_top(1.75);
+        assert!((l.top_bitrate().mbps() - 1.75).abs() < 1e-9);
+        assert!(l.len() >= 4);
+    }
+
+    #[test]
+    fn median_capacity_to_bitrate_ratio_is_high() {
+        // The paper's footnote: median session throughput ≈ 13x bitrate.
+        // Our population should have capacity >> top bitrate at the median.
+        let cfg = PopulationConfig::default();
+        let pop = draw_population(&cfg, 2000, 5);
+        let mut ratios: Vec<f64> =
+            pop.iter().map(|u| u.network.capacity.mbps() / u.top_bitrate_mbps).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[ratios.len() / 2];
+        assert!(median > 6.0 && median < 25.0, "median ratio {median}");
+    }
+
+    #[test]
+    fn titles_are_deterministic_per_session() {
+        let cfg = PopulationConfig::default();
+        let pop = draw_population(&cfg, 2, 1);
+        let t1 = pop[0].title(3);
+        let t2 = pop[0].title(3);
+        let t3 = pop[0].title(4);
+        assert_eq!(t1.chunks[0].sizes, t2.chunks[0].sizes);
+        assert_ne!(t1.chunks[0].sizes, t3.chunks[0].sizes);
+    }
+}

@@ -1,0 +1,408 @@
+//! Experiment statistics.
+//!
+//! The paper reports per-arm medians (median over sessions; median of
+//! per-session medians for RTT), percent changes vs control, and 95%
+//! confidence intervals; non-significant movements are reported as "–"
+//! (Tables 2 and 3). This module implements those aggregations with a
+//! seeded percentile bootstrap.
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Median of a slice (NaN if empty). Does not require sorted input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Mean of a slice (NaN if empty), ignoring non-finite values.
+pub fn mean(values: &[f64]) -> f64 {
+    let v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Percentile `q ∈ [0,1]` of a slice (NaN if empty).
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = (q.clamp(0.0, 1.0) * (v.len() - 1) as f64).round() as usize;
+    v[idx]
+}
+
+/// How an arm-level statistic is computed from per-session values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Median over sessions (the paper's default).
+    Median,
+    /// Mean over sessions (used for rates like rebuffers/hr and for
+    /// fraction-of-sessions metrics encoded as 0/1).
+    Mean,
+}
+
+impl Aggregate {
+    /// Apply the aggregate.
+    pub fn apply(self, values: &[f64]) -> f64 {
+        match self {
+            Aggregate::Median => median(values),
+            Aggregate::Mean => mean(values),
+        }
+    }
+}
+
+/// A percent-change comparison with a bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PercentChange {
+    /// Control-arm statistic.
+    pub control: f64,
+    /// Treatment-arm statistic.
+    pub treatment: f64,
+    /// Percent change `(treatment − control) / control × 100`.
+    pub pct_change: f64,
+    /// 95% CI lower bound on the percent change.
+    pub ci_low: f64,
+    /// 95% CI upper bound.
+    pub ci_high: f64,
+}
+
+impl PercentChange {
+    /// True if the 95% CI excludes zero — the paper's significance rule.
+    pub fn significant(&self) -> bool {
+        self.ci_low.is_finite()
+            && self.ci_high.is_finite()
+            && (self.ci_low > 0.0 || self.ci_high < 0.0)
+    }
+
+    /// Format as the tables do: the change when significant, "–" otherwise,
+    /// always with the CI.
+    pub fn display(&self) -> String {
+        if self.significant() {
+            format!("{:+.2}% [{:+.1}, {:+.1}]", self.pct_change, self.ci_low, self.ci_high)
+        } else {
+            format!("–      [{:+.1}, {:+.1}]", self.ci_low, self.ci_high)
+        }
+    }
+}
+
+/// Compare treatment vs control session values with a percentile bootstrap
+/// (independent resampling of each arm, `reps` replicates, seeded).
+pub fn compare(
+    control: &[f64],
+    treatment: &[f64],
+    agg: Aggregate,
+    reps: usize,
+    seed: u64,
+) -> PercentChange {
+    let c_stat = agg.apply(control);
+    let t_stat = agg.apply(treatment);
+    let pct = pct_change(c_stat, t_stat);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut boots = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let c = resample_stat(control, agg, &mut rng);
+        let t = resample_stat(treatment, agg, &mut rng);
+        let p = pct_change(c, t);
+        if p.is_finite() {
+            boots.push(p);
+        }
+    }
+    let (lo, hi) = if boots.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (percentile(&boots, 0.025), percentile(&boots, 0.975))
+    };
+    PercentChange { control: c_stat, treatment: t_stat, pct_change: pct, ci_low: lo, ci_high: hi }
+}
+
+fn pct_change(control: f64, treatment: f64) -> f64 {
+    if control == 0.0 || !control.is_finite() || !treatment.is_finite() {
+        f64::NAN
+    } else {
+        (treatment - control) / control.abs() * 100.0
+    }
+}
+
+fn resample_stat(values: &[f64], agg: Aggregate, rng: &mut StdRng) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let sample: Vec<f64> = (0..values.len())
+        .map(|_| values[rng.gen_range(0..values.len())])
+        .collect();
+    agg.apply(&sample)
+}
+
+/// Compare treatment vs control for a *paired* experiment: both arms ran
+/// the same users (the simulator's exact-counterfactual design; see
+/// DESIGN.md §7). `control[i]` and `treatment[i]` hold user `i`'s
+/// per-session metric values under each arm. The point estimate pools all
+/// sessions; the CI is a cluster bootstrap that resamples users, which
+/// respects both within-user correlation and the pairing.
+pub fn compare_paired(
+    control: &[Vec<f64>],
+    treatment: &[Vec<f64>],
+    agg: Aggregate,
+    reps: usize,
+    seed: u64,
+) -> PercentChange {
+    assert_eq!(control.len(), treatment.len(), "paired arms must align by user");
+    let pool = |arm: &[Vec<f64>]| -> Vec<f64> {
+        arm.iter().flatten().copied().filter(|x| x.is_finite()).collect()
+    };
+    let c_all = pool(control);
+    let t_all = pool(treatment);
+    let c_stat = agg.apply(&c_all);
+    let t_stat = agg.apply(&t_all);
+    let pct = pct_change(c_stat, t_stat);
+
+    let n = control.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut boots = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut c_sample = Vec::new();
+        let mut t_sample = Vec::new();
+        for _ in 0..n {
+            let u = rng.gen_range(0..n);
+            c_sample.extend(control[u].iter().copied().filter(|x| x.is_finite()));
+            t_sample.extend(treatment[u].iter().copied().filter(|x| x.is_finite()));
+        }
+        let p = pct_change(agg.apply(&c_sample), agg.apply(&t_sample));
+        if p.is_finite() {
+            boots.push(p);
+        }
+    }
+    let (lo, hi) = if boots.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (percentile(&boots, 0.025), percentile(&boots, 0.975))
+    };
+    PercentChange { control: c_stat, treatment: t_stat, pct_change: pct, ci_low: lo, ci_high: hi }
+}
+
+/// The mean per-session paired percent difference, with a cluster
+/// bootstrap CI over users. Complements [`compare_paired`]: the median of
+/// a discrete metric (e.g. VMAF, which takes ladder-rung values) ties at
+/// zero under small effects, while the paired mean resolves sub-percent
+/// shifts — the scale of the paper's QoE movements.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PairedDelta {
+    /// Mean of per-session `(t − c)/c × 100` over all pairs.
+    pub mean_delta_pct: f64,
+    /// 95% cluster-bootstrap CI lower bound.
+    pub ci_low: f64,
+    /// 95% CI upper bound.
+    pub ci_high: f64,
+}
+
+impl PairedDelta {
+    /// True if the CI excludes zero.
+    pub fn significant(&self) -> bool {
+        self.ci_low.is_finite()
+            && self.ci_high.is_finite()
+            && (self.ci_low > 0.0 || self.ci_high < 0.0)
+    }
+
+    /// Compact rendering, "–" when not significant.
+    pub fn display(&self) -> String {
+        if self.significant() {
+            format!("{:+.3}%", self.mean_delta_pct)
+        } else {
+            "–".to_string()
+        }
+    }
+}
+
+/// Compute the paired per-session delta statistic. `control[u][i]` pairs
+/// with `treatment[u][i]`; pairs with a non-finite or zero control value
+/// are skipped.
+pub fn paired_delta(
+    control: &[Vec<f64>],
+    treatment: &[Vec<f64>],
+    reps: usize,
+    seed: u64,
+) -> PairedDelta {
+    assert_eq!(control.len(), treatment.len());
+    let user_deltas: Vec<Vec<f64>> = control
+        .iter()
+        .zip(treatment)
+        .map(|(c, t)| {
+            c.iter()
+                .zip(t)
+                .filter(|(cv, tv)| cv.is_finite() && tv.is_finite() && **cv != 0.0)
+                .map(|(cv, tv)| (tv - cv) / cv.abs() * 100.0)
+                .collect()
+        })
+        .collect();
+    let all: Vec<f64> = user_deltas.iter().flatten().copied().collect();
+    if all.is_empty() {
+        return PairedDelta { mean_delta_pct: f64::NAN, ci_low: f64::NAN, ci_high: f64::NAN };
+    }
+    let mean_all = all.iter().sum::<f64>() / all.len() as f64;
+
+    let n = user_deltas.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut boots = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut sample = Vec::new();
+        for _ in 0..n {
+            sample.extend(user_deltas[rng.gen_range(0..n)].iter().copied());
+        }
+        if !sample.is_empty() {
+            boots.push(sample.iter().sum::<f64>() / sample.len() as f64);
+        }
+    }
+    let (lo, hi) = if boots.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (percentile(&boots, 0.025), percentile(&boots, 0.975))
+    };
+    PairedDelta { mean_delta_pct: mean_all, ci_low: lo, ci_high: hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+        assert_eq!(median(&[f64::NAN, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let control: Vec<f64> = (0..500).map(|i| 100.0 + (i % 10) as f64).collect();
+        let treatment: Vec<f64> = (0..500).map(|i| 50.0 + (i % 10) as f64).collect();
+        let c = compare(&control, &treatment, Aggregate::Median, 500, 1);
+        assert!(c.significant());
+        assert!(c.pct_change < -40.0 && c.pct_change > -55.0);
+        assert!(c.ci_high < 0.0);
+        assert!(c.display().contains('%'));
+    }
+
+    #[test]
+    fn identical_arms_not_significant() {
+        let vals: Vec<f64> = (0..500).map(|i| 10.0 + ((i * 7) % 100) as f64).collect();
+        let c = compare(&vals, &vals, Aggregate::Median, 500, 2);
+        assert!(!c.significant(), "identical arms must not be significant: {c:?}");
+        assert!(c.display().contains('–'));
+    }
+
+    #[test]
+    fn noisy_small_difference_not_significant() {
+        // 0.1% shift buried in 30% noise with modest n.
+        let mut rng = StdRng::seed_from_u64(3);
+        let control: Vec<f64> = (0..200).map(|_| 100.0 * (1.0 + 0.3 * (rng.gen::<f64>() - 0.5))).collect();
+        let treatment: Vec<f64> =
+            (0..200).map(|_| 100.1 * (1.0 + 0.3 * (rng.gen::<f64>() - 0.5))).collect();
+        let c = compare(&control, &treatment, Aggregate::Median, 500, 4);
+        assert!(!c.significant());
+    }
+
+    #[test]
+    fn bootstrap_deterministic() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| (i * 2) as f64).collect();
+        let c1 = compare(&a, &b, Aggregate::Mean, 300, 7);
+        let c2 = compare(&a, &b, Aggregate::Mean, 300, 7);
+        assert_eq!(c1.ci_low, c2.ci_low);
+        assert_eq!(c1.ci_high, c2.ci_high);
+    }
+
+    #[test]
+    fn paired_compare_detects_small_shift() {
+        // 100 users, 5 sessions each; treatment is a consistent -2% on a
+        // metric with large between-user spread. An unpaired split would
+        // drown this; the paired design must detect it.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut control = Vec::new();
+        let mut treatment = Vec::new();
+        for _ in 0..100 {
+            let base = 10.0 * (1.0 + 5.0 * rng.gen::<f64>()); // heavy user spread
+            let c: Vec<f64> = (0..5).map(|_| base * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5))).collect();
+            let t: Vec<f64> = c.iter().map(|v| v * 0.98).collect();
+            control.push(c);
+            treatment.push(t);
+        }
+        let r = compare_paired(&control, &treatment, Aggregate::Median, 400, 9);
+        assert!(r.significant(), "{r:?}");
+        assert!((r.pct_change + 2.0).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn paired_compare_identical_is_null() {
+        let arm: Vec<Vec<f64>> = (0..50).map(|u| vec![u as f64 + 1.0; 3]).collect();
+        let r = compare_paired(&arm, &arm, Aggregate::Median, 200, 3);
+        assert!(!r.significant());
+        assert_eq!(r.pct_change, 0.0);
+    }
+
+    #[test]
+    fn paired_delta_resolves_tiny_shift() {
+        // A consistent -0.4% shift on a discrete-ish metric: the median
+        // ties but the paired mean delta must surface it.
+        let control: Vec<Vec<f64>> = (0..200).map(|u| vec![100.0 + (u % 7) as f64; 3]).collect();
+        let treatment: Vec<Vec<f64>> = control
+            .iter()
+            .map(|c| c.iter().map(|v| v * 0.996).collect())
+            .collect();
+        let d = paired_delta(&control, &treatment, 300, 4);
+        assert!(d.significant(), "{d:?}");
+        assert!((d.mean_delta_pct + 0.4).abs() < 0.05, "{d:?}");
+    }
+
+    #[test]
+    fn paired_delta_empty_and_null() {
+        let d = paired_delta(&[vec![]], &[vec![]], 100, 1);
+        assert!(d.mean_delta_pct.is_nan());
+        let arm: Vec<Vec<f64>> = vec![vec![5.0, 6.0]; 10];
+        let d = paired_delta(&arm, &arm, 100, 1);
+        assert_eq!(d.mean_delta_pct, 0.0);
+        assert!(!d.significant());
+    }
+
+    #[test]
+    fn compare_with_empty_arms_is_nan_and_not_significant() {
+        let c = compare(&[], &[], Aggregate::Median, 100, 1);
+        assert!(c.pct_change.is_nan());
+        assert!(!c.significant());
+        let c = compare(&[1.0, 2.0], &[], Aggregate::Median, 100, 1);
+        assert!(c.pct_change.is_nan());
+        assert!(!c.significant());
+    }
+
+    #[test]
+    fn mean_aggregate() {
+        assert_eq!(Aggregate::Mean.apply(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(Aggregate::Median.apply(&[1.0, 2.0, 30.0]), 2.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The parameter sweep behind Fig 5: the tradeoff between video quality
+//! (VMAF) and chunk throughput across `(c0, c1)` settings.
+//!
+//! The paper used a Bayesian optimizer (Ax) over ~20 treatment arms across
+//! several rounds of A/B tests; the published artifact is the tradeoff
+//! curve itself, which a deterministic sweep reproduces.
+
+use crate::experiment::{run_experiment, Arm, ExperimentConfig, Report};
+use crate::population::UserProfile;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point: a Sammy parameter setting and its measured changes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Pace multiplier at empty buffer.
+    pub c0: f64,
+    /// Pace multiplier at full buffer.
+    pub c1: f64,
+    /// Percent change in median chunk throughput vs control.
+    pub tput_pct: f64,
+    /// Percent change in median VMAF vs control.
+    pub vmaf_pct: f64,
+    /// Percent change in median play delay vs control.
+    pub play_delay_pct: f64,
+    /// Percent change in rebuffer rate (per hour) vs control.
+    pub rebuffer_pct: f64,
+}
+
+/// The default grid of `(c0, c1)` arms, spanning aggressive (1.2x) to
+/// conservative (6x) pacing — about twenty arms, like the paper's tests.
+pub fn default_grid() -> Vec<(f64, f64)> {
+    let mut grid = Vec::new();
+    // Below ~1x the top bitrate the buffer cannot grow and quality must
+    // fall — the knee at the aggressive end of the paper's Fig 5.
+    grid.push((0.8, 0.8));
+    grid.push((1.0, 0.7));
+    for &c0 in &[1.2, 1.6, 2.0, 2.4, 2.8, 3.2, 4.0, 5.0, 6.0] {
+        for &c1 in &[c0 - 0.4, c0] {
+            if c1 > 0.0 {
+                grid.push((c0, c1));
+            }
+        }
+    }
+    grid.push((3.2, 2.8)); // the production point
+    grid
+}
+
+/// Run the sweep: one experiment per `(c0, c1)` against a shared control.
+pub fn run_sweep(
+    population: &[UserProfile],
+    grid: &[(f64, f64)],
+    cfg: &ExperimentConfig,
+) -> Vec<SweepPoint> {
+    grid.iter()
+        .map(|&(c0, c1)| {
+            let (c, t) = run_experiment(population, Arm::Production, Arm::Sammy { c0, c1 }, cfg);
+            let report = Report::build(&c, &t, cfg.bootstrap_reps, cfg.seed);
+            let get = |name: &str| report.row(name).map(|r| r.change.pct_change).unwrap_or(f64::NAN);
+            SweepPoint {
+                c0,
+                c1,
+                tput_pct: get("Chunk Throughput"),
+                vmaf_pct: get("VMAF"),
+                play_delay_pct: get("Play Delay"),
+                rebuffer_pct: get("Rebuffers (/ hr)"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{draw_population, PopulationConfig};
+
+    #[test]
+    fn grid_has_about_twenty_arms() {
+        let g = default_grid();
+        assert!(g.len() >= 15 && g.len() <= 25, "grid size {}", g.len());
+        assert!(g.contains(&(0.8, 0.8)));
+        assert!(g.contains(&(3.2, 2.8)));
+        assert!(g.iter().all(|&(c0, c1)| c0 > 0.0 && c1 > 0.0));
+    }
+
+    #[test]
+    fn lower_multipliers_reduce_throughput_more() {
+        let cfg = ExperimentConfig {
+            users_per_arm: 25,
+            pre_sessions: 2,
+            sessions_per_user: 2,
+            seed: 4,
+            bootstrap_reps: 100,
+        };
+        let pop = draw_population(&PopulationConfig::default(), 50, 4);
+        let pts = run_sweep(&pop, &[(1.6, 1.2), (5.0, 5.0)], &cfg);
+        assert!(
+            pts[0].tput_pct < pts[1].tput_pct,
+            "aggressive pacing must cut throughput more: {pts:?}"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Component micro-benchmarks: simulator event throughput, TCP transfer
+//! cost, fluid session cost, and t-digest ingestion.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::prelude::*;
+use std::rc::Rc;
+
+fn bench_engine_packets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("forward_10k_packets", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+            for seq in 0..10_000u64 {
+                let pkt = Packet::new(
+                    db.left[0],
+                    db.right[0],
+                    FlowId(1),
+                    Payload::Datagram { seq },
+                )
+                .with_size(1500);
+                sim.inject(db.left[0], pkt);
+            }
+            sim.run_to_completion();
+            sim.flow_stats(FlowId(1)).delivered_packets
+        })
+    });
+    g.finish();
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    use transport::{ReceiverEndpoint, SenderEndpoint, TcpConfig};
+    let mut g = c.benchmark_group("tcp_transfer");
+    g.sample_size(10);
+    g.bench_function("5mb_over_dumbbell", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+            let flow = FlowId(1);
+            sim.set_endpoint(
+                db.left[0],
+                Box::new(SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default())),
+            );
+            sim.set_endpoint(
+                db.right[0],
+                Box::new(ReceiverEndpoint::new(db.right[0], db.left[0], flow)),
+            );
+            let req = Packet::new(
+                db.right[0],
+                db.left[0],
+                flow,
+                Payload::Request { id: 0, size: 5_000_000, pace_bps: None },
+            );
+            sim.inject(db.right[0], req);
+            sim.run_until(SimTime::from_secs(30));
+            sim.flow_stats(flow).delivered_bytes
+        })
+    });
+    g.finish();
+}
+
+fn bench_fluid_session(c: &mut Criterion) {
+    use abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr};
+    use fluidsim::{run_session, FluidConfig, NetworkProfile, SessionParams, StartPolicy};
+    use video::{Ladder, Title, TitleConfig, VmafModel};
+
+    let title = Rc::new(Title::generate(
+        Ladder::hd(&VmafModel::standard()),
+        &TitleConfig { duration: SimDuration::from_secs(20 * 60), ..Default::default() },
+    ));
+    let profile = NetworkProfile::fast_cable();
+    c.bench_function("fluid_session_20min", |b| {
+        b.iter(|| {
+            let abr = Box::new(ProductionAbr::new(
+                Mpc::default(),
+                shared_history(),
+                HistoryPolicy::AllSamples,
+            ));
+            run_session(SessionParams {
+                profile: &profile,
+                title: title.clone(),
+                abr,
+                start: StartPolicy::default(),
+                history_estimate: None,
+                predicted_initial_rung: 2,
+                max_wall_clock: SimDuration::from_secs(3600),
+                seed: 1,
+                fluid: FluidConfig::default(),
+                max_buffer: SimDuration::from_secs(240),
+                startup_latency: SimDuration::ZERO,
+            })
+            .chunks
+        })
+    });
+}
+
+fn bench_tdigest(c: &mut Criterion) {
+    use tdigest::TDigest;
+    let mut g = c.benchmark_group("tdigest");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("add_100k", |b| {
+        b.iter(|| {
+            let mut d = TDigest::new(100.0);
+            for i in 0..100_000u64 {
+                d.add((i % 9973) as f64);
+            }
+            d.median()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_packets,
+    bench_tcp_transfer,
+    bench_fluid_session,
+    bench_tdigest
+);
+criterion_main!(benches);

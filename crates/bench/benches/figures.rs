@@ -1,0 +1,106 @@
+//! Criterion benches: one per table/figure, sized down so `cargo bench`
+//! completes in reasonable time. These measure the *wall-clock cost* of
+//! regenerating each result and double as smoke tests that every
+//! experiment harness runs end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::SimDuration;
+use sammy_bench::figures;
+use sammy_bench::lab::{self, LabArm, LabConfig};
+
+fn quick_lab() -> LabConfig {
+    LabConfig { run_for: SimDuration::from_secs(30), ..Default::default() }
+}
+
+fn bench_fig1_fig7_single_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_fig7_single_flow");
+    g.sample_size(10);
+    g.bench_function("control", |b| {
+        b.iter(|| lab::single_flow(LabArm::Control, &quick_lab()))
+    });
+    g.bench_function("sammy", |b| {
+        b.iter(|| lab::single_flow(LabArm::Sammy, &quick_lab()))
+    });
+    g.finish();
+}
+
+fn bench_fig2_analysis(c: &mut Criterion) {
+    c.bench_function("fig2_analysis_curves", |b| b.iter(|| figures::fig2(0.5, 20.0)));
+}
+
+fn bench_table2_ab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_ab");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| figures::table2(0.08, 1)));
+    g.finish();
+}
+
+fn bench_table3_initial_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_initial_only");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| figures::table3(0.08, 1)));
+    g.finish();
+}
+
+fn bench_fig3_buckets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_buckets");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| figures::fig3(0.08, 1)));
+    g.finish();
+}
+
+fn bench_fig4_burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_burst");
+    g.sample_size(10);
+    let cfg = quick_lab();
+    g.bench_function("burst4", |b| b.iter(|| lab::burst_sweep_point(4, &cfg)));
+    g.bench_function("burst40", |b| b.iter(|| lab::burst_sweep_point(40, &cfg)));
+    g.finish();
+}
+
+fn bench_fig5_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_sweep");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| figures::fig5(0.08, 1)));
+    g.finish();
+}
+
+fn bench_fig6_cold_start(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_cold_start");
+    g.sample_size(10);
+    g.bench_function("tiny", |b| b.iter(|| figures::fig6(0.08, 1)));
+    g.finish();
+}
+
+fn bench_fig8_neighbors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_neighbors");
+    g.sample_size(10);
+    let cfg = quick_lab();
+    g.bench_function("udp", |b| b.iter(|| lab::neighbor_udp(LabArm::Sammy, &cfg)));
+    g.bench_function("tcp", |b| b.iter(|| lab::neighbor_tcp(LabArm::Sammy, &cfg)));
+    g.bench_function("http", |b| b.iter(|| lab::neighbor_http(LabArm::Sammy, &cfg)));
+    g.finish();
+}
+
+fn bench_baseline_and_spiral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_and_spiral");
+    g.sample_size(10);
+    g.bench_function("baseline_4x_tiny", |b| b.iter(|| figures::baseline_4x(0.08, 1)));
+    g.bench_function("spiral", |b| b.iter(figures::spiral));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_fig7_single_flow,
+    bench_fig2_analysis,
+    bench_table2_ab,
+    bench_table3_initial_only,
+    bench_fig3_buckets,
+    bench_fig4_burst,
+    bench_fig5_sweep,
+    bench_fig6_cold_start,
+    bench_fig8_neighbors,
+    bench_baseline_and_spiral,
+);
+criterion_main!(benches);

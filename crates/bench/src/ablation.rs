@@ -1,0 +1,253 @@
+//! Ablations of Sammy's design choices, as promised in DESIGN.md:
+//!
+//! - **Smoothing mechanism** (Table 1): pacing with a small burst vs
+//!   pacing with the default 40-packet burst vs a cwnd-cap/token-bucket
+//!   profile — same mean rate, different burst structure, measured under
+//!   congested cross traffic.
+//! - **Congestion-control substrate**: the single-flow experiment under
+//!   Reno vs CUBIC — Sammy's smoothing effect must not depend on the loss
+//!   algorithm below it.
+//! - **Scavenger contrast** (§2.2): a LEDBAT-based video session vs Sammy.
+//!   The scavenger yields beautifully *when competing* but still fills the
+//!   link when alone; Sammy stays near 3x the bitrate in both cases.
+
+use crate::lab::{self, LabArm, LabConfig};
+use netsim::SimDuration;
+use sammy_core::SmoothingMechanism;
+use transport::CcAlgorithm;
+
+/// One row of the mechanism ablation.
+#[derive(Debug, Clone)]
+pub struct MechanismRow {
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// Burst size (packets) this mechanism induces.
+    pub burst: u32,
+    /// Retransmit fraction of the paced video flow under cross traffic.
+    pub retx_fraction: f64,
+}
+
+/// Run the Table 1 mechanism ablation: every smoothing mechanism expressed
+/// as its burst profile, paced at 2x the max bitrate, under congested
+/// cross traffic; plus the unpaced baseline.
+pub fn mechanism_ablation(cfg: &LabConfig) -> (f64, Vec<MechanismRow>) {
+    let unpaced = lab::burst_sweep_unpaced(cfg);
+    let mechanisms = [
+        SmoothingMechanism::PacingSmallBurst,
+        SmoothingMechanism::PacingDefaultBurst,
+        SmoothingMechanism::CwndCap,
+        SmoothingMechanism::TokenBucket { depth_packets: 16 },
+    ];
+    let rows = mechanisms
+        .iter()
+        .map(|m| MechanismRow {
+            mechanism: m.label(),
+            burst: m.burst_packets(),
+            retx_fraction: lab::burst_sweep_point(m.burst_packets(), cfg),
+        })
+        .collect();
+    (unpaced, rows)
+}
+
+/// One row of the congestion-control sensitivity ablation.
+#[derive(Debug, Clone)]
+pub struct CcSensitivityRow {
+    /// Substrate name.
+    pub cc: &'static str,
+    /// Arm label.
+    pub arm: &'static str,
+    /// Post-startup chunk throughput (Mbps).
+    pub chunk_tput_mbps: f64,
+    /// Median per-packet RTT (ms).
+    pub median_rtt_ms: f64,
+    /// Rebuffer count.
+    pub rebuffers: u64,
+}
+
+/// Single-flow experiment across congestion-control substrates: Sammy's
+/// smoothing must hold regardless of the loss-based algorithm underneath.
+pub fn cc_sensitivity(base: &LabConfig) -> Vec<CcSensitivityRow> {
+    let mut rows = Vec::new();
+    for (cc, name) in [(CcAlgorithm::Reno, "reno"), (CcAlgorithm::Cubic, "cubic")] {
+        for arm in [LabArm::Control, LabArm::Sammy] {
+            let cfg = LabConfig { cc, ..base.clone() };
+            let r = lab::single_flow(arm, &cfg);
+            rows.push(CcSensitivityRow {
+                cc: name,
+                arm: arm.label(),
+                chunk_tput_mbps: r.chunk_throughput_mbps,
+                median_rtt_ms: r.median_rtt_ms,
+                rebuffers: r.rebuffers,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the pacing-philosophy comparison (§2.2): who paces, and at
+/// what level relative to the link and the video bitrate.
+#[derive(Debug, Clone)]
+pub struct PacingPhilosophyRow {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Post-startup chunk throughput (Mbps).
+    pub chunk_tput_mbps: f64,
+    /// Median per-packet RTT (ms).
+    pub median_rtt_ms: f64,
+    /// Retransmitted-byte fraction.
+    pub retx_fraction: f64,
+}
+
+/// §2.2's three pacing philosophies on the same single-flow scenario:
+/// Reno control (no pacing), BBR (paces at the bottleneck estimate), and
+/// Sammy (paces at ~3x the video bitrate). BBR smooths packet bursts and
+/// trims the queue but keeps *chunk* throughput at link capacity; only
+/// Sammy reduces it to the video's needs.
+pub fn pacing_philosophies(base: &LabConfig) -> Vec<PacingPhilosophyRow> {
+    let mut rows = Vec::new();
+    let cases: [(&'static str, CcAlgorithm, LabArm); 3] = [
+        ("reno-unpaced", CcAlgorithm::Reno, LabArm::Control),
+        ("bbr", CcAlgorithm::BbrLite, LabArm::Control),
+        ("sammy", CcAlgorithm::Reno, LabArm::Sammy),
+    ];
+    for (name, cc, arm) in cases {
+        let cfg = LabConfig { cc, ..base.clone() };
+        let r = lab::single_flow(arm, &cfg);
+        rows.push(PacingPhilosophyRow {
+            strategy: name,
+            chunk_tput_mbps: r.chunk_throughput_mbps,
+            median_rtt_ms: r.median_rtt_ms,
+            retx_fraction: r.retx_fraction,
+        });
+    }
+    rows
+}
+
+/// The scavenger-vs-Sammy contrast.
+#[derive(Debug, Clone)]
+pub struct ScavengerContrast {
+    /// Chunk throughput when the video streams alone (Mbps).
+    pub solo_tput_mbps: f64,
+    /// Median RTT when alone (ms).
+    pub solo_rtt_ms: f64,
+    /// Throughput of a competing bulk TCP neighbor (Mbps).
+    pub neighbor_tcp_mbps: f64,
+    /// Rebuffers in the competing case.
+    pub rebuffers: u64,
+}
+
+/// Measure one strategy both alone and against a bulk TCP neighbor.
+///
+/// `scavenger = true` runs an unpaced video on the LEDBAT substrate;
+/// `false` runs Sammy on Reno. The §2.2 claim to reproduce: the scavenger
+/// fully utilizes the link when alone (bursty traffic persists), while
+/// Sammy stays near 3x the top bitrate in both conditions.
+pub fn scavenger_contrast(scavenger: bool, base: &LabConfig) -> ScavengerContrast {
+    let (cfg, arm) = if scavenger {
+        (LabConfig { cc: CcAlgorithm::Ledbat, ..base.clone() }, LabArm::Control)
+    } else {
+        (base.clone(), LabArm::Sammy)
+    };
+
+    let solo = lab::single_flow(arm, &cfg);
+
+    // Competing case: deep buffer keeps the video actively downloading.
+    let neighbor_cfg = LabConfig {
+        max_buffer: SimDuration::from_secs(3600),
+        run_for: SimDuration::from_secs(60),
+        ..cfg.clone()
+    };
+    let neighbor = lab::neighbor_tcp(arm, &neighbor_cfg);
+
+    ScavengerContrast {
+        solo_tput_mbps: solo.chunk_throughput_mbps,
+        solo_rtt_ms: solo.median_rtt_ms,
+        neighbor_tcp_mbps: neighbor,
+        rebuffers: solo.rebuffers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> LabConfig {
+        LabConfig { run_for: SimDuration::from_secs(45), ..Default::default() }
+    }
+
+    #[test]
+    fn small_burst_beats_default_burst() {
+        let cfg = LabConfig { run_for: SimDuration::from_secs(60), ..Default::default() };
+        let (unpaced, rows) = mechanism_ablation(&cfg);
+        let small = rows.iter().find(|r| r.burst == 4).unwrap();
+        let default = rows.iter().find(|r| r.mechanism == "pacing(burst=40)").unwrap();
+        // All mechanisms beat no pacing; small bursts beat large bursts.
+        assert!(small.retx_fraction < unpaced);
+        assert!(default.retx_fraction < unpaced);
+        assert!(
+            small.retx_fraction < default.retx_fraction,
+            "small {} vs default {}",
+            small.retx_fraction,
+            default.retx_fraction
+        );
+    }
+
+    #[test]
+    fn sammy_smooths_on_both_reno_and_cubic() {
+        let rows = cc_sensitivity(&quick());
+        for cc in ["reno", "cubic"] {
+            let control = rows
+                .iter()
+                .find(|r| r.cc == cc && r.arm == "control")
+                .unwrap();
+            let sammy = rows.iter().find(|r| r.cc == cc && r.arm == "sammy").unwrap();
+            assert!(
+                sammy.chunk_tput_mbps < 0.5 * control.chunk_tput_mbps,
+                "{cc}: sammy {} vs control {}",
+                sammy.chunk_tput_mbps,
+                control.chunk_tput_mbps
+            );
+            assert!(sammy.median_rtt_ms < control.median_rtt_ms, "{cc}: rtt");
+            assert_eq!(sammy.rebuffers, 0);
+        }
+    }
+
+    #[test]
+    fn bbr_keeps_chunk_throughput_high_sammy_cuts_it() {
+        let rows = pacing_philosophies(&quick());
+        let reno = rows.iter().find(|r| r.strategy == "reno-unpaced").unwrap();
+        let bbr = rows.iter().find(|r| r.strategy == "bbr").unwrap();
+        let sammy = rows.iter().find(|r| r.strategy == "sammy").unwrap();
+        // BBR's chunk throughput stays near the link rate, like Reno's.
+        assert!(
+            bbr.chunk_tput_mbps > 0.6 * reno.chunk_tput_mbps,
+            "bbr {} vs reno {}",
+            bbr.chunk_tput_mbps,
+            reno.chunk_tput_mbps
+        );
+        // Only Sammy brings it down to the video's needs.
+        assert!(sammy.chunk_tput_mbps < 0.4 * bbr.chunk_tput_mbps);
+        // BBR does trim the standing queue relative to Reno.
+        assert!(bbr.median_rtt_ms <= reno.median_rtt_ms + 1.0);
+    }
+
+    #[test]
+    fn scavenger_fills_link_alone_sammy_does_not() {
+        let base = quick();
+        let scav = scavenger_contrast(true, &base);
+        let sammy = scavenger_contrast(false, &base);
+        // Alone: the scavenger runs near link rate; Sammy near 3x bitrate.
+        assert!(
+            scav.solo_tput_mbps > 2.0 * sammy.solo_tput_mbps,
+            "scavenger alone {} vs sammy alone {}",
+            scav.solo_tput_mbps,
+            sammy.solo_tput_mbps
+        );
+        // Both are friendly to the TCP neighbor (>= fair share).
+        assert!(scav.neighbor_tcp_mbps > 18.0, "scav neighbor {}", scav.neighbor_tcp_mbps);
+        assert!(sammy.neighbor_tcp_mbps > 18.0, "sammy neighbor {}", sammy.neighbor_tcp_mbps);
+        // Neither strategy rebuffers.
+        assert_eq!(scav.rebuffers, 0);
+        assert_eq!(sammy.rebuffers, 0);
+    }
+}

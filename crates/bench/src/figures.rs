@@ -1,0 +1,211 @@
+//! Fluid-simulation generators for the production tables and figures.
+//!
+//! Each function returns plain data the `figures` binary renders as text
+//! and CSV. Sizes are chosen so a full regeneration finishes in minutes on
+//! a laptop; the binary accepts a `--scale` factor for larger runs.
+
+use abtest::{
+    bucket_label, default_grid, draw_population, run_cold_start, run_experiment, run_sweep,
+    throughput_by_bucket, Arm, ColdStartConfig, ExperimentConfig, PopulationConfig, Report,
+    SweepPoint,
+};
+use sammy_core::analysis::{fig2a_selection_curve, fig2b_threshold_curve};
+
+/// The production Sammy parameters used throughout §5.
+pub const SAMMY_PROD: Arm = Arm::Sammy { c0: 3.2, c1: 2.8 };
+
+/// Standard experiment sizing (scaled by `scale`).
+pub fn experiment_config(scale: f64, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        users_per_arm: ((200.0 * scale) as usize).max(20),
+        pre_sessions: 3,
+        sessions_per_user: 3,
+        seed,
+        bootstrap_reps: 400,
+    }
+}
+
+/// Table 2: Sammy (c0=3.2, c1=2.8) vs production.
+pub fn table2(scale: f64, seed: u64) -> Report {
+    let cfg = experiment_config(scale, seed);
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed);
+    let (c, t) = run_experiment(&pop, Arm::Production, SAMMY_PROD, &cfg);
+    Report::build(&c, &t, cfg.bootstrap_reps, seed)
+}
+
+/// Table 3: initial-phase changes only (no pacing) vs production.
+pub fn table3(scale: f64, seed: u64) -> Report {
+    let cfg = experiment_config(scale, seed);
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 1);
+    let (c, t) = run_experiment(&pop, Arm::Production, Arm::InitialOnly, &cfg);
+    Report::build(&c, &t, cfg.bootstrap_reps, seed + 1)
+}
+
+/// §5.5: the naive constant-4x baseline vs production.
+pub fn baseline_4x(scale: f64, seed: u64) -> Report {
+    let cfg = experiment_config(scale, seed);
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 2);
+    let (c, t) = run_experiment(&pop, Arm::Production, Arm::NaivePaced { multiplier: 4.0 }, &cfg);
+    Report::build(&c, &t, cfg.bootstrap_reps, seed + 2)
+}
+
+/// Fig 3: chunk-throughput change by pre-experiment throughput bucket.
+/// Returns `(bucket label, % change, ci_low, ci_high)`.
+pub fn fig3(scale: f64, seed: u64) -> Vec<(&'static str, f64, f64, f64)> {
+    let cfg = experiment_config(scale * 1.5, seed);
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 3);
+    let (c, t) = run_experiment(&pop, Arm::Production, SAMMY_PROD, &cfg);
+    throughput_by_bucket(&c, &t, cfg.bootstrap_reps, seed + 3)
+        .into_iter()
+        .map(|(b, pc)| (bucket_label(b), pc.pct_change, pc.ci_low, pc.ci_high))
+        .collect()
+}
+
+/// Fig 5: the VMAF-vs-chunk-throughput tradeoff over the (c0, c1) grid.
+pub fn fig5(scale: f64, seed: u64) -> Vec<SweepPoint> {
+    // Smaller per-arm population (one experiment per grid point).
+    let cfg = ExperimentConfig {
+        users_per_arm: ((80.0 * scale) as usize).max(15),
+        pre_sessions: 2,
+        sessions_per_user: 2,
+        seed: seed + 4,
+        bootstrap_reps: 200,
+    };
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 4);
+    run_sweep(&pop, &default_grid(), &cfg)
+}
+
+/// Fig 6: initial-quality difference over days after a history reset.
+/// Returns per-day percent difference, treatment vs control.
+pub fn fig6(scale: f64, seed: u64) -> Vec<f64> {
+    let pop = draw_population(
+        &PopulationConfig::default(),
+        ((120.0 * scale) as usize).max(20),
+        seed + 5,
+    );
+    let cfg = ColdStartConfig {
+        days: 14,
+        sessions_per_day: 2,
+        warmup_sessions: 6,
+        seed: seed + 5,
+    };
+    run_cold_start(&pop, &cfg).pct_diff_by_day()
+}
+
+/// Fig 2a/2b: the HYB analysis curves (pure functions of β and the
+/// lookahead). Returns `(buffer_s, max_bitrate_multiple, min_tput_multiple)`.
+pub fn fig2(beta: f64, horizon_s: f64) -> Vec<(f64, f64, f64)> {
+    let buffers: Vec<f64> = (0..=24).map(|i| i as f64 * 10.0).collect();
+    let a = fig2a_selection_curve(beta, horizon_s, &buffers);
+    let b = fig2b_threshold_curve(beta, horizon_s, &buffers);
+    a.into_iter()
+        .zip(b)
+        .map(|((buf, max_r), (_, min_x))| (buf, max_r, min_x))
+        .collect()
+}
+
+/// §2.3.1: the downward spiral of a black-box-paced naive ABR. Returns the
+/// selected bitrate (Mbps) per chunk for (a) the naive rule under black-box
+/// 1.5x pacing, and (b) Sammy-style pacing keyed to the ladder top.
+pub fn spiral() -> (Vec<f64>, Vec<f64>) {
+    use abr::{NaiveConfig, NaiveThroughputRule};
+    use netsim::{Rate, SimDuration, SimTime};
+    use video::{
+        Abr, AbrContext, ChunkMeasurement, Ladder, PlayerPhase, ThroughputHistory, Title,
+        TitleConfig, VmafModel,
+    };
+
+    let title = Title::generate(
+        Ladder::hd(&VmafModel::standard()),
+        &TitleConfig { size_cv: 0.0, ..Default::default() },
+    );
+
+    let run = |pace_of: &dyn Fn(Rate) -> Rate| -> Vec<f64> {
+        let mut rule = NaiveThroughputRule::new(NaiveConfig { c: 0.5, window: 3 });
+        let mut h = ThroughputHistory::new();
+        // First chunk measured at full network speed (100 Mbps).
+        h.record(ChunkMeasurement {
+            index: 0,
+            rung: 0,
+            bytes: (100e6 / 8.0) as u64,
+            download_time: SimDuration::from_secs(1),
+            completed_at: SimTime::ZERO,
+        });
+        let mut rungs = Vec::new();
+        for i in 0..20 {
+            let ctx = AbrContext {
+                now: SimTime::ZERO,
+                phase: PlayerPhase::Playing,
+                buffer: SimDuration::from_secs(10),
+                max_buffer: SimDuration::from_secs(240),
+                ladder: &title.ladder,
+                upcoming: title.upcoming(i),
+                history: &h,
+                last_rung: rungs.last().map(|_| 0),
+            };
+            let d = rule.select(&ctx);
+            let bitrate = title.ladder.rung(d.rung).bitrate;
+            rungs.push(bitrate.mbps());
+            // The network is fast (100 Mbps); the measured throughput is
+            // min(pace, network).
+            let pace = pace_of(bitrate);
+            let measured = pace.bps().min(100e6);
+            h.record(ChunkMeasurement {
+                index: i + 1,
+                rung: d.rung,
+                bytes: (measured / 8.0) as u64,
+                download_time: SimDuration::from_secs(1),
+                completed_at: SimTime::ZERO,
+            });
+        }
+        rungs
+    };
+
+    // (a) Black-box pacing at 1.5x the *selected* bitrate: the spiral.
+    let blackbox = run(&|bitrate| bitrate * 1.5);
+    // (b) Sammy-style pacing at 3.2x the *top* ladder bitrate: stable.
+    let top = title.ladder.top_bitrate();
+    let sammy = run(&|_| top * 3.2);
+    (blackbox, sammy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shapes() {
+        let data = fig2(0.5, 20.0);
+        assert_eq!(data.len(), 25);
+        // Empty buffer: max bitrate = βx = 0.5, min tput = 1/β = 2.
+        assert!((data[0].1 - 0.5).abs() < 1e-12);
+        assert!((data[0].2 - 2.0).abs() < 1e-12);
+        // Monotone: selection cap rises, threshold falls.
+        for w in data.windows(2) {
+            assert!(w[1].1 > w[0].1);
+            assert!(w[1].2 < w[0].2);
+        }
+    }
+
+    #[test]
+    fn spiral_goes_down_sammy_stays_up() {
+        let (blackbox, sammy) = spiral();
+        // The black-box spiral reaches the lowest rung and stays there.
+        assert!(blackbox.last().unwrap() < &0.3);
+        // Sammy-style pacing holds a high bitrate.
+        assert!(sammy.last().unwrap() > &3.0);
+        // The spiral is monotone non-increasing.
+        for w in blackbox.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiny_table2_has_expected_directions() {
+        let report = table2(0.15, 42);
+        let tput = report.row("Chunk Throughput").unwrap().change.pct_change;
+        assert!(tput < -25.0, "chunk throughput change {tput}");
+        let vmaf = report.row("VMAF").unwrap().change.pct_change;
+        assert!(vmaf.abs() < 3.0, "vmaf change {vmaf}");
+    }
+}

@@ -1,0 +1,499 @@
+//! The §6 lab experiments on the packet simulator.
+//!
+//! All experiments share the paper's lab setup: a 40 Mbps bottleneck, 5 ms
+//! RTT, drop-tail queue of 4x the bandwidth-delay product, and a video
+//! session with a 3.3 Mbps maximum bitrate. Each experiment runs once with
+//! the production (control) algorithm and once with Sammy and reports how
+//! the neighbor's QoE changes (Figs 7 and 8), or sweeps pacing burst sizes
+//! under cross traffic (Fig 4), or records the raw throughput/buffer trace
+//! (Fig 1).
+
+use abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr, SharedHistory};
+use netsim::{
+    Dumbbell, DumbbellConfig, FlowId, Rate, SimDuration, SimTime, Simulator,
+};
+use sammy_core::{Sammy, SammyConfig};
+use std::rc::Rc;
+use traffic::{BulkReceiver, BulkSender, HttpClient};
+use transport::{CcAlgorithm, SenderEndpoint, TcpConfig, UdpCbrSource, UdpSink};
+use video::{
+    Abr, Ladder, Player, PlayerConfig, Title, TitleConfig, VideoClientEndpoint, VmafModel,
+};
+
+/// Which algorithm the video session under test runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabArm {
+    /// Netflix-production stand-in: MPC, no pacing.
+    Control,
+    /// Sammy with production parameters (3.2 / 2.8).
+    Sammy,
+}
+
+impl LabArm {
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LabArm::Control => "control",
+            LabArm::Sammy => "sammy",
+        }
+    }
+}
+
+/// The shared lab scenario configuration.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Dumbbell parameters (defaults to the paper's 40 Mbps / 5 ms / 4x).
+    pub dumbbell: DumbbellConfig,
+    /// Length of the simulated run.
+    pub run_for: SimDuration,
+    /// Title length (longer than the run keeps the session active
+    /// throughout).
+    pub title_secs: u64,
+    /// Burst size for the video sender's pacer.
+    pub burst_packets: u32,
+    /// Client buffer capacity. The single-flow trace uses the production
+    /// 240 s (on-off shows once it fills, as in Fig 7); the neighbor
+    /// experiments use a deep buffer so the video stays in its
+    /// buffer-building phase for the whole measurement window, matching
+    /// the regime of the paper's Fig 8 plots.
+    pub max_buffer: SimDuration,
+    /// Seed for title size wobble.
+    pub seed: u64,
+    /// Congestion-control substrate for the video sender (ablations swap
+    /// Reno for CUBIC or the LEDBAT scavenger).
+    pub cc: CcAlgorithm,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            dumbbell: DumbbellConfig { pairs: 2, ..Default::default() },
+            run_for: SimDuration::from_secs(120),
+            title_secs: 20 * 60,
+            burst_packets: 4,
+            max_buffer: SimDuration::from_secs(240),
+            seed: 1,
+            cc: CcAlgorithm::Reno,
+        }
+    }
+}
+
+impl LabConfig {
+    /// The configuration for the Fig 8 neighbor experiments: a deep client
+    /// buffer keeps the video session actively downloading throughout.
+    pub fn neighbors() -> Self {
+        LabConfig {
+            run_for: SimDuration::from_secs(60),
+            max_buffer: SimDuration::from_secs(3600),
+            ..Default::default()
+        }
+    }
+}
+
+/// The lab ladder: 3.3 Mbps top bitrate (§6).
+pub fn lab_title(secs: u64, seed: u64) -> Rc<Title> {
+    Rc::new(Title::generate(
+        Ladder::lab(&VmafModel::standard()),
+        &TitleConfig {
+            duration: SimDuration::from_secs(secs),
+            chunk_duration: SimDuration::from_secs(4),
+            size_cv: 0.12,
+                vmaf_sd: 0.0,
+            seed,
+        },
+    ))
+}
+
+/// Build the arm's ABR with a warmed history (lab devices have seen this
+/// network before; estimate near link rate with full confidence).
+fn lab_abr(arm: LabArm) -> Box<dyn Abr> {
+    let history: SharedHistory = shared_history();
+    {
+        let mut h = history.borrow_mut();
+        for _ in 0..30 {
+            h.update(Rate::from_mbps(38.0));
+            h.end_session();
+        }
+    }
+    match arm {
+        LabArm::Control => Box::new(ProductionAbr::new(
+            Mpc::default(),
+            history,
+            HistoryPolicy::AllSamples,
+        )),
+        LabArm::Sammy => Box::new(Sammy::new(Mpc::default(), history, SammyConfig::default())),
+    }
+}
+
+/// Install a video session on host pair `pair` of the dumbbell, returning
+/// the flow id. The client is on the right side, the server on the left.
+pub fn install_video(
+    sim: &mut Simulator,
+    db: &Dumbbell,
+    pair: usize,
+    arm: LabArm,
+    cfg: &LabConfig,
+    start: SimTime,
+    flow: FlowId,
+) {
+    let server_node = db.left[pair];
+    let client_node = db.right[pair];
+    let tcp = TcpConfig {
+        max_burst_packets: cfg.burst_packets,
+        cc: cfg.cc,
+        ..Default::default()
+    };
+    let server = SenderEndpoint::new(server_node, client_node, flow, tcp);
+    sim.set_endpoint(server_node, Box::new(server));
+
+    let title = lab_title(cfg.title_secs, cfg.seed);
+    let player = Player::new(
+        title,
+        lab_abr(arm),
+        PlayerConfig {
+            start_threshold: SimDuration::from_secs(8),
+            resume_threshold: SimDuration::from_secs(8),
+            max_buffer: cfg.max_buffer,
+        },
+        start,
+    );
+    let client = VideoClientEndpoint::new(client_node, server_node, flow, player);
+    client.install(sim, start);
+}
+
+/// Results of the single-flow experiment (Fig 7, and the Fig 1 trace).
+#[derive(Debug, Clone)]
+pub struct SingleFlowResult {
+    /// Client goodput per 100 ms bin: `(bin start s, Mbps)`.
+    pub throughput_series: Vec<(f64, f64)>,
+    /// Smoothed RTT samples at the sender: `(s, ms)`.
+    pub rtt_series: Vec<(f64, f64)>,
+    /// Mean chunk throughput after playback starts (Mbps).
+    pub chunk_throughput_mbps: f64,
+    /// Median per-packet RTT (ms).
+    pub median_rtt_ms: f64,
+    /// Retransmitted-byte fraction.
+    pub retx_fraction: f64,
+    /// Session play delay (s).
+    pub play_delay_s: f64,
+    /// Rebuffer count.
+    pub rebuffers: u64,
+    /// Peak bottleneck queue occupancy (bytes).
+    pub max_queue_bytes: u64,
+}
+
+/// Run a single video session alone on the dumbbell (Fig 7).
+pub fn single_flow(arm: LabArm, cfg: &LabConfig) -> SingleFlowResult {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(&mut sim, cfg.dumbbell);
+    let flow = FlowId(1);
+    install_video(&mut sim, &db, 0, arm, cfg, SimTime::ZERO, flow);
+    // Both arms saturate the link during the (unpaced) initial phase, as
+    // the paper's Fig 7 shows; the queue comparison targets steady state,
+    // so reset the high-water mark once startup is over.
+    sim.run_until(SimTime::from_secs(15));
+    sim.link_mut(db.forward).queue.reset_max_occupancy();
+    sim.run_until(SimTime::ZERO + cfg.run_for);
+
+    let max_queue_bytes = sim.link(db.forward).queue.max_occupied_bytes;
+    // Sender-side stats.
+    let server: &mut SenderEndpoint = sim
+        .endpoint_mut(db.left[0])
+        .expect("server endpoint");
+    let stats = server.sender().stats().clone();
+    let rtt_digest = server.sender().rtt_digest().clone();
+    let completed = server.completed.clone();
+    let rtt_series: Vec<(f64, f64)> = server
+        .rtt_trace
+        .points()
+        .iter()
+        .map(|&(t, ms)| (t.as_secs_f64(), ms))
+        .collect();
+
+    let client: &mut VideoClientEndpoint = sim
+        .endpoint_mut(db.right[0])
+        .expect("client endpoint");
+    let qoe = client.player().qoe();
+    // Goodput trace from the client receiver's 100 ms bins — the Fig 1 /
+    // Fig 7 "chunk throughput over time" series.
+    let tput_series: Vec<(f64, f64)> = client
+        .throughput_series()
+        .into_iter()
+        .map(|(t, bps)| (t, bps / 1e6))
+        .collect();
+
+    // Chunk throughput: average over completed transfers that started after
+    // playback (skip the startup phase, as the paper's metric does not).
+    let play_delay = qoe.play_delay.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
+    let post_start: Vec<f64> = completed
+        .iter()
+        .filter(|t| t.started_at.as_secs_f64() > play_delay)
+        .map(|t| t.throughput().mbps())
+        .collect();
+    let chunk_tput = if post_start.is_empty() {
+        f64::NAN
+    } else {
+        post_start.iter().sum::<f64>() / post_start.len() as f64
+    };
+
+    SingleFlowResult {
+        throughput_series: tput_series,
+        rtt_series,
+        chunk_throughput_mbps: chunk_tput,
+        median_rtt_ms: rtt_digest.median(),
+        retx_fraction: stats.retransmit_fraction(),
+        play_delay_s: play_delay,
+        rebuffers: qoe.rebuffer_count,
+        max_queue_bytes,
+    }
+}
+
+/// Fig 8a: one-way delay of a neighboring 5 Mbps paced UDP flow.
+pub fn neighbor_udp(arm: LabArm, cfg: &LabConfig) -> f64 {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(&mut sim, cfg.dumbbell);
+    install_video(&mut sim, &db, 0, arm, cfg, SimTime::ZERO, FlowId(1));
+
+    let udp_flow = FlowId(50);
+    UdpCbrSource::new(
+        db.left[1],
+        db.right[1],
+        udp_flow,
+        Rate::from_mbps(5.0),
+        1200,
+        SimTime::from_secs(10),
+        SimTime::ZERO + cfg.run_for,
+    )
+    .install(&mut sim);
+    sim.set_endpoint(db.right[1], Box::new(UdpSink::new(udp_flow)));
+
+    sim.run_until(SimTime::ZERO + cfg.run_for);
+    let sink: &mut UdpSink = sim.endpoint_mut(db.right[1]).expect("udp sink");
+    // Mean one-way delay after the video's startup transient.
+    sink.owd_ms
+        .mean_between(SimTime::from_secs(15), SimTime::ZERO + cfg.run_for)
+}
+
+/// Fig 8b: throughput of a neighboring bulk TCP flow starting 10 s after
+/// video playback. Returns mean Mbps over its active period.
+pub fn neighbor_tcp(arm: LabArm, cfg: &LabConfig) -> f64 {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(&mut sim, cfg.dumbbell);
+    install_video(&mut sim, &db, 0, arm, cfg, SimTime::ZERO, FlowId(1));
+
+    let flow = FlowId(60);
+    BulkSender::new(
+        db.left[1],
+        db.right[1],
+        flow,
+        TcpConfig::default(),
+        2_000_000_000, // effectively unbounded for the run length
+        SimTime::from_secs(10),
+    )
+    .install(&mut sim);
+    sim.set_endpoint(db.right[1], Box::new(BulkReceiver::new(db.right[1], db.left[1], flow)));
+
+    sim.run_until(SimTime::ZERO + cfg.run_for);
+    let rx: &mut BulkReceiver = sim.endpoint_mut(db.right[1]).expect("bulk receiver");
+    let start_bin = 12; // skip the bulk flow's own slow start
+    let end_bin = cfg.run_for.as_secs_f64() as usize;
+    rx.throughput.mean_bps(start_bin, end_bin) / 1e6
+}
+
+/// Fig 8c: mean response time (ms) of repeated 3 MB HTTP requests.
+pub fn neighbor_http(arm: LabArm, cfg: &LabConfig) -> f64 {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(&mut sim, cfg.dumbbell);
+    install_video(&mut sim, &db, 0, arm, cfg, SimTime::ZERO, FlowId(1));
+
+    let flow = FlowId(70);
+    let server = SenderEndpoint::new(db.left[1], db.right[1], flow, TcpConfig::default());
+    sim.set_endpoint(db.left[1], Box::new(server));
+    HttpClient::new(
+        db.right[1],
+        db.left[1],
+        flow,
+        3_000_000,
+        SimTime::from_secs(10),
+        SimTime::ZERO + cfg.run_for,
+    )
+    .install(&mut sim);
+
+    sim.run_until(SimTime::ZERO + cfg.run_for + SimDuration::from_secs(5));
+    let client: &mut HttpClient = sim.endpoint_mut(db.right[1]).expect("http client");
+    client.mean_response_ms()
+}
+
+/// Fig 8d: play delay (ms) of a neighboring video session (production ABR)
+/// starting a few seconds into the Sammy/control session. Averaged over
+/// `trials` seeds, as the paper averages four trials.
+pub fn neighbor_video(arm: LabArm, cfg: &LabConfig, trials: u64) -> f64 {
+    let mut delays = Vec::new();
+    for trial in 0..trials {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, cfg.dumbbell);
+        install_video(&mut sim, &db, 0, arm, cfg, SimTime::ZERO, FlowId(1));
+        // Neighbor session: control ABR, starts at t = 5 s.
+        let mut neighbor_cfg = cfg.clone();
+        neighbor_cfg.seed = cfg.seed + 1000 + trial;
+        install_video(
+            &mut sim,
+            &db,
+            1,
+            LabArm::Control,
+            &neighbor_cfg,
+            SimTime::from_secs(5),
+            FlowId(2),
+        );
+        sim.run_until(SimTime::from_secs(40));
+        let client: &mut VideoClientEndpoint =
+            sim.endpoint_mut(db.right[1]).expect("neighbor client");
+        if let Some(d) = client.player().qoe().play_delay {
+            delays.push(d.as_millis_f64());
+        }
+    }
+    if delays.is_empty() {
+        f64::NAN
+    } else {
+        delays.iter().sum::<f64>() / delays.len() as f64
+    }
+}
+
+/// Fig 4: retransmit fraction of a paced video flow vs pacer burst size,
+/// under congested cross traffic. Returns (burst, retx fraction); compare
+/// against `burst_sweep_unpaced` for the paper's "% change vs not pacing".
+pub fn burst_sweep_point(burst: u32, cfg: &LabConfig) -> f64 {
+    run_burst_experiment(Some(burst), cfg)
+}
+
+/// The unpaced control for the Fig 4 sweep.
+pub fn burst_sweep_unpaced(cfg: &LabConfig) -> f64 {
+    run_burst_experiment(None, cfg)
+}
+
+fn run_burst_experiment(burst: Option<u32>, cfg: &LabConfig) -> f64 {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(
+        &mut sim,
+        DumbbellConfig { pairs: 3, ..cfg.dumbbell },
+    );
+    // Congested bottleneck: two bulk TCP flows keep the queue full.
+    for (i, pair) in [1usize, 2].iter().enumerate() {
+        let flow = FlowId(80 + i as u64);
+        BulkSender::new(
+            db.left[*pair],
+            db.right[*pair],
+            flow,
+            TcpConfig::default(),
+            2_000_000_000,
+            SimTime::ZERO,
+        )
+        .install(&mut sim);
+        sim.set_endpoint(
+            db.right[*pair],
+            Box::new(BulkReceiver::new(db.right[*pair], db.left[*pair], flow)),
+        );
+    }
+
+    // Video flow paced at 2x the max bitrate (§5.6), with the given burst.
+    let flow = FlowId(1);
+    let server_node = db.left[0];
+    let client_node = db.right[0];
+    let tcp = TcpConfig {
+        max_burst_packets: burst.unwrap_or(40),
+        ..Default::default()
+    };
+    let server = SenderEndpoint::new(server_node, client_node, flow, tcp);
+    sim.set_endpoint(server_node, Box::new(server));
+    let title = lab_title(cfg.title_secs, cfg.seed);
+    let pace = burst.map(|_| title.ladder.top_bitrate() * 2.0);
+    let abr = FixedPaceAbr { pace };
+    let player = Player::new(
+        title,
+        Box::new(abr),
+        PlayerConfig {
+            start_threshold: SimDuration::from_secs(8),
+            resume_threshold: SimDuration::from_secs(8),
+            max_buffer: SimDuration::from_secs(240),
+        },
+        SimTime::ZERO,
+    );
+    VideoClientEndpoint::new(client_node, server_node, flow, player).install(&mut sim, SimTime::ZERO);
+
+    sim.run_until(SimTime::ZERO + cfg.run_for);
+    let server: &mut SenderEndpoint = sim.endpoint_mut(server_node).expect("server");
+    server.sender().stats().retransmit_fraction()
+}
+
+/// A top-rung ABR with a fixed pace rate (the §5.6 experiment holds the
+/// bitrate and pace constant and varies only the burst size).
+struct FixedPaceAbr {
+    pace: Option<Rate>,
+}
+
+impl Abr for FixedPaceAbr {
+    fn select(&mut self, ctx: &video::AbrContext<'_>) -> video::AbrDecision {
+        video::AbrDecision { rung: ctx.ladder.top(), pace: self.pace }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-pace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> LabConfig {
+        LabConfig { run_for: SimDuration::from_secs(60), ..Default::default() }
+    }
+
+    #[test]
+    fn fig7_sammy_smooths_and_drains_queue() {
+        let cfg = quick_cfg();
+        let control = single_flow(LabArm::Control, &cfg);
+        let sammy = single_flow(LabArm::Sammy, &cfg);
+
+        // Control saturates the link during on periods; Sammy paces near
+        // 3x 3.3 = ~10 Mbps.
+        assert!(
+            control.chunk_throughput_mbps > 2.0 * sammy.chunk_throughput_mbps,
+            "control {} vs sammy {}",
+            control.chunk_throughput_mbps,
+            sammy.chunk_throughput_mbps
+        );
+        assert!(sammy.chunk_throughput_mbps > 6.0 && sammy.chunk_throughput_mbps < 13.0);
+        // Sammy's RTT returns to the propagation floor; control keeps a
+        // standing queue during on periods.
+        assert!(sammy.median_rtt_ms < control.median_rtt_ms);
+        assert!(sammy.median_rtt_ms < 7.0, "sammy rtt {}", sammy.median_rtt_ms);
+        // Same QoE: both start quickly and never rebuffer.
+        assert_eq!(control.rebuffers, 0);
+        assert_eq!(sammy.rebuffers, 0);
+        assert!(control.play_delay_s < 5.0 && sammy.play_delay_s < 5.0);
+        // Queue: Sammy never fills the 100 kB bottleneck queue.
+        assert!(sammy.max_queue_bytes < control.max_queue_bytes);
+    }
+
+    #[test]
+    fn fig8a_udp_delay_improves() {
+        let cfg = LabConfig::neighbors();
+        let control = neighbor_udp(LabArm::Control, &cfg);
+        let sammy = neighbor_udp(LabArm::Sammy, &cfg);
+        assert!(
+            sammy < control * 0.8,
+            "udp OWD should improve markedly: control {control} vs sammy {sammy}"
+        );
+    }
+
+    #[test]
+    fn fig8b_tcp_throughput_improves() {
+        let cfg = LabConfig::neighbors();
+        let control = neighbor_tcp(LabArm::Control, &cfg);
+        let sammy = neighbor_tcp(LabArm::Sammy, &cfg);
+        // Control: fair share ~20 Mbps. Sammy: link minus the ~10 Mbps pace.
+        assert!(control > 12.0 && control < 28.0, "control {control}");
+        assert!(sammy > control * 1.1, "sammy {sammy} vs control {control}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # sammy-bench — experiment harnesses for every table and figure
+//!
+//! Two families of experiments reproduce the paper's evaluation:
+//!
+//! - [`lab`]: packet-level lab experiments on the 40 Mbps / 5 ms / 4x BDP
+//!   dumbbell — the single-flow trace (Figs 1 and 7), the burst-size sweep
+//!   (Fig 4), and the neighboring UDP / TCP / HTTP / video experiments
+//!   (Fig 8).
+//! - [`figures`]: fluid-simulation production experiments — the A/B tables
+//!   (Tables 2 and 3), the throughput-bucket breakdown (Fig 3), the
+//!   parameter-sweep tradeoff (Fig 5), the cold-start series (Fig 6), the
+//!   §5.5 naive baseline, the §2.3.1 downward spiral, and the Fig 2
+//!   analysis curves.
+//!
+//! [`ablation`] adds the DESIGN.md design-choice ablations: smoothing
+//! mechanisms (Table 1 rows as burst profiles), Reno-vs-CUBIC substrate
+//! sensitivity, and the scavenger-vs-Sammy contrast of §2.2.
+//!
+//! The `figures` binary (`cargo run -p sammy-bench --bin figures --release`)
+//! regenerates all of them as aligned text tables and CSV files.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod lab;

@@ -1,0 +1,31 @@
+//! # fluidsim — chunk-level fluid simulation for A/B-scale experiments
+//!
+//! The paper's production results (Tables 2–3, Figs 3, 5, 6) are medians
+//! over many thousands of user sessions. Packet-level simulation of that
+//! fleet is unnecessary: every reported metric is a function of per-chunk
+//! interactions between the pace rate, the user's available bandwidth, and
+//! the bottleneck queue. This crate models those interactions in closed
+//! form per chunk:
+//!
+//! - [`NetworkProfile`]: per-user capacity, base RTT, bufferbloat depth,
+//!   ambient and self-inflicted loss.
+//! - [`download_chunk`]: effective-rate + slow-start-ramp download-time
+//!   model with congestion side effects.
+//! - [`run_session`]: drives a [`video::Player`] end-to-end and reports
+//!   [`SessionOutcome`] — QoE plus the congestion triple (chunk
+//!   throughput, retransmit fraction, median RTT) of §5.1.
+//! - [`StartPolicy`]: the adaptive startup-buffer policy through which
+//!   accurate initial throughput estimates improve both initial quality
+//!   and play delay (§5.4).
+//!
+//! Lab experiments (Figs 1, 4, 7, 8) use the packet-level `netsim` +
+//! `transport` stack instead; this crate is calibrated against it (see
+//! `tests/fluid_vs_packet.rs` at the workspace root).
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod session;
+
+pub use network::{capacity_jitter, chunk_capacity_multiplier, download_chunk, ChunkOutcome, FluidConfig, NetworkProfile};
+pub use session::{run_session, SessionOutcome, SessionParams, StartPolicy};

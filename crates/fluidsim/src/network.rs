@@ -1,0 +1,268 @@
+//! The analytic bottleneck-network model.
+//!
+//! The fluid simulator replaces the packet simulator with a per-chunk
+//! closed-form model for A/B-scale runs (thousands of sessions). Each
+//! simulated user has a [`NetworkProfile`]; each chunk download computes:
+//!
+//! - an **effective rate** `min(pace rate, available capacity)` with
+//!   per-chunk capacity jitter,
+//! - a **slow-start ramp** penalty when the TCP connection restarted after
+//!   an idle (off) period — the reason measured chunk throughput sits below
+//!   link capacity even without pacing, and the source of the playing-phase
+//!   bias that §4.1's initial-only history sidesteps,
+//! - **congestion effects**: when the offered rate reaches available
+//!   capacity the flow stands up a queue (RTT inflation = the profile's
+//!   bufferbloat) and suffers self-inflicted loss; pacing below capacity
+//!   leaves only ambient cross-traffic loss and jitter (§5.1's mechanism).
+
+use netsim::{Rate, SimDuration};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-user network characteristics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Bottleneck capacity available to the video session.
+    pub capacity: Rate,
+    /// Base (uncongested) round-trip time.
+    pub base_rtt: SimDuration,
+    /// Additional queueing delay when the session self-congests (standing
+    /// queue at the access-link bottleneck).
+    pub bufferbloat: SimDuration,
+    /// Retransmit fraction applied to all bytes (ambient cross-traffic
+    /// congestion, wifi loss, etc.).
+    pub ambient_loss: f64,
+    /// Additional retransmit fraction on bytes sent while self-congesting.
+    pub self_loss: f64,
+    /// Coefficient of variation of per-chunk capacity jitter.
+    pub jitter_cv: f64,
+    /// Probability that a chunk download hits a deep capacity fade
+    /// (cross-traffic burst, wifi interference).
+    pub fade_prob: f64,
+    /// Depth range of a fade: the capacity multiplier is drawn uniformly
+    /// from `[fade_depth, fade_depth * 4]` (capped at 1.0).
+    pub fade_depth: f64,
+}
+
+impl NetworkProfile {
+    /// A sanity-check profile: a fast, clean cable connection.
+    pub fn fast_cable() -> Self {
+        NetworkProfile {
+            capacity: Rate::from_mbps(100.0),
+            base_rtt: SimDuration::from_millis(20),
+            bufferbloat: SimDuration::from_millis(30),
+            ambient_loss: 0.002,
+            self_loss: 0.008,
+            jitter_cv: 0.1,
+            fade_prob: 0.0,
+            fade_depth: 0.1,
+        }
+    }
+}
+
+/// Tunables of the download-time model.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidConfig {
+    /// Initial congestion window in bytes (10 segments).
+    pub initial_window_bytes: f64,
+    /// Idle gap after which the connection slow-start restarts.
+    pub idle_restart_after: SimDuration,
+}
+
+impl Default for FluidConfig {
+    fn default() -> Self {
+        FluidConfig {
+            initial_window_bytes: 10.0 * 1460.0,
+            idle_restart_after: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// The outcome of one chunk download under the model.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkOutcome {
+    /// Wall-clock download time (request to last byte).
+    pub download_time: SimDuration,
+    /// True if the offered rate reached available capacity (self-congested).
+    pub congested: bool,
+    /// Effective RTT experienced by packets of this chunk.
+    pub rtt: SimDuration,
+    /// Retransmit fraction applied to this chunk's bytes.
+    pub loss: f64,
+}
+
+/// Compute one chunk download.
+///
+/// `pace` is the application-informed pace rate (`None` = unpaced);
+/// `cold` indicates the connection idled long enough to slow-start
+/// restart. `jitter` is the per-chunk capacity multiplier (draw it with
+/// [`capacity_jitter`]).
+pub fn download_chunk(
+    profile: &NetworkProfile,
+    cfg: &FluidConfig,
+    bytes: u64,
+    pace: Option<Rate>,
+    cold: bool,
+    jitter: f64,
+) -> ChunkOutcome {
+    let avail = (profile.capacity.bps() * jitter).max(1e3);
+    let offered = pace.map_or(f64::INFINITY, |p| p.bps());
+    let target = offered.min(avail);
+    // Self-congestion: the sender pushes at (or beyond) what the link has.
+    let congested = offered >= avail * 0.98;
+    let rtt = if congested {
+        profile.base_rtt + profile.bufferbloat
+    } else {
+        profile.base_rtt
+    };
+    let loss = profile.ambient_loss + if congested { profile.self_loss } else { 0.0 };
+
+    let rtt_s = rtt.as_secs_f64().max(1e-4);
+    // Request round trip to first byte.
+    let mut t = rtt_s;
+    let mut remaining = bytes as f64;
+    if cold {
+        // Slow start: the window doubles per RTT until the delivery rate
+        // reaches the target; each RTT delivers one window.
+        let mut w = cfg.initial_window_bytes;
+        let target_window = target * rtt_s / 8.0;
+        while w < target_window && remaining > 0.0 {
+            let sent = w.min(remaining);
+            remaining -= sent;
+            t += rtt_s;
+            w *= 2.0;
+        }
+    }
+    t += remaining * 8.0 / target;
+    ChunkOutcome {
+        download_time: SimDuration::from_secs_f64(t),
+        congested,
+        rtt,
+        loss: loss.clamp(0.0, 1.0),
+    }
+}
+
+/// Draw a per-chunk capacity multiplier for `profile`: log-normal jitter
+/// (mean ≈ 1) plus an occasional deep fade.
+pub fn chunk_capacity_multiplier(rng: &mut StdRng, profile: &NetworkProfile) -> f64 {
+    let mut j = capacity_jitter(rng, profile.jitter_cv);
+    if profile.fade_prob > 0.0 && rng.gen::<f64>() < profile.fade_prob {
+        let depth = rng.gen_range(profile.fade_depth..(profile.fade_depth * 4.0).min(1.0));
+        j *= depth;
+    }
+    j
+}
+
+/// Draw a per-chunk capacity jitter multiplier (log-normal, mean ≈ 1,
+/// clamped to [0.3, 3.0]).
+pub fn capacity_jitter(rng: &mut StdRng, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let sigma = (1.0 + cv * cv).ln().sqrt();
+    let mu = -sigma * sigma / 2.0;
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp().clamp(0.3, 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> NetworkProfile {
+        NetworkProfile::fast_cable()
+    }
+
+    #[test]
+    fn warm_unpaced_runs_at_capacity() {
+        let out = download_chunk(&profile(), &FluidConfig::default(), 5_000_000, None, false, 1.0);
+        // 5 MB at 100 Mbps = 0.4 s plus one congested RTT (20 + 30 ms).
+        let t = out.download_time.as_secs_f64();
+        assert!((t - 0.45).abs() < 0.01, "t={t}");
+        assert!(out.congested);
+        assert_eq!(out.rtt, SimDuration::from_millis(50));
+        assert!((out.loss - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paced_below_capacity_is_clean() {
+        let out = download_chunk(
+            &profile(),
+            &FluidConfig::default(),
+            5_000_000,
+            Some(Rate::from_mbps(10.0)),
+            false,
+            1.0,
+        );
+        assert!(!out.congested);
+        assert_eq!(out.rtt, SimDuration::from_millis(20));
+        assert!((out.loss - 0.002).abs() < 1e-9);
+        // 5 MB at 10 Mbps = 4 s.
+        assert!((out.download_time.as_secs_f64() - 4.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn pace_above_capacity_still_congests() {
+        let out = download_chunk(
+            &profile(),
+            &FluidConfig::default(),
+            1_000_000,
+            Some(Rate::from_mbps(200.0)),
+            false,
+            1.0,
+        );
+        assert!(out.congested);
+    }
+
+    #[test]
+    fn cold_start_slower_than_warm() {
+        let cfg = FluidConfig::default();
+        let warm = download_chunk(&profile(), &cfg, 1_000_000, None, false, 1.0);
+        let cold = download_chunk(&profile(), &cfg, 1_000_000, None, true, 1.0);
+        assert!(cold.download_time > warm.download_time);
+        // The ramp penalty matters more for small chunks.
+        let small_warm = download_chunk(&profile(), &cfg, 100_000, None, false, 1.0);
+        let small_cold = download_chunk(&profile(), &cfg, 100_000, None, true, 1.0);
+        let small_ratio = small_cold.download_time.as_secs_f64()
+            / small_warm.download_time.as_secs_f64();
+        let big_ratio =
+            cold.download_time.as_secs_f64() / warm.download_time.as_secs_f64();
+        assert!(small_ratio > big_ratio);
+    }
+
+    #[test]
+    fn cold_start_penalty_smaller_when_paced_low() {
+        // Ramping to a low pace takes fewer RTTs than ramping to capacity.
+        let cfg = FluidConfig::default();
+        let p = profile();
+        let paced = download_chunk(&p, &cfg, 1_000_000, Some(Rate::from_mbps(10.0)), true, 1.0);
+        let unpaced = download_chunk(&p, &cfg, 1_000_000, None, true, 1.0);
+        let paced_warm =
+            download_chunk(&p, &cfg, 1_000_000, Some(Rate::from_mbps(10.0)), false, 1.0);
+        let unpaced_warm = download_chunk(&p, &cfg, 1_000_000, None, false, 1.0);
+        let paced_penalty =
+            paced.download_time.as_secs_f64() - paced_warm.download_time.as_secs_f64();
+        let unpaced_penalty =
+            unpaced.download_time.as_secs_f64() - unpaced_warm.download_time.as_secs_f64();
+        assert!(paced_penalty < unpaced_penalty);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(capacity_jitter(&mut a, 0.2), capacity_jitter(&mut b, 0.2));
+        }
+    }
+
+    #[test]
+    fn jitter_mean_near_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| capacity_jitter(&mut rng, 0.2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+}

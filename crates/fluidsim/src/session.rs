@@ -1,0 +1,391 @@
+//! The fluid session runner.
+//!
+//! Drives a [`video::Player`] through the analytic network model and
+//! collects the per-session metrics the paper's production experiments
+//! report: QoE ([`video::QoeSummary`]) plus the congestion triple — average
+//! chunk throughput (download-time weighted), retransmit fraction, and
+//! median RTT from a per-session t-digest (§5.1).
+
+use crate::network::{chunk_capacity_multiplier, download_chunk, FluidConfig, NetworkProfile};
+use netsim::{Rate, SimDuration, SimTime};
+use rand::prelude::*;
+use std::rc::Rc;
+use tdigest::TDigest;
+use video::{Abr, Player, PlayerConfig, PlayerState, QoeSummary, Title};
+
+/// How the startup buffer threshold is chosen per session.
+///
+/// Production initial-phase logic uses its throughput estimate not just for
+/// the rung but for how much buffer it must bank before starting playback:
+/// with a confident, high estimate (downloads much faster than playback) a
+/// small buffer suffices; with an estimate close to the chosen bitrate a
+/// larger safety buffer is needed. An accurate estimate therefore improves
+/// both initial quality *and* play delay — the §5.4 observation.
+#[derive(Debug, Clone, Copy)]
+pub enum StartPolicy {
+    /// A fixed threshold (used by lab experiments).
+    Fixed(SimDuration),
+    /// Threshold scaled by the predicted fill ratio `φ = estimate / initial
+    /// bitrate`: `threshold = base · clamp(scale/φ, lo, hi)`.
+    Adaptive {
+        /// Base threshold at `φ = scale`.
+        base: SimDuration,
+        /// φ value at which the threshold equals `base`.
+        scale: f64,
+        /// Lower clamp on the multiplier.
+        lo: f64,
+        /// Upper clamp on the multiplier.
+        hi: f64,
+    },
+}
+
+impl Default for StartPolicy {
+    fn default() -> Self {
+        StartPolicy::Adaptive {
+            base: SimDuration::from_secs(8),
+            scale: 4.0,
+            lo: 0.8,
+            hi: 2.0,
+        }
+    }
+}
+
+impl StartPolicy {
+    /// Resolve the threshold given the historical estimate and the bitrate
+    /// the initial phase will pick.
+    pub fn threshold(&self, estimate: Option<Rate>, initial_bitrate: Rate) -> SimDuration {
+        match *self {
+            StartPolicy::Fixed(d) => d,
+            StartPolicy::Adaptive { base, scale, lo, hi } => {
+                let phi = match estimate {
+                    Some(e) if initial_bitrate.bps() > 0.0 => e.bps() / initial_bitrate.bps(),
+                    // No estimate: assume the worst and bank the most.
+                    _ => lo.max(1e-6),
+                };
+                base * (scale / phi).clamp(lo, hi)
+            }
+        }
+    }
+}
+
+/// Everything the A/B harness needs from one simulated session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The player's QoE summary.
+    pub qoe: QoeSummary,
+    /// Download-time-weighted average chunk throughput (§5.1, Eq. 9).
+    pub avg_chunk_throughput: Option<Rate>,
+    /// Retransmitted bytes / total bytes.
+    pub retx_fraction: f64,
+    /// Median per-packet RTT (ms), from the session's merged t-digest.
+    pub median_rtt_ms: f64,
+    /// Chunks downloaded.
+    pub chunks: usize,
+    /// Fraction of bytes sent while self-congesting the bottleneck.
+    pub congested_byte_fraction: f64,
+    /// Per-chunk throughput samples in Mbps (for p95 bucketing, Fig 3).
+    pub chunk_throughputs_mbps: Vec<f64>,
+}
+
+/// Parameters of one session run.
+pub struct SessionParams<'a> {
+    /// The user's network.
+    pub profile: &'a NetworkProfile,
+    /// The title to stream.
+    pub title: Rc<Title>,
+    /// The ABR algorithm (consumed; algorithms carry per-session state).
+    pub abr: Box<dyn Abr>,
+    /// Startup-threshold policy.
+    pub start: StartPolicy,
+    /// Historical estimate at session start (for the adaptive threshold);
+    /// pass the device store's estimate.
+    pub history_estimate: Option<Rate>,
+    /// Initial-phase rung the ABR will pick (for the adaptive threshold).
+    pub predicted_initial_rung: usize,
+    /// Maximum wall-clock session time (sessions that stall forever are
+    /// abandoned, like real users).
+    pub max_wall_clock: SimDuration,
+    /// RNG seed for capacity jitter.
+    pub seed: u64,
+    /// Fluid model tunables.
+    pub fluid: FluidConfig,
+    /// Player buffer capacity.
+    pub max_buffer: SimDuration,
+    /// Fixed session-setup latency before the first chunk request
+    /// (manifest fetch, DRM license, player init). Real play delays are
+    /// dominated by this constant, which is why even large download-rate
+    /// changes move play delay by only a few percent (§5.5).
+    pub startup_latency: SimDuration,
+}
+
+/// Run one session to completion (or abandonment) and report its metrics.
+pub fn run_session(params: SessionParams<'_>) -> SessionOutcome {
+    let SessionParams {
+        profile,
+        title,
+        abr,
+        start,
+        history_estimate,
+        predicted_initial_rung,
+        max_wall_clock,
+        seed,
+        fluid,
+        max_buffer,
+        startup_latency,
+    } = params;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let initial_bitrate = title.ladder.rung(predicted_initial_rung).bitrate;
+    let threshold = start.threshold(history_estimate, initial_bitrate);
+    let cfg = PlayerConfig {
+        start_threshold: threshold.min(max_buffer),
+        resume_threshold: SimDuration::from_secs(4).min(max_buffer),
+        max_buffer,
+    };
+    let mut player = Player::new(title, abr, cfg, SimTime::ZERO);
+
+    // The player was created at t=0 (the user's click); the first request
+    // can only go out after the fixed setup latency.
+    let mut now = SimTime::ZERO + startup_latency;
+    let mut last_download_end: Option<SimTime> = None;
+    let mut rtt_digest = TDigest::new(100.0);
+    let mut total_bytes = 0u64;
+    let mut retx_bytes = 0.0f64;
+    let mut congested_bytes = 0u64;
+    let mut chunk_tputs = Vec::new();
+    let deadline = SimTime::ZERO + max_wall_clock;
+
+    loop {
+        if player.state() == PlayerState::Ended {
+            break;
+        }
+        if now >= deadline {
+            player.abandon(now);
+            break;
+        }
+        if let Some(req) = player.poll_request(now) {
+            let cold = match last_download_end {
+                None => true,
+                Some(t) => now.saturating_since(t) > fluid.idle_restart_after,
+            };
+            let jitter = chunk_capacity_multiplier(&mut rng, profile);
+            let out = download_chunk(profile, &fluid, req.bytes, req.pace, cold, jitter);
+            now = now + out.download_time;
+            last_download_end = Some(now);
+            player.on_chunk_complete(now, out.download_time);
+
+            // Telemetry: RTT samples weighted by download duration (a
+            // proxy for packets sent), retransmits, congestion exposure.
+            rtt_digest.add_weighted(
+                out.rtt.as_millis_f64(),
+                out.download_time.as_secs_f64().max(1e-6),
+            );
+            total_bytes += req.bytes;
+            retx_bytes += req.bytes as f64 * out.loss;
+            if out.congested {
+                congested_bytes += req.bytes;
+            }
+            chunk_tputs.push(req.bytes as f64 * 8.0 / out.download_time.as_secs_f64() / 1e6);
+        } else if let Some(d) = player.next_deadline(now) {
+            // Off period or rebuffering: jump to the player's next event.
+            now = d.max(now + SimDuration::from_millis(1)).min(deadline);
+            player.advance_to(now);
+        } else {
+            // Waiting with no deadline (e.g. rebuffering with a request
+            // outstanding cannot happen here; defensive step).
+            now = now + SimDuration::from_millis(100);
+            player.advance_to(now);
+        }
+    }
+
+    SessionOutcome {
+        qoe: player.qoe(),
+        avg_chunk_throughput: player.history().weighted_average(),
+        retx_fraction: if total_bytes > 0 {
+            retx_bytes / total_bytes as f64
+        } else {
+            0.0
+        },
+        median_rtt_ms: rtt_digest.median(),
+        chunks: player.history().len(),
+        congested_byte_fraction: if total_bytes > 0 {
+            congested_bytes as f64 / total_bytes as f64
+        } else {
+            0.0
+        },
+        chunk_throughputs_mbps: chunk_tputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr};
+    use video::{Ladder, TitleConfig, VmafModel};
+
+    fn title(top_mbps: f64) -> Rc<Title> {
+        let ladder = Ladder::from_bitrates(
+            &[235e3, 560e3, 1_050e3, 1_750e3, top_mbps * 1e6],
+            &VmafModel::standard(),
+        );
+        Rc::new(Title::generate(
+            ladder,
+            &TitleConfig {
+                duration: SimDuration::from_secs(600),
+                size_cv: 0.1,
+                seed: 7,
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn params<'a>(
+        profile: &'a NetworkProfile,
+        t: Rc<Title>,
+        abr: Box<dyn Abr>,
+    ) -> SessionParams<'a> {
+        SessionParams {
+            profile,
+            title: t,
+            abr,
+            start: StartPolicy::Fixed(SimDuration::from_secs(4)),
+            history_estimate: None,
+            predicted_initial_rung: 2,
+            max_wall_clock: SimDuration::from_secs(3600),
+            seed: 42,
+            fluid: FluidConfig::default(),
+            max_buffer: SimDuration::from_secs(240),
+            startup_latency: SimDuration::ZERO,
+        }
+    }
+
+    fn production(history_mbps: Option<f64>) -> Box<dyn Abr> {
+        let store = shared_history();
+        if let Some(m) = history_mbps {
+            store.borrow_mut().update(Rate::from_mbps(m));
+        }
+        Box::new(ProductionAbr::new(Mpc::default(), store, HistoryPolicy::AllSamples))
+    }
+
+    #[test]
+    fn fast_network_full_quality_no_rebuffers() {
+        let p = NetworkProfile::fast_cable();
+        let t = title(4.0);
+        let out = run_session(params(&p, t, production(Some(50.0))));
+        assert_eq!(out.qoe.rebuffer_count, 0);
+        assert_eq!(out.qoe.played, SimDuration::from_secs(600));
+        // MPC should converge to the top rung: mean bitrate near 4 Mbps.
+        assert!(out.qoe.mean_bitrate.unwrap().mbps() > 3.5);
+        assert!(out.chunks == 150);
+    }
+
+    #[test]
+    fn control_self_congests_sammy_does_not() {
+        let p = NetworkProfile::fast_cable();
+        let t = title(4.0);
+        let control = run_session(params(&p, t.clone(), production(Some(50.0))));
+        // Sammy-like pacing at 3x top bitrate = 12 Mbps << 100 Mbps capacity.
+        let store = shared_history();
+        store.borrow_mut().update(Rate::from_mbps(50.0));
+        let sammy = Box::new(sammy_core::Sammy::new(
+            Mpc::default(),
+            store,
+            sammy_core::SammyConfig::default(),
+        ));
+        let paced = run_session(params(&p, t, sammy));
+
+        // Both play everything at full quality.
+        assert_eq!(paced.qoe.rebuffer_count, 0);
+        assert!(
+            (paced.qoe.mean_vmaf.unwrap() - control.qoe.mean_vmaf.unwrap()).abs() < 0.5,
+            "pacing must not cost quality: {} vs {}",
+            paced.qoe.mean_vmaf.unwrap(),
+            control.qoe.mean_vmaf.unwrap()
+        );
+        // Chunk throughput drops substantially.
+        let c = control.avg_chunk_throughput.unwrap().mbps();
+        let s = paced.avg_chunk_throughput.unwrap().mbps();
+        assert!(s < 0.5 * c, "expected big smoothing: control {c} vs sammy {s}");
+        // Congestion metrics improve.
+        assert!(paced.retx_fraction < control.retx_fraction);
+        assert!(paced.median_rtt_ms < control.median_rtt_ms);
+        assert!(paced.congested_byte_fraction < 0.2);
+        assert!(control.congested_byte_fraction > 0.8);
+    }
+
+    #[test]
+    fn slow_network_rebuffers_or_downshifts() {
+        // Capacity barely above the lowest rung: quality must be low.
+        let p = NetworkProfile {
+            capacity: Rate::from_mbps(0.6),
+            ..NetworkProfile::fast_cable()
+        };
+        let t = title(4.0);
+        let out = run_session(params(&p, t, production(None)));
+        assert!(out.qoe.mean_bitrate.unwrap().mbps() < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = NetworkProfile::fast_cable();
+        let t = title(4.0);
+        let a = run_session(params(&p, t.clone(), production(Some(30.0))));
+        let b = run_session(params(&p, t, production(Some(30.0))));
+        assert_eq!(a.qoe.mean_vmaf, b.qoe.mean_vmaf);
+        assert_eq!(a.median_rtt_ms, b.median_rtt_ms);
+        assert_eq!(a.chunk_throughputs_mbps, b.chunk_throughputs_mbps);
+    }
+
+    #[test]
+    fn adaptive_start_policy_shrinks_with_confidence() {
+        let pol = StartPolicy::default();
+        let bitrate = Rate::from_mbps(4.0);
+        let low = pol.threshold(Some(Rate::from_mbps(5.0)), bitrate);
+        let high = pol.threshold(Some(Rate::from_mbps(80.0)), bitrate);
+        let none = pol.threshold(None, bitrate);
+        assert!(high < low, "confident estimate must start sooner");
+        assert!(none >= low, "no estimate must be most conservative");
+    }
+
+    #[test]
+    fn startup_latency_adds_to_play_delay() {
+        let p = NetworkProfile::fast_cable();
+        let t = title(4.0);
+        let mut base = params(&p, t.clone(), production(Some(50.0)));
+        base.seed = 77;
+        let without = run_session(base);
+        let mut with = params(&p, t, production(Some(50.0)));
+        with.seed = 77;
+        with.startup_latency = SimDuration::from_secs(2);
+        let with = run_session(with);
+        let d_without = without.qoe.play_delay.unwrap().as_secs_f64();
+        let d_with = with.qoe.play_delay.unwrap().as_secs_f64();
+        assert!(
+            (d_with - d_without - 2.0).abs() < 0.2,
+            "latency must shift play delay by ~2 s: {d_without} -> {d_with}"
+        );
+    }
+
+    #[test]
+    fn fixed_start_policy_ignores_estimate() {
+        let pol = StartPolicy::Fixed(SimDuration::from_secs(6));
+        let b = Rate::from_mbps(4.0);
+        assert_eq!(pol.threshold(None, b), SimDuration::from_secs(6));
+        assert_eq!(pol.threshold(Some(Rate::from_mbps(100.0)), b), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn abandoned_sessions_terminate() {
+        // Hopeless network: capacity below the lowest rung.
+        let p = NetworkProfile {
+            capacity: Rate::from_kbps(100.0),
+            ..NetworkProfile::fast_cable()
+        };
+        let t = title(4.0);
+        let mut prm = params(&p, t, production(None));
+        prm.max_wall_clock = SimDuration::from_secs(120);
+        let out = run_session(prm);
+        // The runner must terminate and report something sane.
+        assert!(out.qoe.played <= SimDuration::from_secs(120));
+    }
+}

@@ -1,0 +1,590 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the topology (nodes and links), an event queue ordered by
+//! `(time, insertion sequence)` for full determinism, and one optional
+//! [`Endpoint`] per node. Protocol logic (TCP, UDP probes, video players)
+//! lives in endpoints; the engine only moves packets and fires timers.
+//!
+//! Event flow for a packet: an endpoint emits it via [`NodeCtx::send`]; the
+//! engine looks up the next-hop link in the node's routing table and enqueues
+//! it. When the link is idle it serializes the head-of-line packet
+//! (`LinkTxDone` event), then delivers it to the far end after the
+//! propagation delay (`PacketArrive` event). Arriving packets at their
+//! destination are handed to that node's endpoint; at intermediate nodes they
+//! are forwarded onward.
+
+use crate::link::{Link, LinkConfig};
+use crate::packet::{FlowId, LinkId, NodeId, Packet};
+use crate::queue::EnqueueResult;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Protocol logic attached to a node.
+///
+/// Implementations receive arriving packets and expired timers, and react by
+/// emitting packets and arming timers through the [`NodeCtx`].
+pub trait Endpoint {
+    /// A packet addressed to this node arrived.
+    fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx);
+
+    /// A timer armed with [`NodeCtx::set_timer`] expired. `token` is the
+    /// value passed when arming.
+    fn on_timer(&mut self, now: SimTime, token: u64, ctx: &mut NodeCtx);
+
+    /// Downcast hook so experiments can inspect endpoint state after a run
+    /// via [`Simulator::endpoint_mut`]. Implementations return `self`.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The interface an [`Endpoint`] uses to act on the network.
+pub struct NodeCtx {
+    node: NodeId,
+    out: Vec<Packet>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl NodeCtx {
+    /// The node this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Emit a packet. The engine routes it from this node toward `pkt.dst`.
+    pub fn send(&mut self, pkt: Packet) {
+        self.out.push(pkt);
+    }
+
+    /// Arm a timer to fire at absolute time `at` with the given token.
+    /// Timers are not cancellable; endpoints must ignore stale tokens.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at, token));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// The link finished serializing its in-flight packet.
+    LinkTxDone(LinkId),
+    /// A packet reached the node at the far end of its last link.
+    PacketArrive(NodeId, Packet),
+    /// An endpoint timer expired.
+    Timer(NodeId, u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Node {
+    routes: HashMap<NodeId, LinkId>,
+    endpoint: Option<Box<dyn Endpoint>>,
+}
+
+/// Per-flow delivery statistics maintained by the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowStats {
+    /// Bytes delivered to the destination node (wire bytes, incl. headers).
+    pub delivered_bytes: u64,
+    /// Packets delivered to the destination node.
+    pub delivered_packets: u64,
+    /// Packets of this flow dropped at any queue.
+    pub dropped_packets: u64,
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// Packet currently being serialized on each busy link.
+    in_flight: HashMap<usize, Packet>,
+    flow_stats: HashMap<FlowId, FlowStats>,
+    processed_events: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Create an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            in_flight: HashMap::new(),
+            flow_stats: HashMap::new(),
+            processed_events: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed_events(&self) -> u64 {
+        self.processed_events
+    }
+
+    /// Add a node (initially a pure router with no endpoint).
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { routes: HashMap::new(), endpoint: None });
+        id
+    }
+
+    /// Attach protocol logic to a node.
+    ///
+    /// # Panics
+    /// Panics if the node already has an endpoint.
+    pub fn set_endpoint(&mut self, node: NodeId, ep: Box<dyn Endpoint>) {
+        let slot = &mut self.nodes[node.0].endpoint;
+        assert!(slot.is_none(), "node {node:?} already has an endpoint");
+        *slot = Some(ep);
+    }
+
+    /// Take a node's endpoint out of the simulator (e.g. to inspect its
+    /// state after a run). Timers and packets for the node are silently
+    /// dropped while the endpoint is absent.
+    pub fn take_endpoint(&mut self, node: NodeId) -> Option<Box<dyn Endpoint>> {
+        self.nodes[node.0].endpoint.take()
+    }
+
+    /// Borrow a node's endpoint downcast to its concrete type.
+    ///
+    /// Returns `None` if the node has no endpoint or it is of a different
+    /// type.
+    pub fn endpoint_mut<T: Endpoint + 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.nodes[node.0]
+            .endpoint
+            .as_mut()
+            .and_then(|ep| ep.as_any().downcast_mut::<T>())
+    }
+
+    /// Add a unidirectional link and return its id.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) -> LinkId {
+        assert!(src.0 < self.nodes.len() && dst.0 < self.nodes.len(), "unknown node");
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(src, dst, cfg));
+        id
+    }
+
+    /// Add a bidirectional connection as two symmetric links.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        (self.add_link(a, b, cfg), self.add_link(b, a, cfg))
+    }
+
+    /// Install a route: packets at `at` destined for `dst` take `via`.
+    ///
+    /// # Panics
+    /// Panics if `via` does not originate at `at`.
+    pub fn add_route(&mut self, at: NodeId, dst: NodeId, via: LinkId) {
+        assert_eq!(self.links[via.0].src, at, "route via a link not at this node");
+        self.nodes[at.0].routes.insert(dst, via);
+    }
+
+    /// Immutable access to a link (for reading counters and queue state).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Mutable access to a link (e.g. to reset measurement high-water
+    /// marks between experiment phases).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
+    /// Change a link's line rate mid-run (failure injection, diurnal
+    /// capacity models). The packet currently being serialized finishes at
+    /// the old rate; queued packets serialize at the new rate.
+    pub fn set_link_rate(&mut self, id: LinkId, rate: crate::units::Rate) {
+        self.links[id.0].rate = rate;
+    }
+
+    /// Number of links in the topology.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Delivery statistics for a flow (zeros if the flow never delivered).
+    pub fn flow_stats(&self, flow: FlowId) -> FlowStats {
+        self.flow_stats.get(&flow).copied().unwrap_or_default()
+    }
+
+    /// Inject a packet into the network from `from` at the current time, as
+    /// if an endpoint at that node had sent it.
+    pub fn inject(&mut self, from: NodeId, mut pkt: Packet) {
+        pkt.sent_at = self.now;
+        self.route_packet(from, pkt);
+    }
+
+    /// Arm a timer for a node's endpoint from outside the endpoint (used to
+    /// bootstrap protocols: e.g. fire token 0 at t=0 to start a flow).
+    pub fn start_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
+        self.push_event(at, EventKind::Timer(node, token));
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let ev = Event { at, seq: self.seq, kind };
+        self.seq += 1;
+        self.events.push(Reverse(ev));
+    }
+
+    /// Route a packet leaving `from`: pick the next hop and enqueue it.
+    fn route_packet(&mut self, from: NodeId, pkt: Packet) {
+        let Some(&via) = self.nodes[from.0].routes.get(&pkt.dst) else {
+            panic!("no route from {from:?} to {:?}", pkt.dst);
+        };
+        let link = &mut self.links[via.0];
+        match link.enqueue(pkt) {
+            EnqueueResult::Accepted => {
+                if !link.busy {
+                    self.kick_link(via);
+                }
+            }
+            EnqueueResult::Dropped => {
+                self.flow_stats.entry(pkt.flow).or_default().dropped_packets += 1;
+            }
+        }
+    }
+
+    /// Start serializing the next queued packet on an idle link.
+    fn kick_link(&mut self, id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[id.0];
+        if let Some((pkt, done)) = link.start_transmission(now) {
+            self.in_flight.insert(id.0, pkt);
+            self.push_event(done, EventKind::LinkTxDone(id));
+        }
+    }
+
+    /// Run one event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.processed_events += 1;
+        match ev.kind {
+            EventKind::LinkTxDone(id) => {
+                let pkt = self
+                    .in_flight
+                    .remove(&id.0)
+                    .expect("LinkTxDone with no packet in flight");
+                let (delay, dst) = {
+                    let link = &mut self.links[id.0];
+                    link.finish_transmission(&pkt);
+                    (link.delay, link.dst)
+                };
+                self.push_event(self.now + delay, EventKind::PacketArrive(dst, pkt));
+                self.kick_link(id);
+            }
+            EventKind::PacketArrive(node, pkt) => {
+                self.deliver(node, pkt);
+            }
+            EventKind::Timer(node, token) => {
+                self.dispatch_timer(node, token);
+            }
+        }
+        true
+    }
+
+    fn deliver(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.dst != node {
+            // Intermediate hop: keep forwarding.
+            self.route_packet(node, pkt);
+            return;
+        }
+        let st = self.flow_stats.entry(pkt.flow).or_default();
+        st.delivered_bytes += pkt.size;
+        st.delivered_packets += 1;
+        if self.nodes[node.0].endpoint.is_some() {
+            let mut ep = self.nodes[node.0].endpoint.take().expect("checked");
+            let mut ctx = NodeCtx { node, out: Vec::new(), timers: Vec::new() };
+            ep.on_packet(self.now, pkt, &mut ctx);
+            self.nodes[node.0].endpoint = Some(ep);
+            self.apply_ctx(node, ctx);
+        }
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, token: u64) {
+        if self.nodes[node.0].endpoint.is_some() {
+            let mut ep = self.nodes[node.0].endpoint.take().expect("checked");
+            let mut ctx = NodeCtx { node, out: Vec::new(), timers: Vec::new() };
+            ep.on_timer(self.now, token, &mut ctx);
+            self.nodes[node.0].endpoint = Some(ep);
+            self.apply_ctx(node, ctx);
+        }
+    }
+
+    fn apply_ctx(&mut self, node: NodeId, ctx: NodeCtx) {
+        for (at, token) in ctx.timers {
+            self.push_event(at.max(self.now), EventKind::Timer(node, token));
+        }
+        for mut pkt in ctx.out {
+            pkt.sent_at = self.now;
+            self.route_packet(node, pkt);
+        }
+    }
+
+    /// Process all events up to and including `deadline`, then set the clock
+    /// to `deadline`. Events after the deadline stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Payload;
+    use crate::time::SimDuration;
+    use crate::units::Rate;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records arrival times of packets and timer firings.
+    struct Recorder {
+        arrivals: Rc<RefCell<Vec<(SimTime, Packet)>>>,
+        timers: Rc<RefCell<Vec<(SimTime, u64)>>>,
+    }
+
+    impl Endpoint for Recorder {
+        fn on_packet(&mut self, now: SimTime, pkt: Packet, _ctx: &mut NodeCtx) {
+            self.arrivals.borrow_mut().push((now, pkt));
+        }
+        fn on_timer(&mut self, now: SimTime, token: u64, _ctx: &mut NodeCtx) {
+            self.timers.borrow_mut().push((now, token));
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn two_node_sim(rate_mbps: f64, delay: SimDuration) -> (Simulator, NodeId, NodeId, LinkId, LinkId) {
+        let mut sim = Simulator::new();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let cfg = LinkConfig {
+            rate: Rate::from_mbps(rate_mbps),
+            delay,
+            queue_bytes: 1_000_000,
+        };
+        let (ab, ba) = sim.add_duplex_link(a, b, cfg);
+        sim.add_route(a, b, ab);
+        sim.add_route(b, a, ba);
+        (sim, a, b, ab, ba)
+    }
+
+    #[test]
+    fn packet_delivery_timing() {
+        // 12 Mbps: a 1500 B packet serializes in 1 ms, plus 5 ms propagation.
+        let (mut sim, a, b, _, _) = two_node_sim(12.0, SimDuration::from_millis(5));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { arrivals: arrivals.clone(), timers }));
+
+        let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq: 0 }).with_size(1500);
+        sim.inject(a, pkt);
+        sim.run_to_completion();
+
+        let got = arrivals.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, SimTime::from_millis(6));
+        let st = sim.flow_stats(FlowId(1));
+        assert_eq!(st.delivered_packets, 1);
+        assert_eq!(st.delivered_bytes, 1500);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize_sequentially() {
+        let (mut sim, a, b, _, _) = two_node_sim(12.0, SimDuration::from_millis(5));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { arrivals: arrivals.clone(), timers }));
+
+        for seq in 0..3 {
+            let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq }).with_size(1500);
+            sim.inject(a, pkt);
+        }
+        sim.run_to_completion();
+
+        let got = arrivals.borrow();
+        assert_eq!(got.len(), 3);
+        // Arrivals at 6, 7, 8 ms: serialization is the spacing bottleneck.
+        assert_eq!(got[0].0, SimTime::from_millis(6));
+        assert_eq!(got[1].0, SimTime::from_millis(7));
+        assert_eq!(got[2].0, SimTime::from_millis(8));
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_counts() {
+        let mut sim = Simulator::new();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let cfg = LinkConfig {
+            rate: Rate::from_mbps(1.0),
+            delay: SimDuration::from_millis(1),
+            queue_bytes: 3000, // fits 2 x 1500
+        };
+        let ab = sim.add_link(a, b, cfg);
+        sim.add_route(a, b, ab);
+
+        for seq in 0..5 {
+            let pkt = Packet::new(a, b, FlowId(9), Payload::Datagram { seq }).with_size(1500);
+            sim.inject(a, pkt);
+        }
+        sim.run_to_completion();
+        let st = sim.flow_stats(FlowId(9));
+        // One on the wire, two queued, two dropped.
+        assert_eq!(st.delivered_packets, 3);
+        assert_eq!(st.dropped_packets, 2);
+        assert_eq!(sim.link(ab).queue.drops, 2);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut sim, _a, b, _, _) = two_node_sim(10.0, SimDuration::from_millis(1));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { arrivals, timers: timers.clone() }));
+
+        sim.start_timer(b, SimTime::from_millis(30), 3);
+        sim.start_timer(b, SimTime::from_millis(10), 1);
+        sim.start_timer(b, SimTime::from_millis(20), 2);
+        sim.run_to_completion();
+
+        let got = timers.borrow();
+        assert_eq!(
+            got.as_slice(),
+            &[
+                (SimTime::from_millis(10), 1),
+                (SimTime::from_millis(20), 2),
+                (SimTime::from_millis(30), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let (mut sim, _a, b, _, _) = two_node_sim(10.0, SimDuration::from_millis(1));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { arrivals, timers: timers.clone() }));
+
+        let t = SimTime::from_millis(5);
+        for token in 0..10 {
+            sim.start_timer(b, t, token);
+        }
+        sim.run_to_completion();
+        let got = timers.borrow();
+        let tokens: Vec<u64> = got.iter().map(|&(_, tok)| tok).collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_hop_forwarding() {
+        // a -- r -- b: packets from a to b are forwarded through r.
+        let mut sim = Simulator::new();
+        let a = sim.add_node();
+        let r = sim.add_node();
+        let b = sim.add_node();
+        let cfg = LinkConfig {
+            rate: Rate::from_mbps(12.0),
+            delay: SimDuration::from_millis(2),
+            queue_bytes: 100_000,
+        };
+        let ar = sim.add_link(a, r, cfg);
+        let rb = sim.add_link(r, b, cfg);
+        sim.add_route(a, b, ar);
+        sim.add_route(r, b, rb);
+
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { arrivals: arrivals.clone(), timers }));
+
+        let pkt = Packet::new(a, b, FlowId(2), Payload::Datagram { seq: 0 }).with_size(1500);
+        sim.inject(a, pkt);
+        sim.run_to_completion();
+
+        let got = arrivals.borrow();
+        assert_eq!(got.len(), 1);
+        // Two hops: 2 x (1 ms serialize + 2 ms propagate) = 6 ms.
+        assert_eq!(got[0].0, SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, _a, b, _, _) = two_node_sim(10.0, SimDuration::from_millis(1));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { arrivals, timers: timers.clone() }));
+
+        sim.start_timer(b, SimTime::from_millis(10), 1);
+        sim.start_timer(b, SimTime::from_millis(50), 2);
+        let t = sim.run_until(SimTime::from_millis(20));
+        assert_eq!(t, SimTime::from_millis(20));
+        assert_eq!(timers.borrow().len(), 1);
+        sim.run_to_completion();
+        assert_eq!(timers.borrow().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut sim = Simulator::new();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq: 0 });
+        sim.inject(a, pkt);
+    }
+}

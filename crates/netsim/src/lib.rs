@@ -1,0 +1,69 @@
+//! # netsim — a deterministic discrete-event packet network simulator
+//!
+//! This crate is the network substrate for the Sammy reproduction. It models
+//! nodes, unidirectional links with drop-tail queues, MTU-sized packets, and
+//! endpoint protocol logic driven by an event loop with exact integer-
+//! nanosecond time. Runs are fully deterministic: events are ordered by
+//! `(time, insertion sequence)` and there is no wall-clock or unseeded
+//! randomness anywhere.
+//!
+//! The design follows the event-driven, no-surprises style of embedded TCP/IP
+//! stacks: protocol state machines are plain structs that react to packets
+//! and timers, and all I/O is explicit.
+//!
+//! ## Layout
+//! - [`time`]: [`SimTime`] / [`SimDuration`] integer-nanosecond time.
+//! - [`units`]: [`Rate`] (bits/sec) and packet-size constants.
+//! - [`packet`]: [`Packet`] and the neutral [`Payload`] wire format.
+//! - [`queue`]: drop-tail byte-bounded FIFO.
+//! - [`link`]: serialization + propagation delay model.
+//! - [`engine`]: the event loop, [`Simulator`], and the [`Endpoint`] trait.
+//! - [`topology`]: dumbbell builder matching the paper's lab setup.
+//! - [`monitor`]: periodic queue-depth sampling for the Fig 7 traces.
+//! - [`trace`]: throughput/gauge recorders for the figures.
+//!
+//! ## Example
+//! ```
+//! use netsim::prelude::*;
+//!
+//! let mut sim = Simulator::new();
+//! let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+//! let pkt = Packet::new(db.left[0], db.right[0], FlowId(1), Payload::Datagram { seq: 0 })
+//!     .with_size(1500);
+//! sim.inject(db.left[0], pkt);
+//! sim.run_to_completion();
+//! assert_eq!(sim.flow_stats(FlowId(1)).delivered_packets, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod link;
+pub mod monitor;
+pub mod packet;
+pub mod queue;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod units;
+
+pub use engine::{Endpoint, FlowStats, NodeCtx, Simulator};
+pub use link::{Link, LinkConfig};
+pub use monitor::QueueMonitor;
+pub use packet::{FlowId, LinkId, NodeId, Packet, Payload};
+pub use queue::{DropTailQueue, EnqueueResult};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Dumbbell, DumbbellConfig};
+pub use trace::{BinnedThroughput, GaugeSeries};
+pub use units::{Rate, HEADER_BYTES, MSS_BYTES, MTU_BYTES};
+
+/// Convenient glob import for simulator users.
+pub mod prelude {
+    pub use crate::engine::{Endpoint, NodeCtx, Simulator};
+    pub use crate::link::LinkConfig;
+    pub use crate::packet::{FlowId, LinkId, NodeId, Packet, Payload};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{Dumbbell, DumbbellConfig};
+    pub use crate::trace::{BinnedThroughput, GaugeSeries};
+    pub use crate::units::{Rate, HEADER_BYTES, MSS_BYTES, MTU_BYTES};
+}

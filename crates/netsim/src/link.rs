@@ -1,0 +1,184 @@
+//! Unidirectional links.
+//!
+//! A [`Link`] serializes packets at a fixed line rate, holds waiting packets
+//! in a drop-tail queue, and delivers each packet after a fixed propagation
+//! delay. Links are unidirectional; a bidirectional cable is two `Link`s.
+
+use crate::packet::{NodeId, Packet};
+use crate::queue::{DropTailQueue, EnqueueResult};
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+
+/// Configuration for a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Line rate.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Drop-tail queue capacity in bytes.
+    pub queue_bytes: u64,
+}
+
+impl LinkConfig {
+    /// A link with a queue sized to `bdp_multiple` times the
+    /// bandwidth-delay product computed from `rate` and `rtt`.
+    ///
+    /// The paper's lab setup is 40 Mbps, 5 ms RTT, queue of 4x BDP.
+    pub fn with_bdp_queue(rate: Rate, delay: SimDuration, rtt: SimDuration, bdp_multiple: f64) -> Self {
+        let bdp_bytes = (rate.bps() * rtt.as_secs_f64() / 8.0).ceil();
+        let queue_bytes = ((bdp_bytes * bdp_multiple) as u64).max(crate::units::MTU_BYTES * 2);
+        LinkConfig { rate, delay, queue_bytes }
+    }
+}
+
+/// A unidirectional link between two nodes.
+#[derive(Debug)]
+pub struct Link {
+    /// Node packets enter from.
+    pub src: NodeId,
+    /// Node packets are delivered to.
+    pub dst: NodeId,
+    /// Line rate.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Waiting packets.
+    pub queue: DropTailQueue,
+    /// True while a packet is being serialized onto the wire.
+    pub busy: bool,
+    /// Total bytes that finished serialization (carried traffic).
+    pub bytes_sent: u64,
+    /// Total packets that finished serialization.
+    pub packets_sent: u64,
+}
+
+impl Link {
+    /// Create a link from `src` to `dst` with the given configuration.
+    pub fn new(src: NodeId, dst: NodeId, cfg: LinkConfig) -> Self {
+        Link {
+            src,
+            dst,
+            rate: cfg.rate,
+            delay: cfg.delay,
+            queue: DropTailQueue::new(cfg.queue_bytes),
+            busy: false,
+            bytes_sent: 0,
+            packets_sent: 0,
+        }
+    }
+
+    /// Offer a packet to the link's queue.
+    pub fn enqueue(&mut self, pkt: Packet) -> EnqueueResult {
+        self.queue.enqueue(pkt)
+    }
+
+    /// Begin serializing the head-of-line packet, if the link is idle and a
+    /// packet is waiting. Returns the packet and the time serialization will
+    /// complete.
+    pub fn start_transmission(&mut self, now: SimTime) -> Option<(Packet, SimTime)> {
+        if self.busy {
+            return None;
+        }
+        let pkt = self.queue.dequeue()?;
+        self.busy = true;
+        let done = now + self.rate.time_to_send(pkt.size);
+        Some((pkt, done))
+    }
+
+    /// Record that the in-flight packet finished serialization.
+    pub fn finish_transmission(&mut self, pkt: &Packet) {
+        debug_assert!(self.busy, "finish_transmission on idle link");
+        self.busy = false;
+        self.bytes_sent += pkt.size;
+        self.packets_sent += 1;
+    }
+
+    /// Queueing delay a newly arriving packet would experience right now,
+    /// ignoring the packet currently on the wire.
+    pub fn queueing_delay(&self) -> SimDuration {
+        self.rate.time_to_send(self.queue.occupied_bytes())
+    }
+
+    /// Long-run utilization of the link over `elapsed` time.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.bytes_sent as f64 * 8.0) / (self.rate.bps() * elapsed.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, Payload};
+
+    fn test_link() -> Link {
+        // 12 Mbps => 1500 bytes takes exactly 1 ms.
+        Link::new(
+            NodeId(0),
+            NodeId(1),
+            LinkConfig {
+                rate: Rate::from_mbps(12.0),
+                delay: SimDuration::from_millis(5),
+                queue_bytes: 15_000,
+            },
+        )
+    }
+
+    fn pkt(size: u64) -> Packet {
+        Packet::new(NodeId(0), NodeId(1), FlowId(0), Payload::Datagram { seq: 0 })
+            .with_size(size)
+    }
+
+    #[test]
+    fn serialization_time() {
+        let mut link = test_link();
+        link.enqueue(pkt(1500));
+        let (p, done) = link.start_transmission(SimTime::ZERO).unwrap();
+        assert_eq!(p.size, 1500);
+        assert_eq!(done, SimTime::from_millis(1));
+        assert!(link.busy);
+        // Cannot start another while busy.
+        link.enqueue(pkt(1500));
+        assert!(link.start_transmission(SimTime::from_micros(500)).is_none());
+        link.finish_transmission(&p);
+        assert!(!link.busy);
+        assert_eq!(link.bytes_sent, 1500);
+        assert_eq!(link.packets_sent, 1);
+    }
+
+    #[test]
+    fn queueing_delay_tracks_backlog() {
+        let mut link = test_link();
+        assert_eq!(link.queueing_delay(), SimDuration::ZERO);
+        link.enqueue(pkt(1500));
+        link.enqueue(pkt(1500));
+        // 3000 bytes at 12 Mbps = 2 ms.
+        assert_eq!(link.queueing_delay(), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn bdp_queue_sizing() {
+        let cfg = LinkConfig::with_bdp_queue(
+            Rate::from_mbps(40.0),
+            SimDuration::from_micros(2500),
+            SimDuration::from_millis(5),
+            4.0,
+        );
+        // BDP = 40e6 * 0.005 / 8 = 25 kB; 4x = 100 kB.
+        assert_eq!(cfg.queue_bytes, 100_000);
+    }
+
+    #[test]
+    fn utilization() {
+        let mut link = test_link();
+        link.enqueue(pkt(1500));
+        let (p, _) = link.start_transmission(SimTime::ZERO).unwrap();
+        link.finish_transmission(&p);
+        // 1500 bytes in 1 ms at 12 Mbps is exactly full utilization.
+        let u = link.utilization(SimDuration::from_millis(1));
+        assert!((u - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Packets and their payloads.
+//!
+//! The simulator moves [`Packet`]s between nodes. A packet carries routing
+//! metadata (source, destination, flow) plus a [`Payload`] describing what the
+//! packet means to the protocol handling it. Payload variants are kept
+//! semantically neutral so that transport protocols, application messages, and
+//! probe traffic can all share the one wire format without dynamic dispatch.
+
+use crate::time::SimTime;
+use crate::units::HEADER_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node (host or router) in the topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+/// Identifies a unidirectional link in the topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LinkId(pub usize);
+
+/// Identifies a flow (a transport connection or datagram stream).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowId(pub u64);
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A transport data segment covering bytes `[offset, offset + len)` of
+    /// its flow. `retx` marks retransmissions; `round` is an opaque
+    /// sender-side epoch (used by congestion control to detect stale ACKs).
+    Data {
+        /// First byte of the segment within the flow's byte stream.
+        offset: u64,
+        /// Payload length in bytes.
+        len: u32,
+        /// True if this segment is a retransmission.
+        retx: bool,
+        /// Sender epoch, echoed back in ACKs.
+        round: u64,
+    },
+    /// A cumulative acknowledgment.
+    Ack {
+        /// All bytes below this offset have been received.
+        cum_ack: u64,
+        /// Send timestamp of the segment that triggered this ACK, echoed
+        /// back for RTT measurement.
+        echo_ts: SimTime,
+        /// Sender epoch echoed from the ACKed segment.
+        round: u64,
+    },
+    /// A standalone datagram (UDP-style), used by probe flows.
+    Datagram {
+        /// Sequence number assigned by the sender.
+        seq: u64,
+    },
+    /// An application-level request, e.g. an HTTP GET for a video chunk.
+    Request {
+        /// Request identifier, echoed in the response stream.
+        id: u64,
+        /// Number of response bytes requested.
+        size: u64,
+        /// Requested server pace rate in bits/sec (application-informed
+        /// pacing header; `None` leaves the server unpaced).
+        pace_bps: Option<f64>,
+    },
+    /// An opaque control message. `tag` selects the meaning; `a`/`b` are
+    /// protocol-defined operands.
+    Control {
+        /// Message kind discriminator (protocol-defined).
+        tag: u64,
+        /// First operand.
+        a: u64,
+        /// Second operand.
+        b: u64,
+    },
+}
+
+impl Payload {
+    /// Payload bytes on the wire (excluding header overhead).
+    pub fn wire_bytes(&self) -> u64 {
+        match *self {
+            Payload::Data { len, .. } => len as u64,
+            Payload::Ack { .. } => 0,
+            Payload::Datagram { .. } => 0,
+            Payload::Request { .. } => 0,
+            Payload::Control { .. } => 0,
+        }
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node. The engine routes hop-by-hop toward this node.
+    pub dst: NodeId,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Total size on the wire in bytes (headers + payload).
+    pub size: u64,
+    /// Time the packet was handed to the first link.
+    pub sent_at: SimTime,
+    /// Protocol payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Build a packet, deriving the wire size from the payload plus header
+    /// overhead. Probe datagrams that want a specific size should override
+    /// [`Packet::size`] afterwards or use [`Packet::with_size`].
+    pub fn new(src: NodeId, dst: NodeId, flow: FlowId, payload: Payload) -> Self {
+        Packet {
+            src,
+            dst,
+            flow,
+            size: HEADER_BYTES + payload.wire_bytes(),
+            sent_at: SimTime::ZERO,
+            payload,
+        }
+    }
+
+    /// Override the wire size (e.g. a 1200-byte UDP probe).
+    pub fn with_size(mut self, size: u64) -> Self {
+        debug_assert!(size >= HEADER_BYTES, "packet smaller than its header");
+        self.size = size;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_size_includes_header() {
+        let p = Packet::new(
+            NodeId(0),
+            NodeId(1),
+            FlowId(7),
+            Payload::Data { offset: 0, len: 1460, retx: false, round: 0 },
+        );
+        assert_eq!(p.size, 1500);
+    }
+
+    #[test]
+    fn ack_is_header_only() {
+        let p = Packet::new(
+            NodeId(1),
+            NodeId(0),
+            FlowId(7),
+            Payload::Ack { cum_ack: 1460, echo_ts: SimTime::ZERO, round: 0 },
+        );
+        assert_eq!(p.size, HEADER_BYTES);
+    }
+
+    #[test]
+    fn with_size_override() {
+        let p = Packet::new(NodeId(0), NodeId(1), FlowId(1), Payload::Datagram { seq: 3 })
+            .with_size(1200);
+        assert_eq!(p.size, 1200);
+    }
+}

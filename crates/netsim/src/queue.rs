@@ -1,0 +1,156 @@
+//! Link queues.
+//!
+//! The simulator models drop-tail FIFO queues sized in bytes, which is how
+//! the paper's lab bottleneck is configured (4x the bandwidth-delay product).
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Outcome of offering a packet to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// The packet was accepted.
+    Accepted,
+    /// The packet was dropped (queue full).
+    Dropped,
+}
+
+/// A drop-tail FIFO queue with a byte-capacity limit.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue {
+    capacity_bytes: u64,
+    occupied_bytes: u64,
+    packets: VecDeque<Packet>,
+    /// Total packets dropped since creation.
+    pub drops: u64,
+    /// Total bytes dropped since creation.
+    pub dropped_bytes: u64,
+    /// High-water mark of queue occupancy in bytes.
+    pub max_occupied_bytes: u64,
+}
+
+impl DropTailQueue {
+    /// Create a queue holding at most `capacity_bytes` of packets.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes` is zero: a zero-capacity queue would drop
+    /// every packet and almost certainly indicates a misconfigured topology.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        DropTailQueue {
+            capacity_bytes,
+            occupied_bytes: 0,
+            packets: VecDeque::new(),
+            drops: 0,
+            dropped_bytes: 0,
+            max_occupied_bytes: 0,
+        }
+    }
+
+    /// Offer a packet. Drop-tail: reject if it would exceed capacity.
+    pub fn enqueue(&mut self, pkt: Packet) -> EnqueueResult {
+        if self.occupied_bytes + pkt.size > self.capacity_bytes {
+            self.drops += 1;
+            self.dropped_bytes += pkt.size;
+            EnqueueResult::Dropped
+        } else {
+            self.occupied_bytes += pkt.size;
+            self.max_occupied_bytes = self.max_occupied_bytes.max(self.occupied_bytes);
+            self.packets.push_back(pkt);
+            EnqueueResult::Accepted
+        }
+    }
+
+    /// Remove and return the packet at the head, if any.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let pkt = self.packets.pop_front()?;
+        self.occupied_bytes -= pkt.size;
+        Some(pkt)
+    }
+
+    /// Current occupancy in bytes.
+    pub fn occupied_bytes(&self) -> u64 {
+        self.occupied_bytes
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Reset the occupancy high-water mark to the current occupancy
+    /// (used to measure phases of an experiment separately).
+    pub fn reset_max_occupancy(&mut self) {
+        self.max_occupied_bytes = self.occupied_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, Payload};
+
+    fn pkt(size: u64) -> Packet {
+        Packet::new(NodeId(0), NodeId(1), FlowId(0), Payload::Datagram { seq: 0 })
+            .with_size(size)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTailQueue::new(10_000);
+        for seq in 0..3u64 {
+            let mut p = pkt(100);
+            p.payload = Payload::Datagram { seq };
+            assert_eq!(q.enqueue(p), EnqueueResult::Accepted);
+        }
+        for seq in 0..3u64 {
+            let p = q.dequeue().unwrap();
+            assert_eq!(p.payload, Payload::Datagram { seq });
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut q = DropTailQueue::new(250);
+        assert_eq!(q.enqueue(pkt(100)), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(pkt(100)), EnqueueResult::Accepted);
+        // Third packet would exceed 250 bytes.
+        assert_eq!(q.enqueue(pkt(100)), EnqueueResult::Dropped);
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.dropped_bytes, 100);
+        assert_eq!(q.len(), 2);
+        // Dequeuing frees space again.
+        q.dequeue();
+        assert_eq!(q.enqueue(pkt(100)), EnqueueResult::Accepted);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut q = DropTailQueue::new(1_000);
+        q.enqueue(pkt(300));
+        q.enqueue(pkt(200));
+        assert_eq!(q.occupied_bytes(), 500);
+        assert_eq!(q.max_occupied_bytes, 500);
+        q.dequeue();
+        assert_eq!(q.occupied_bytes(), 200);
+        // High-water mark persists after dequeue.
+        assert_eq!(q.max_occupied_bytes, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        DropTailQueue::new(0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Topology builders.
+//!
+//! The paper's lab experiments use a dumbbell: several senders on one side,
+//! several receivers on the other, all traffic crossing one bottleneck link.
+//! [`Dumbbell`] builds that topology and installs all routes, leaving the
+//! caller to attach endpoints to the host nodes.
+
+use crate::engine::Simulator;
+use crate::link::LinkConfig;
+use crate::packet::{LinkId, NodeId};
+use crate::time::SimDuration;
+use crate::units::Rate;
+
+/// Configuration for a dumbbell topology.
+#[derive(Debug, Clone, Copy)]
+pub struct DumbbellConfig {
+    /// Bottleneck line rate.
+    pub bottleneck_rate: Rate,
+    /// Round-trip propagation time across the whole path (split between the
+    /// two bottleneck directions; edge links add negligible delay).
+    pub rtt: SimDuration,
+    /// Bottleneck queue size as a multiple of the bandwidth-delay product.
+    pub queue_bdp_multiple: f64,
+    /// Edge (access) link rate. Should be much faster than the bottleneck so
+    /// that only the bottleneck queue matters.
+    pub edge_rate: Rate,
+    /// Number of sender/receiver host pairs.
+    pub pairs: usize,
+}
+
+impl Default for DumbbellConfig {
+    /// The paper's lab setup (§6): 40 Mbps bottleneck, 5 ms RTT, 4x BDP
+    /// queue, one host pair.
+    fn default() -> Self {
+        DumbbellConfig {
+            bottleneck_rate: Rate::from_mbps(40.0),
+            rtt: SimDuration::from_millis(5),
+            queue_bdp_multiple: 4.0,
+            edge_rate: Rate::from_gbps(1.0),
+            pairs: 1,
+        }
+    }
+}
+
+/// A built dumbbell: left hosts (senders), right hosts (receivers), and the
+/// two bottleneck directions.
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// Host nodes on the left (conventionally servers / senders).
+    pub left: Vec<NodeId>,
+    /// Host nodes on the right (conventionally clients / receivers).
+    pub right: Vec<NodeId>,
+    /// Left-side aggregation router.
+    pub left_router: NodeId,
+    /// Right-side aggregation router.
+    pub right_router: NodeId,
+    /// Bottleneck link carrying left-to-right traffic (the congested
+    /// direction in all experiments: data flows server -> client).
+    pub forward: LinkId,
+    /// Bottleneck link carrying right-to-left traffic (ACKs, requests).
+    pub reverse: LinkId,
+}
+
+impl Dumbbell {
+    /// Build the dumbbell inside `sim` and install all routes.
+    pub fn build(sim: &mut Simulator, cfg: DumbbellConfig) -> Self {
+        assert!(cfg.pairs >= 1, "need at least one host pair");
+        let left_router = sim.add_node();
+        let right_router = sim.add_node();
+
+        // Each bottleneck direction carries half the propagation RTT. The
+        // queue is sized from the full RTT's BDP, as in the paper.
+        let one_way = SimDuration::from_nanos(cfg.rtt.as_nanos() / 2);
+        let bn_cfg = LinkConfig::with_bdp_queue(
+            cfg.bottleneck_rate,
+            one_way,
+            cfg.rtt,
+            cfg.queue_bdp_multiple,
+        );
+        let forward = sim.add_link(left_router, right_router, bn_cfg);
+        let reverse = sim.add_link(right_router, left_router, bn_cfg);
+
+        // Edge links: fast, short, deep-queued so they never interfere.
+        let edge_cfg = LinkConfig {
+            rate: cfg.edge_rate,
+            delay: SimDuration::from_micros(10),
+            queue_bytes: 64 * 1024 * 1024,
+        };
+
+        let mut left = Vec::with_capacity(cfg.pairs);
+        let mut right = Vec::with_capacity(cfg.pairs);
+        let mut edges = Vec::new();
+        for _ in 0..cfg.pairs {
+            let l = sim.add_node();
+            let r = sim.add_node();
+            let (l_up, l_down) = sim.add_duplex_link(l, left_router, edge_cfg);
+            let (r_up, r_down) = sim.add_duplex_link(r, right_router, edge_cfg);
+            edges.push((l, r, l_up, l_down, r_up, r_down));
+            left.push(l);
+            right.push(r);
+        }
+
+        // Routes. Hosts send everything toward their router; routers cross
+        // the bottleneck for the far side and fan out locally for the near
+        // side.
+        for &(l, r, l_up, l_down, r_up, r_down) in &edges {
+            // Every left host reaches every right host (and vice versa).
+            for &(ol, or, ..) in &edges {
+                sim.add_route(l, or, l_up);
+                sim.add_route(r, ol, r_up);
+                if ol != l {
+                    sim.add_route(l, ol, l_up);
+                    sim.add_route(r, or, r_up);
+                }
+            }
+            sim.add_route(left_router, r, forward);
+            sim.add_route(right_router, l, reverse);
+            // Local fan-out for same-side traffic.
+            sim.add_route(left_router, l, l_down);
+            sim.add_route(right_router, r, r_down);
+        }
+
+        Dumbbell { left, right, left_router, right_router, forward, reverse }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Endpoint, NodeCtx};
+    use crate::packet::{FlowId, Packet, Payload};
+    use crate::time::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Sink {
+        arrived: Rc<RefCell<Vec<(SimTime, FlowId)>>>,
+    }
+    impl Endpoint for Sink {
+        fn on_packet(&mut self, now: SimTime, pkt: Packet, _ctx: &mut NodeCtx) {
+            self.arrived.borrow_mut().push((now, pkt.flow));
+        }
+        fn on_timer(&mut self, _now: SimTime, _token: u64, _ctx: &mut NodeCtx) {}
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn default_matches_paper_lab() {
+        let cfg = DumbbellConfig::default();
+        assert_eq!(cfg.bottleneck_rate, Rate::from_mbps(40.0));
+        assert_eq!(cfg.rtt, SimDuration::from_millis(5));
+        assert_eq!(cfg.queue_bdp_multiple, 4.0);
+    }
+
+    #[test]
+    fn cross_traffic_reaches_far_side() {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig { pairs: 2, ..Default::default() });
+        let arrived = Rc::new(RefCell::new(Vec::new()));
+        for &r in &db.right {
+            sim.set_endpoint(r, Box::new(Sink { arrived: arrived.clone() }));
+        }
+        // Both left hosts send to their right peers.
+        for (i, (&l, &r)) in db.left.iter().zip(db.right.iter()).enumerate() {
+            let pkt =
+                Packet::new(l, r, FlowId(i as u64), Payload::Datagram { seq: 0 }).with_size(1500);
+            sim.inject(l, pkt);
+        }
+        sim.run_to_completion();
+        let got = arrived.borrow();
+        assert_eq!(got.len(), 2);
+        // RTT/2 = 2.5 ms dominates: both arrive shortly after 2.5 ms.
+        for &(t, _) in got.iter() {
+            assert!(t > SimTime::from_micros(2500));
+            assert!(t < SimTime::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn reverse_path_works() {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+        let arrived = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(db.left[0], Box::new(Sink { arrived: arrived.clone() }));
+        let pkt = Packet::new(db.right[0], db.left[0], FlowId(5), Payload::Datagram { seq: 1 })
+            .with_size(40);
+        sim.inject(db.right[0], pkt);
+        sim.run_to_completion();
+        assert_eq!(arrived.borrow().len(), 1);
+    }
+
+    #[test]
+    fn bottleneck_queue_sized_from_bdp() {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+        // 40 Mbps * 5 ms = 25 kB BDP; 4x = 100 kB.
+        assert_eq!(sim.link(db.forward).queue.capacity_bytes(), 100_000);
+    }
+}

@@ -1,0 +1,548 @@
+//! A merging t-digest for streaming quantile estimation.
+//!
+//! The t-digest (Dunning) summarizes a stream of values with a bounded set of
+//! weighted centroids, sized so that centroids near the median may hold many
+//! points while centroids near the tails hold few. This gives accurate tail
+//! quantiles with a small, mergeable memory footprint.
+//!
+//! The Sammy paper stores per-packet RTT samples for each TCP connection in a
+//! t-digest, merges the digests of all connections in a session, and reads the
+//! session's median RTT (§5.1). [`TDigest`] supports exactly that workflow:
+//!
+//! ```
+//! use tdigest::TDigest;
+//!
+//! let mut conn_a = TDigest::new(100.0);
+//! let mut conn_b = TDigest::new(100.0);
+//! for i in 0..1000 {
+//!     conn_a.add(5.0 + (i % 10) as f64 / 10.0);
+//!     conn_b.add(6.0 + (i % 7) as f64 / 10.0);
+//! }
+//! let mut session = TDigest::new(100.0);
+//! session.merge(&conn_a);
+//! session.merge(&conn_b);
+//! let median = session.quantile(0.5);
+//! assert!(median > 5.0 && median < 7.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A single centroid: a weighted point summarizing `weight` samples whose
+/// mean is `mean`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Centroid {
+    /// Mean of the samples merged into this centroid.
+    pub mean: f64,
+    /// Number of samples merged into this centroid.
+    pub weight: f64,
+}
+
+/// A merging t-digest.
+///
+/// Values are buffered and periodically compressed into centroids using the
+/// scale function `k(q) = δ/2π · asin(2q − 1)`, which bounds each centroid's
+/// quantile span and keeps tails fine-grained.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TDigest {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    count: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for TDigest {
+    fn default() -> Self {
+        Self::new(100.0)
+    }
+}
+
+impl TDigest {
+    /// Create a digest with the given compression parameter δ.
+    ///
+    /// Larger δ means more centroids and better accuracy; 100 is a good
+    /// default (≈1% worst-case quantile error, sub-0.1% at the tails).
+    ///
+    /// # Panics
+    /// Panics if `compression < 10`, which would make the digest useless.
+    pub fn new(compression: f64) -> Self {
+        assert!(compression >= 10.0, "compression must be >= 10");
+        TDigest {
+            compression,
+            centroids: Vec::new(),
+            buffer: Vec::new(),
+            count: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The compression parameter δ this digest was created with.
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Total number of samples added (including buffered ones).
+    pub fn count(&self) -> u64 {
+        (self.count + self.buffer.len() as f64) as u64
+    }
+
+    /// True if no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Smallest sample seen, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample seen, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Add one sample.
+    ///
+    /// Non-finite samples are ignored: RTT/throughput telemetry can produce
+    /// NaN under pathological clock conditions and must not poison the digest.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buffer.push(value);
+        // Compress when the buffer reaches a multiple of the centroid budget.
+        if self.buffer.len() >= (8.0 * self.compression) as usize {
+            self.compress();
+        }
+    }
+
+    /// Add a sample with an integer weight (e.g. a pre-aggregated bucket).
+    pub fn add_weighted(&mut self, value: f64, weight: f64) {
+        if !value.is_finite() || !(weight > 0.0) {
+            return;
+        }
+        self.flush_buffer();
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.centroids.push(Centroid {
+            mean: value,
+            weight,
+        });
+        self.count += weight;
+        self.compress_centroids();
+    }
+
+    /// Merge another digest into this one.
+    ///
+    /// Merging is how the paper combines per-connection RTT digests into a
+    /// per-session digest. The result summarizes the union of both streams.
+    pub fn merge(&mut self, other: &TDigest) {
+        let mut other = other.clone();
+        other.flush_buffer();
+        if other.count == 0.0 {
+            return;
+        }
+        self.flush_buffer();
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.centroids.extend_from_slice(&other.centroids);
+        self.count += other.count;
+        self.compress_centroids();
+    }
+
+    /// Estimate the value at quantile `q` in `[0, 1]`.
+    ///
+    /// Returns NaN for an empty digest. `q` outside `[0,1]` is clamped.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let mut snapshot = self.clone();
+        snapshot.flush_buffer();
+        snapshot.quantile_inner(q.clamp(0.0, 1.0))
+    }
+
+    /// Estimate the median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Estimate the fraction of samples `<= value` (the CDF).
+    pub fn cdf(&self, value: f64) -> f64 {
+        let mut snapshot = self.clone();
+        snapshot.flush_buffer();
+        snapshot.cdf_inner(value)
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        let mut snapshot = self.clone();
+        snapshot.flush_buffer();
+        if snapshot.count == 0.0 {
+            return f64::NAN;
+        }
+        let sum: f64 = snapshot
+            .centroids
+            .iter()
+            .map(|c| c.mean * c.weight)
+            .sum();
+        sum / snapshot.count
+    }
+
+    /// The current centroids (after compressing any buffered samples).
+    pub fn centroids(&self) -> Vec<Centroid> {
+        let mut snapshot = self.clone();
+        snapshot.flush_buffer();
+        snapshot.centroids
+    }
+
+    fn flush_buffer(&mut self) {
+        if !self.buffer.is_empty() {
+            self.compress();
+        }
+    }
+
+    fn compress(&mut self) {
+        let buffered = std::mem::take(&mut self.buffer);
+        self.count += buffered.len() as f64;
+        self.centroids.extend(
+            buffered
+                .into_iter()
+                .map(|v| Centroid { mean: v, weight: 1.0 }),
+        );
+        self.compress_centroids();
+    }
+
+    /// Re-cluster `self.centroids` so each centroid's quantile span respects
+    /// the scale-function bound.
+    fn compress_centroids(&mut self) {
+        if self.centroids.len() <= 1 {
+            return;
+        }
+        self.centroids
+            .sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"));
+        let total = self.count;
+        let mut merged: Vec<Centroid> = Vec::with_capacity(self.centroids.len());
+        let mut current = self.centroids[0];
+        // Cumulative weight *before* `current`.
+        let mut so_far = 0.0;
+        for &c in &self.centroids[1..] {
+            let proposed = current.weight + c.weight;
+            let q0 = so_far / total;
+            let q2 = (so_far + proposed) / total;
+            if proposed <= self.k_size_limit(q0, q2, total) {
+                // Merge c into current.
+                let w = proposed;
+                current.mean = (current.mean * current.weight + c.mean * c.weight) / w;
+                current.weight = w;
+            } else {
+                so_far += current.weight;
+                merged.push(current);
+                current = c;
+            }
+        }
+        merged.push(current);
+        self.centroids = merged;
+    }
+
+    /// Maximum allowed weight for a centroid spanning quantiles `[q0, q2]`.
+    ///
+    /// Uses the k1 scale function: a centroid may span at most 1 unit of
+    /// k-space, i.e. `k(q2) − k(q0) <= 1`.
+    fn k_size_limit(&self, q0: f64, q2: f64, total: f64) -> f64 {
+        if self.k(q2) - self.k(q0) <= 1.0 {
+            total
+        } else {
+            0.0
+        }
+    }
+
+    fn k(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+    }
+
+    fn quantile_inner(&self, q: f64) -> f64 {
+        if self.count == 0.0 {
+            return f64::NAN;
+        }
+        if self.centroids.len() == 1 {
+            return self.centroids[0].mean;
+        }
+        let target = q * self.count;
+        // Walk centroids, interpolating between adjacent centroid midpoints.
+        let mut cum = 0.0;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let mid = cum + c.weight / 2.0;
+            if target <= mid {
+                return if i == 0 {
+                    // Interpolate between the minimum and the first centroid.
+                    let frac = (target / mid).clamp(0.0, 1.0);
+                    self.min + frac * (c.mean - self.min)
+                } else {
+                    let prev = &self.centroids[i - 1];
+                    let prev_mid = cum - prev.weight / 2.0;
+                    let span = mid - prev_mid;
+                    let frac = if span > 0.0 { (target - prev_mid) / span } else { 0.5 };
+                    prev.mean + frac * (c.mean - prev.mean)
+                };
+            }
+            cum += c.weight;
+        }
+        // Interpolate between the last centroid and the maximum.
+        let last = self.centroids.last().expect("non-empty");
+        let last_mid = self.count - last.weight / 2.0;
+        let span = self.count - last_mid;
+        let frac = if span > 0.0 {
+            ((target - last_mid) / span).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        last.mean + frac * (self.max - last.mean)
+    }
+
+    fn cdf_inner(&self, value: f64) -> f64 {
+        if self.count == 0.0 {
+            return f64::NAN;
+        }
+        if value < self.min {
+            return 0.0;
+        }
+        if value >= self.max {
+            return 1.0;
+        }
+        if self.centroids.len() == 1 {
+            // Single centroid: linear ramp between min and max.
+            let span = self.max - self.min;
+            return if span > 0.0 {
+                (value - self.min) / span
+            } else {
+                0.5
+            };
+        }
+        let mut cum = 0.0;
+        for (i, c) in self.centroids.iter().enumerate() {
+            if value < c.mean {
+                let (lo_val, lo_cum) = if i == 0 {
+                    (self.min, 0.0)
+                } else {
+                    let prev = &self.centroids[i - 1];
+                    (prev.mean, cum - prev.weight / 2.0)
+                };
+                let hi_cum = cum + c.weight / 2.0;
+                let span = c.mean - lo_val;
+                let frac = if span > 0.0 { (value - lo_val) / span } else { 0.5 };
+                return ((lo_cum + frac * (hi_cum - lo_cum)) / self.count).clamp(0.0, 1.0);
+            }
+            cum += c.weight;
+        }
+        let last = self.centroids.last().expect("non-empty");
+        let lo_cum = self.count - last.weight / 2.0;
+        let span = self.max - last.mean;
+        let frac = if span > 0.0 { (value - last.mean) / span } else { 1.0 };
+        ((lo_cum + frac * (self.count - lo_cum)) / self.count).clamp(0.0, 1.0)
+    }
+}
+
+/// Extend a digest from an iterator of samples.
+impl Extend<f64> for TDigest {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for TDigest {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut d = TDigest::default();
+        d.extend(iter);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    #[test]
+    fn empty_digest_behaviour() {
+        let d = TDigest::default();
+        assert!(d.is_empty());
+        assert_eq!(d.count(), 0);
+        assert!(d.quantile(0.5).is_nan());
+        assert!(d.cdf(1.0).is_nan());
+        assert!(d.mean().is_nan());
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut d = TDigest::default();
+        d.add(42.0);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.quantile(0.0), 42.0);
+        assert_eq!(d.quantile(0.5), 42.0);
+        assert_eq!(d.quantile(1.0), 42.0);
+        assert_eq!(d.min(), Some(42.0));
+        assert_eq!(d.max(), Some(42.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut d = TDigest::default();
+        d.add(f64::NAN);
+        d.add(f64::INFINITY);
+        d.add(f64::NEG_INFINITY);
+        assert!(d.is_empty());
+        d.add(1.0);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.median(), 1.0);
+    }
+
+    #[test]
+    fn uniform_quantiles_accurate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut vals: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>() * 100.0).collect();
+        let d: TDigest = vals.iter().copied().collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = d.quantile(q);
+            let exact = exact_quantile(&vals, q);
+            assert!(
+                (est - exact).abs() < 1.5,
+                "q={q}: est={est} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tail_quantiles_accurate() {
+        // Pareto-ish tail: tail quantiles must stay accurate.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut vals: Vec<f64> = (0..50_000)
+            .map(|_| 1.0 / (1.0 - rng.gen::<f64>()).powf(0.7))
+            .collect();
+        let d: TDigest = vals.iter().copied().collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.5, 0.9, 0.99] {
+            let est = d.quantile(q);
+            let exact = exact_quantile(&vals, q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.05, "q={q}: est={est} exact={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a_vals: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() * 10.0).collect();
+        let b_vals: Vec<f64> = (0..10_000).map(|_| 5.0 + rng.gen::<f64>() * 10.0).collect();
+        let a: TDigest = a_vals.iter().copied().collect();
+        let b: TDigest = b_vals.iter().copied().collect();
+        let mut merged = TDigest::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), 20_000);
+
+        let mut union: Vec<f64> = a_vals.into_iter().chain(b_vals).collect();
+        union.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for &q in &[0.1, 0.5, 0.9] {
+            let est = merged.quantile(q);
+            let exact = exact_quantile(&union, q);
+            assert!((est - exact).abs() < 0.5, "q={q}: est={est} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let mut d: TDigest = (0..100).map(|i| i as f64).collect();
+        let before = d.median();
+        d.merge(&TDigest::default());
+        assert_eq!(d.median(), before);
+        assert_eq!(d.count(), 100);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let d: TDigest = (0..10_000).map(|i| (i % 173) as f64).collect();
+        let mut prev = 0.0;
+        for i in -10..200 {
+            let c = d.cdf(i as f64);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12, "cdf not monotone at {i}");
+            prev = c;
+        }
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(1000.0), 1.0);
+    }
+
+    #[test]
+    fn centroid_count_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d: TDigest = (0..200_000).map(|_| rng.gen::<f64>()).collect();
+        let n = d.centroids().len();
+        // k1 scale function bounds centroids to ~2δ.
+        assert!(n <= 2 * 100 + 10, "too many centroids: {n}");
+    }
+
+    #[test]
+    fn weighted_add() {
+        let mut d = TDigest::default();
+        d.add_weighted(1.0, 100.0);
+        d.add_weighted(3.0, 100.0);
+        assert_eq!(d.count(), 200);
+        let m = d.mean();
+        assert!((m - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_matches_arithmetic_mean() {
+        let vals: Vec<f64> = (0..5000).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let d: TDigest = vals.iter().copied().collect();
+        let exact: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((d.mean() - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d: TDigest = (0..20_000).map(|_| rng.gen::<f64>() * 1000.0).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = d.quantile(q);
+            assert!(v >= prev - 1e-9, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn min_max_are_exact() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let vals: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() * 500.0 - 250.0).collect();
+        let d: TDigest = vals.iter().copied().collect();
+        let exact_min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let exact_max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(d.min(), Some(exact_min));
+        assert_eq!(d.max(), Some(exact_max));
+        assert_eq!(d.quantile(0.0), exact_min);
+        assert_eq!(d.quantile(1.0), exact_max);
+    }
+}

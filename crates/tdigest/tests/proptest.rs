@@ -1,0 +1,63 @@
+//! Property-based tests for the t-digest.
+
+use proptest::prelude::*;
+use tdigest::TDigest;
+
+proptest! {
+    /// Quantile estimates always lie inside [min, max].
+    #[test]
+    fn quantile_within_range(vals in prop::collection::vec(-1e6f64..1e6, 1..2000), q in 0.0f64..=1.0) {
+        let d: TDigest = vals.iter().copied().collect();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let est = d.quantile(q);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "est={est} not in [{lo},{hi}]");
+    }
+
+    /// Count is exact regardless of compression activity.
+    #[test]
+    fn count_exact(vals in prop::collection::vec(-1e3f64..1e3, 0..5000)) {
+        let d: TDigest = vals.iter().copied().collect();
+        prop_assert_eq!(d.count(), vals.len() as u64);
+    }
+
+    /// cdf(quantile(q)) is close to q for continuous-ish data.
+    #[test]
+    fn cdf_quantile_roundtrip(seed in 0u64..1000) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d: TDigest = (0..5000).map(|_| rng.gen::<f64>() * 100.0).collect();
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let v = d.quantile(q);
+            let back = d.cdf(v);
+            prop_assert!((back - q).abs() < 0.05, "q={q} back={back}");
+        }
+    }
+
+    /// Merging two digests yields the sum of counts and bounds within the union.
+    #[test]
+    fn merge_counts_and_bounds(
+        a in prop::collection::vec(-1e3f64..1e3, 1..1000),
+        b in prop::collection::vec(-1e3f64..1e3, 1..1000),
+    ) {
+        let da: TDigest = a.iter().copied().collect();
+        let db: TDigest = b.iter().copied().collect();
+        let mut m = TDigest::default();
+        m.merge(&da);
+        m.merge(&db);
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+        let lo = a.iter().chain(&b).cloned().fold(f64::INFINITY, f64::min);
+        let hi = a.iter().chain(&b).cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(m.min(), Some(lo));
+        prop_assert_eq!(m.max(), Some(hi));
+    }
+
+    /// The median of identical values is that value.
+    #[test]
+    fn constant_stream(v in -1e6f64..1e6, n in 1usize..3000) {
+        let d: TDigest = std::iter::repeat(v).take(n).collect();
+        let tol = 1e-9 * v.abs().max(1.0);
+        prop_assert!((d.median() - v).abs() < tol);
+        prop_assert!((d.mean() - v).abs() < tol);
+    }
+}

@@ -1,0 +1,157 @@
+//! A long-lived bulk TCP flow (the Fig 8b neighbor).
+//!
+//! [`BulkSender`] starts one large transfer at a configured time and runs
+//! until the simulation ends, recording its delivered-byte timeseries so
+//! experiments can report its average throughput while competing with a
+//! video session.
+
+use netsim::{
+    BinnedThroughput, Endpoint, FlowId, NodeCtx, NodeId, Packet, Payload, SimDuration, SimTime,
+};
+use transport::{TcpConfig, TcpReceiver, TcpSender};
+
+/// Timer token for the sender's wakeups.
+const TICK: u64 = 3;
+/// Timer token for the start-of-transfer event.
+const START: u64 = 4;
+
+/// Server side of the bulk flow: a TCP sender with one huge transfer.
+pub struct BulkSender {
+    local: NodeId,
+    sender: TcpSender,
+    start_at: SimTime,
+    bytes: u64,
+    started: bool,
+    /// Earliest outstanding timer (dedup; see `transport::SenderEndpoint`).
+    next_timer: SimTime,
+}
+
+impl BulkSender {
+    /// A bulk sender from `local` to `remote` transferring `bytes` starting
+    /// at `start_at`.
+    pub fn new(
+        local: NodeId,
+        remote: NodeId,
+        flow: FlowId,
+        cfg: TcpConfig,
+        bytes: u64,
+        start_at: SimTime,
+    ) -> Self {
+        // A bulk flow queues its entire (possibly huge) transfer up front;
+        // size the send buffer to fit it rather than model backpressure.
+        let cfg = TcpConfig { send_buffer: cfg.send_buffer.max(bytes + 1), ..cfg };
+        BulkSender {
+            local,
+            sender: TcpSender::new(local, remote, flow, cfg),
+            start_at,
+            bytes,
+            started: false,
+            next_timer: SimTime::MAX,
+        }
+    }
+
+    /// Attach to the simulator and arm the start timer.
+    pub fn install(self, sim: &mut netsim::Simulator) {
+        let node = self.local;
+        let at = self.start_at;
+        sim.set_endpoint(node, Box::new(self));
+        sim.start_timer(node, at, START);
+    }
+
+    /// The node this sender lives on.
+    pub fn local_node(&self) -> NodeId {
+        self.local
+    }
+
+    /// Telemetry access.
+    pub fn sender(&self) -> &TcpSender {
+        &self.sender
+    }
+
+    /// Arm the next wakeup, deduplicating against the outstanding timer.
+    fn arm(&mut self, now: SimTime, ctx: &mut NodeCtx) {
+        if self.next_timer <= now {
+            self.next_timer = SimTime::MAX;
+        }
+        if let Some(w) = self.sender.next_wakeup(now) {
+            let w = w.max(now + SimDuration::from_micros(1));
+            if w < self.next_timer {
+                self.next_timer = w;
+                ctx.set_timer(w, TICK);
+            }
+        }
+    }
+}
+
+impl Endpoint for BulkSender {
+    fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
+        if let Payload::Ack { cum_ack, echo_ts, round } = pkt.payload {
+            if pkt.flow == self.sender.flow() {
+                let mut out = Vec::new();
+                self.sender.on_ack(now, cum_ack, echo_ts, round, &mut out);
+                for p in out {
+                    ctx.send(p);
+                }
+                self.arm(now, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, ctx: &mut NodeCtx) {
+        let mut out = Vec::new();
+        if token == START && !self.started {
+            self.started = true;
+            self.sender.start_transfer(now, self.bytes, None);
+            self.sender.pump(now, &mut out);
+        } else if token == TICK {
+            self.sender.on_tick(now, &mut out);
+        }
+        for p in out {
+            ctx.send(p);
+        }
+        self.arm(now, ctx);
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Client side: ACKs the stream and records throughput in 1-second bins.
+pub struct BulkReceiver {
+    receiver: TcpReceiver,
+    /// Delivered-byte timeseries (1 s bins).
+    pub throughput: BinnedThroughput,
+}
+
+impl BulkReceiver {
+    /// A receiver at `local` for the bulk flow from `remote`.
+    pub fn new(local: NodeId, remote: NodeId, flow: FlowId) -> Self {
+        BulkReceiver {
+            receiver: TcpReceiver::new(local, remote, flow),
+            throughput: BinnedThroughput::new(SimDuration::from_secs(1)),
+        }
+    }
+
+    /// Bytes received contiguously.
+    pub fn bytes(&self) -> u64 {
+        self.receiver.contiguous_bytes()
+    }
+}
+
+impl Endpoint for BulkReceiver {
+    fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
+        if let Payload::Data { len, .. } = pkt.payload {
+            if let Some(ack) = self.receiver.on_data(now, &pkt) {
+                self.throughput.record(now, len as u64);
+                ctx.send(ack);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, _token: u64, _ctx: &mut NodeCtx) {}
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

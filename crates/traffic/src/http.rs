@@ -1,0 +1,185 @@
+//! Repeated HTTP requests (the Fig 8c neighbor).
+//!
+//! [`HttpClient`] repeatedly issues fixed-size requests (3 MB in the paper)
+//! to a [`transport::SenderEndpoint`] server, back to back, and records
+//! each response time: first byte of the request out to last byte of the
+//! response in.
+
+use netsim::{Endpoint, FlowId, NodeCtx, NodeId, Packet, Payload, SimTime};
+use transport::TcpReceiver;
+
+/// Timer token used to issue the next request.
+const NEXT_REQUEST: u64 = 5;
+
+/// A client issuing back-to-back fixed-size HTTP requests.
+pub struct HttpClient {
+    local: NodeId,
+    server: NodeId,
+    flow: FlowId,
+    receiver: TcpReceiver,
+    request_bytes: u64,
+    start_at: SimTime,
+    stop_at: SimTime,
+    /// Response times of completed requests, in milliseconds.
+    pub response_times_ms: Vec<f64>,
+    /// Outstanding request: (stream byte target, sent time).
+    outstanding: Option<(u64, SimTime)>,
+    requested_total: u64,
+    next_id: u64,
+}
+
+impl HttpClient {
+    /// A client at `local` fetching `request_bytes` objects from `server`
+    /// between `start_at` and `stop_at`.
+    pub fn new(
+        local: NodeId,
+        server: NodeId,
+        flow: FlowId,
+        request_bytes: u64,
+        start_at: SimTime,
+        stop_at: SimTime,
+    ) -> Self {
+        assert!(request_bytes > 0);
+        HttpClient {
+            local,
+            server,
+            flow,
+            receiver: TcpReceiver::new(local, server, flow),
+            request_bytes,
+            start_at,
+            stop_at,
+            response_times_ms: Vec::new(),
+            outstanding: None,
+            requested_total: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Attach to the simulator and arm the first request.
+    pub fn install(self, sim: &mut netsim::Simulator) {
+        let node = self.local;
+        let at = self.start_at;
+        sim.set_endpoint(node, Box::new(self));
+        sim.start_timer(node, at, NEXT_REQUEST);
+    }
+
+    /// Mean response time over completed requests, in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        if self.response_times_ms.is_empty() {
+            return f64::NAN;
+        }
+        self.response_times_ms.iter().sum::<f64>() / self.response_times_ms.len() as f64
+    }
+
+    /// Number of completed requests.
+    pub fn completed(&self) -> usize {
+        self.response_times_ms.len()
+    }
+
+    fn issue_request(&mut self, now: SimTime, ctx: &mut NodeCtx) {
+        if now > self.stop_at || self.outstanding.is_some() {
+            return;
+        }
+        self.requested_total += self.request_bytes;
+        self.outstanding = Some((self.requested_total, now));
+        let id = self.next_id;
+        self.next_id += 1;
+        ctx.send(Packet::new(
+            self.local,
+            self.server,
+            self.flow,
+            Payload::Request { id, size: self.request_bytes, pace_bps: None },
+        ));
+    }
+}
+
+impl Endpoint for HttpClient {
+    fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
+        if let Payload::Data { .. } = pkt.payload {
+            if let Some(ack) = self.receiver.on_data(now, &pkt) {
+                ctx.send(ack);
+            }
+            if let Some((target, sent_at)) = self.outstanding {
+                if self.receiver.contiguous_bytes() >= target {
+                    self.response_times_ms
+                        .push(now.saturating_since(sent_at).as_millis_f64());
+                    self.outstanding = None;
+                    // Back-to-back: issue the next one immediately.
+                    self.issue_request(now, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, ctx: &mut NodeCtx) {
+        if token == NEXT_REQUEST {
+            self.issue_request(now, ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Dumbbell, DumbbellConfig, Rate, Simulator};
+    use transport::{SenderEndpoint, TcpConfig};
+
+    #[test]
+    fn requests_complete_back_to_back() {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+        let flow = FlowId(9);
+        let server = SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default());
+        sim.set_endpoint(db.left[0], Box::new(server));
+        let client = HttpClient::new(
+            db.right[0],
+            db.left[0],
+            flow,
+            3_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+        );
+        client.install(&mut sim);
+        sim.run_until(SimTime::from_secs(30));
+
+        let client: &mut HttpClient = sim.endpoint_mut(db.right[0]).unwrap();
+        // 3 MB at 40 Mbps is ~0.6 s once warmed; ~20+ requests in 20 s.
+        assert!(client.completed() >= 15, "completed {}", client.completed());
+        let mean = client.mean_response_ms();
+        assert!(mean > 500.0 && mean < 2_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn slower_with_competing_video_bandwidth() {
+        // Sanity check of the metric: halving available bandwidth roughly
+        // doubles the response time.
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(
+            &mut sim,
+            DumbbellConfig {
+                bottleneck_rate: Rate::from_mbps(20.0),
+                ..Default::default()
+            },
+        );
+        let flow = FlowId(9);
+        let server = SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default());
+        sim.set_endpoint(db.left[0], Box::new(server));
+        let client = HttpClient::new(
+            db.right[0],
+            db.left[0],
+            flow,
+            3_000_000,
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+        );
+        client.install(&mut sim);
+        sim.run_until(SimTime::from_secs(30));
+        let client: &mut HttpClient = sim.endpoint_mut(db.right[0]).unwrap();
+        let mean = client.mean_response_ms();
+        assert!(mean > 1_100.0, "mean {mean}");
+    }
+}

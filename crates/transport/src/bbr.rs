@@ -1,0 +1,285 @@
+//! A BBR-style model-based congestion controller.
+//!
+//! §2.2 of the paper contrasts Sammy with BBR: both pace, but "BBR aims to
+//! pace close to the bottleneck capacity while Sammy aims to pace
+//! significantly lower." This simplified controller reproduces the parts
+//! of BBR the comparison needs — a windowed-max bottleneck-bandwidth
+//! estimate, a min-RTT estimate, startup/drain/probe phases, and a pacing
+//! rate derived from the bandwidth model — so the ablations can show that
+//! BBR smooths packet bursts without reducing *chunk* throughput.
+//!
+//! Simplifications vs real BBR: no PROBE_RTT phase (sessions are short and
+//! app-limited, so the min-RTT filter rarely staleness-expires), loss is
+//! ignored except for RTO (as in BBRv1), and delivery rate is estimated
+//! from cumulative-ACK byte counts over RTT-length epochs rather than
+//! per-packet delivery-rate sampling.
+
+use crate::cc::{CongestionControl, INITIAL_CWND_SEGMENTS, MAX_CWND_BYTES};
+use netsim::{Rate, SimDuration, SimTime, MSS_BYTES};
+use std::collections::VecDeque;
+
+/// Phases of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Exponential search for the bottleneck bandwidth.
+    Startup,
+    /// Drain the queue built during startup.
+    Drain,
+    /// Steady state: cycle pacing gains around 1.0.
+    ProbeBw,
+}
+
+/// The PROBE_BW gain cycle (BBRv1's eight-phase cycle).
+const BW_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Startup pacing gain (2/ln 2).
+const STARTUP_GAIN: f64 = 2.885;
+
+/// Simplified BBR congestion control.
+#[derive(Debug, Clone)]
+pub struct BbrLite {
+    phase: Phase,
+    /// Windowed max-filter of delivery-rate samples: (sample bps, epoch no).
+    bw_samples: VecDeque<(f64, u64)>,
+    /// Epoch counter for the max filter window.
+    epoch: u64,
+    /// Bytes cumulatively acked during the current epoch.
+    epoch_bytes: u64,
+    /// When the current epoch began.
+    epoch_start: Option<SimTime>,
+    /// Minimum RTT seen.
+    min_rtt: Option<SimDuration>,
+    /// Consecutive epochs without ≥25% bandwidth growth (startup exit).
+    plateau: u32,
+    /// Bandwidth at the last startup growth check.
+    last_growth_bw: f64,
+    /// Index into the PROBE_BW gain cycle.
+    cycle_idx: usize,
+}
+
+impl Default for BbrLite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BbrLite {
+    /// A fresh controller in STARTUP.
+    pub fn new() -> Self {
+        BbrLite {
+            phase: Phase::Startup,
+            bw_samples: VecDeque::new(),
+            epoch: 0,
+            epoch_bytes: 0,
+            epoch_start: None,
+            min_rtt: None,
+            plateau: 0,
+            last_growth_bw: 0.0,
+            cycle_idx: 0,
+        }
+    }
+
+    /// Current bottleneck-bandwidth estimate in bits/sec (the max filter).
+    pub fn btlbw_bps(&self) -> f64 {
+        self.bw_samples
+            .iter()
+            .map(|&(bw, _)| bw)
+            .fold(0.0, f64::max)
+    }
+
+    /// Estimated bandwidth-delay product in bytes (0 before any sample,
+    /// so the cwnd floor applies).
+    fn bdp_bytes(&self) -> u64 {
+        match self.min_rtt {
+            Some(rtt) => (self.btlbw_bps() * rtt.as_secs_f64() / 8.0) as u64,
+            None => 0,
+        }
+    }
+
+    fn pacing_gain(&self) -> f64 {
+        match self.phase {
+            Phase::Startup => STARTUP_GAIN,
+            Phase::Drain => 1.0 / STARTUP_GAIN,
+            Phase::ProbeBw => BW_GAINS[self.cycle_idx],
+        }
+    }
+
+    fn on_epoch_complete(&mut self, sample_bps: f64) {
+        self.epoch += 1;
+        self.bw_samples.push_back((sample_bps, self.epoch));
+        // Keep a 10-epoch window.
+        while let Some(&(_, e)) = self.bw_samples.front() {
+            if self.epoch - e >= 10 {
+                self.bw_samples.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        match self.phase {
+            Phase::Startup => {
+                let bw = self.btlbw_bps();
+                if bw > self.last_growth_bw * 1.25 {
+                    self.last_growth_bw = bw;
+                    self.plateau = 0;
+                } else {
+                    self.plateau += 1;
+                    if self.plateau >= 3 {
+                        self.phase = Phase::Drain;
+                    }
+                }
+            }
+            Phase::Drain => {
+                // One drain epoch is enough at our scale.
+                self.phase = Phase::ProbeBw;
+                self.cycle_idx = 0;
+            }
+            Phase::ProbeBw => {
+                self.cycle_idx = (self.cycle_idx + 1) % BW_GAINS.len();
+            }
+        }
+    }
+}
+
+impl CongestionControl for BbrLite {
+    fn on_ack(&mut self, now: SimTime, bytes_acked: u64, rtt: Option<SimDuration>, _in_recovery: bool) {
+        if let Some(r) = rtt {
+            self.min_rtt = Some(match self.min_rtt {
+                Some(m) if m < r => m,
+                _ => r,
+            });
+        }
+        self.epoch_bytes += bytes_acked;
+        let epoch_len = self.min_rtt.unwrap_or(SimDuration::from_millis(50));
+        match self.epoch_start {
+            None => self.epoch_start = Some(now),
+            Some(start) => {
+                let elapsed = now.saturating_since(start);
+                if elapsed >= epoch_len && !elapsed.is_zero() {
+                    let sample = self.epoch_bytes as f64 * 8.0 / elapsed.as_secs_f64();
+                    self.on_epoch_complete(sample);
+                    self.epoch_bytes = 0;
+                    self.epoch_start = Some(now);
+                }
+            }
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        // BBRv1 deliberately does not back off on isolated losses; its rate
+        // model already bounds the queue.
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        // Timeout: the model is stale. Restart the search.
+        self.bw_samples.clear();
+        self.phase = Phase::Startup;
+        self.plateau = 0;
+        self.last_growth_bw = 0.0;
+        self.epoch_bytes = 0;
+        self.epoch_start = None;
+    }
+
+    fn on_idle_restart(&mut self, _now: SimTime) {
+        // Keep the model (BBR's rate is remembered across app-limited
+        // gaps), but refresh the epoch accounting.
+        self.epoch_bytes = 0;
+        self.epoch_start = None;
+    }
+
+    fn cwnd(&self) -> u64 {
+        // 2x BDP, floored at the initial window.
+        (2 * self.bdp_bytes())
+            .max(INITIAL_CWND_SEGMENTS * MSS_BYTES)
+            .min(MAX_CWND_BYTES)
+    }
+
+    fn ssthresh(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr-lite"
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        let bw = self.btlbw_bps();
+        if bw <= 0.0 {
+            // No estimate yet: let the initial window go unpaced.
+            None
+        } else {
+            Some(Rate::from_bps(bw * self.pacing_gain()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feed ACKs simulating a path with the given capacity and RTT.
+    fn drive(cc: &mut BbrLite, capacity_mbps: f64, rtt_ms: u64, epochs: usize) {
+        let rtt = SimDuration::from_millis(rtt_ms);
+        let bytes_per_epoch = (capacity_mbps * 1e6 / 8.0 * rtt.as_secs_f64()) as u64;
+        let mut now = SimTime::ZERO;
+        for _ in 0..epochs {
+            // Two ACKs per epoch, half the bytes each.
+            cc.on_ack(now, bytes_per_epoch / 2, Some(rtt), false);
+            now = now + rtt / 2;
+            cc.on_ack(now, bytes_per_epoch / 2, Some(rtt), false);
+            now = now + rtt / 2;
+        }
+    }
+
+    #[test]
+    fn bandwidth_estimate_converges() {
+        let mut cc = BbrLite::new();
+        drive(&mut cc, 40.0, 20, 30);
+        let bw = cc.btlbw_bps() / 1e6;
+        assert!((bw - 40.0).abs() / 40.0 < 0.15, "btlbw {bw} Mbps");
+    }
+
+    #[test]
+    fn startup_exits_to_probe_bw() {
+        let mut cc = BbrLite::new();
+        drive(&mut cc, 40.0, 20, 30);
+        assert_eq!(cc.phase, Phase::ProbeBw);
+    }
+
+    #[test]
+    fn pacing_rate_near_capacity_in_steady_state() {
+        let mut cc = BbrLite::new();
+        drive(&mut cc, 40.0, 20, 40);
+        // Across the gain cycle, pacing stays within [0.75, 1.25] x btlbw.
+        let pace = cc.pacing_rate().unwrap().mbps();
+        let bw = cc.btlbw_bps() / 1e6;
+        assert!(pace >= 0.7 * bw && pace <= 1.3 * bw, "pace {pace} vs bw {bw}");
+    }
+
+    #[test]
+    fn cwnd_tracks_two_bdp() {
+        let mut cc = BbrLite::new();
+        drive(&mut cc, 40.0, 20, 30);
+        // BDP = 40 Mbps x 20 ms = 100 kB; cwnd ~ 200 kB.
+        let cwnd = cc.cwnd() as f64 / 1e3;
+        assert!(cwnd > 140.0 && cwnd < 280.0, "cwnd {cwnd} kB");
+    }
+
+    #[test]
+    fn no_estimate_means_unpaced() {
+        let cc = BbrLite::new();
+        assert_eq!(cc.pacing_rate(), None);
+        assert_eq!(cc.cwnd(), INITIAL_CWND_SEGMENTS * MSS_BYTES);
+    }
+
+    #[test]
+    fn loss_is_ignored_rto_resets() {
+        let mut cc = BbrLite::new();
+        drive(&mut cc, 40.0, 20, 30);
+        let bw = cc.btlbw_bps();
+        cc.on_loss_event(SimTime::ZERO);
+        assert_eq!(cc.btlbw_bps(), bw, "loss must not clear the model");
+        cc.on_rto(SimTime::ZERO);
+        assert_eq!(cc.btlbw_bps(), 0.0, "RTO must reset the model");
+        assert_eq!(cc.phase, Phase::Startup);
+    }
+}

@@ -1,0 +1,48 @@
+//! # transport — TCP-like transport with application-informed pacing
+//!
+//! This crate implements the transport substrate of the Sammy reproduction
+//! on top of [`netsim`]:
+//!
+//! - [`TcpSender`] / [`TcpReceiver`]: a NewReno byte-stream transport with
+//!   slow start, AIMD congestion avoidance, duplicate-ACK fast retransmit,
+//!   partial-ACK recovery, RTO with exponential backoff, and slow-start
+//!   restart after idle.
+//! - [`Reno`] and [`Cubic`] congestion controllers behind the
+//!   [`CongestionControl`] trait.
+//! - [`Pacer`]: token-bucket pacing with a configurable burst size — the
+//!   mechanism behind *application-informed pacing* (paper §3.2). Transfers
+//!   carry an optional pace rate; the sender releases packets no faster
+//!   than that rate, in bursts no larger than the configured size
+//!   (the paper's Fig 4 sweeps this burst size from 4 to 40 packets).
+//! - [`UdpCbrSource`] / [`UdpSink`]: paced constant-bit-rate datagram flows
+//!   with one-way-delay measurement (neighboring traffic of Fig 8a).
+//! - [`SenderEndpoint`] / [`ReceiverEndpoint`]: plug-in [`netsim::Endpoint`]
+//!   adapters; the sender endpoint answers [`netsim::Payload::Request`]
+//!   messages whose `pace_bps` field is the application-informed pacing
+//!   header.
+//!
+//! Telemetry matches what the paper's production experiments measure:
+//! per-connection retransmitted-byte fractions and per-packet RTTs stored
+//! in a [`tdigest::TDigest`] (§5.1).
+
+#![warn(missing_docs)]
+
+pub mod bbr;
+pub mod cc;
+pub mod endpoint;
+pub mod pacing;
+pub mod receiver;
+pub mod rtt;
+pub mod scavenger;
+pub mod sender;
+pub mod udp;
+
+pub use bbr::BbrLite;
+pub use cc::{CcAlgorithm, CongestionControl, Cubic, Reno, INITIAL_CWND_SEGMENTS};
+pub use endpoint::{ReceiverEndpoint, SenderEndpoint};
+pub use pacing::Pacer;
+pub use receiver::TcpReceiver;
+pub use rtt::RttEstimator;
+pub use scavenger::{Ledbat, LedbatConfig};
+pub use sender::{CompletedTransfer, SenderStats, TcpConfig, TcpSender};
+pub use udp::{UdpCbrSource, UdpSink};

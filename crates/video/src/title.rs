@@ -1,0 +1,266 @@
+//! Titles and chunks.
+//!
+//! A title is a video split into fixed-duration chunks, each encoded at
+//! every rung of a ladder. Chunk sizes vary around `bitrate × duration`
+//! because encoders are variable-bitrate; the variation is seeded and
+//! deterministic per title.
+
+use crate::ladder::Ladder;
+use netsim::{Rate, SimDuration};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One chunk of a title: its duration, per-rung encoded sizes, and
+/// per-rung perceptual quality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkSpec {
+    /// Position of this chunk in the title.
+    pub index: usize,
+    /// Playback duration.
+    pub duration: SimDuration,
+    /// Encoded size in bytes, one entry per ladder rung.
+    pub sizes: Vec<u64>,
+    /// Per-chunk VMAF at each rung: the rung's nominal score plus a small
+    /// scene-dependent offset (encoders hold quality only approximately
+    /// constant across scenes).
+    pub vmafs: Vec<f64>,
+}
+
+impl ChunkSpec {
+    /// Encoded size of this chunk at `rung`.
+    pub fn size(&self, rung: usize) -> u64 {
+        self.sizes[rung]
+    }
+
+    /// VMAF of this chunk at `rung`.
+    pub fn vmaf(&self, rung: usize) -> f64 {
+        self.vmafs[rung]
+    }
+
+    /// Actual encoding bitrate of this chunk at `rung` (size / duration).
+    pub fn actual_bitrate(&self, rung: usize) -> Rate {
+        Rate::from_bps(self.sizes[rung] as f64 * 8.0 / self.duration.as_secs_f64())
+    }
+}
+
+/// A title: a ladder plus its chunk list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Title {
+    /// The encoding ladder.
+    pub ladder: Ladder,
+    /// All chunks in playback order.
+    pub chunks: Vec<ChunkSpec>,
+}
+
+/// Parameters for generating a synthetic title.
+#[derive(Debug, Clone)]
+pub struct TitleConfig {
+    /// Total playback duration.
+    pub duration: SimDuration,
+    /// Chunk duration (a few seconds; 4 s is typical).
+    pub chunk_duration: SimDuration,
+    /// Coefficient of variation of chunk sizes around the rung bitrate
+    /// (VBR wobble). 0 gives perfectly CBR chunks.
+    pub size_cv: f64,
+    /// Standard deviation of the per-chunk VMAF offset (quality wobble
+    /// across scenes at a fixed rung). 0 gives constant per-rung VMAF.
+    pub vmaf_sd: f64,
+    /// RNG seed for the size wobble.
+    pub seed: u64,
+}
+
+impl Default for TitleConfig {
+    fn default() -> Self {
+        TitleConfig {
+            duration: SimDuration::from_secs(20 * 60),
+            chunk_duration: SimDuration::from_secs(4),
+            size_cv: 0.15,
+            vmaf_sd: 1.5,
+            seed: 0,
+        }
+    }
+}
+
+impl Title {
+    /// Generate a title with the given ladder and config.
+    ///
+    /// # Panics
+    /// Panics if the chunk duration is zero or longer than the title.
+    pub fn generate(ladder: Ladder, cfg: &TitleConfig) -> Self {
+        assert!(!cfg.chunk_duration.is_zero(), "chunk duration must be positive");
+        assert!(cfg.duration >= cfg.chunk_duration, "title shorter than one chunk");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = (cfg.duration.as_nanos() / cfg.chunk_duration.as_nanos()) as usize;
+        let chunk_secs = cfg.chunk_duration.as_secs_f64();
+        let chunks = (0..n)
+            .map(|index| {
+                // One multiplier per chunk, shared across rungs: scene
+                // complexity moves all encodings together.
+                let mult = lognormal_around_one(&mut rng, cfg.size_cv);
+                let sizes: Vec<u64> = ladder
+                    .rungs()
+                    .iter()
+                    .map(|r| {
+                        let ideal = r.bitrate.bps() * chunk_secs / 8.0;
+                        ((ideal * mult) as u64).max(1)
+                    })
+                    .collect();
+                // Scene-dependent quality offset, shared across rungs and
+                // shrinking toward the top of the scale (scores saturate).
+                let offset = gaussian(&mut rng) * cfg.vmaf_sd;
+                let vmafs = ladder
+                    .rungs()
+                    .iter()
+                    .map(|r| {
+                        let headroom = (100.0 - r.vmaf) / 100.0;
+                        (r.vmaf + offset * (0.5 + headroom)).clamp(0.0, 100.0)
+                    })
+                    .collect();
+                ChunkSpec { index, duration: cfg.chunk_duration, sizes, vmafs }
+            })
+            .collect();
+        Title { ladder, chunks }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True if the title has no chunks (never produced by `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total playback duration.
+    pub fn duration(&self) -> SimDuration {
+        self.chunks
+            .iter()
+            .fold(SimDuration::ZERO, |acc, c| acc + c.duration)
+    }
+
+    /// Chunks from `from` (inclusive), for ABR lookahead.
+    pub fn upcoming(&self, from: usize) -> &[ChunkSpec] {
+        &self.chunks[from.min(self.chunks.len())..]
+    }
+}
+
+/// A multiplicative wobble with mean ≈ 1 and the given coefficient of
+/// variation, log-normal shaped, clamped to [0.4, 2.5].
+fn lognormal_around_one(rng: &mut StdRng, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let sigma = (1.0 + cv * cv).ln().sqrt();
+    let mu = -sigma * sigma / 2.0;
+    (mu + sigma * gaussian(rng)).exp().clamp(0.4, 2.5)
+}
+
+/// A standard normal draw (Box-Muller from two uniforms).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmaf::VmafModel;
+
+    fn title(seed: u64, cv: f64) -> Title {
+        Title::generate(
+            Ladder::hd(&VmafModel::standard()),
+            &TitleConfig { seed, size_cv: cv, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn chunk_count_and_duration() {
+        let t = title(0, 0.15);
+        assert_eq!(t.len(), 300); // 20 min / 4 s
+        assert_eq!(t.duration(), SimDuration::from_secs(1200));
+    }
+
+    #[test]
+    fn cbr_sizes_exact() {
+        let t = title(0, 0.0);
+        let c = &t.chunks[7];
+        // 1.05 Mbps rung, 4 s chunk: 525 kB.
+        assert_eq!(c.size(4), 525_000);
+        assert!((c.actual_bitrate(4).bps() - 1_050e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn vbr_sizes_average_near_bitrate() {
+        let t = title(3, 0.15);
+        let rung = 6; // 3 Mbps
+        let mean_size: f64 =
+            t.chunks.iter().map(|c| c.size(rung) as f64).sum::<f64>() / t.len() as f64;
+        let ideal = 3_000e3 * 4.0 / 8.0;
+        assert!(
+            (mean_size - ideal).abs() / ideal < 0.05,
+            "mean {mean_size} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn sizes_ascend_with_rung() {
+        let t = title(1, 0.15);
+        for c in &t.chunks {
+            for w in c.sizes.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn per_chunk_vmaf_varies_and_stays_ordered() {
+        let t = title(2, 0.1);
+        // Wobble exists...
+        let v: Vec<f64> = t.chunks.iter().map(|c| c.vmaf(4)).collect();
+        let spread = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - v.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.5, "vmaf spread {spread}");
+        // ...but rung ordering holds within every chunk.
+        for c in &t.chunks {
+            for w in c.vmafs.windows(2) {
+                assert!(w[1] > w[0], "vmaf ordering broken: {:?}", c.vmafs);
+            }
+            for &x in &c.vmafs {
+                assert!((0.0..=100.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vmaf_sd_is_exact() {
+        let t = Title::generate(
+            Ladder::hd(&VmafModel::standard()),
+            &TitleConfig { size_cv: 0.0, vmaf_sd: 0.0, ..Default::default() },
+        );
+        for c in &t.chunks {
+            for (i, r) in t.ladder.rungs().iter().enumerate() {
+                assert_eq!(c.vmaf(i), r.vmaf);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = title(42, 0.15);
+        let b = title(42, 0.15);
+        let c = title(43, 0.15);
+        assert_eq!(a.chunks[5].sizes, b.chunks[5].sizes);
+        assert_ne!(a.chunks[5].sizes, c.chunks[5].sizes);
+    }
+
+    #[test]
+    fn upcoming_lookahead() {
+        let t = title(0, 0.0);
+        assert_eq!(t.upcoming(295).len(), 5);
+        assert_eq!(t.upcoming(300).len(), 0);
+        assert_eq!(t.upcoming(10_000).len(), 0);
+        assert_eq!(t.upcoming(0).len(), 300);
+    }
+}

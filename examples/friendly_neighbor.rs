@@ -1,0 +1,38 @@
+//! Friendly neighbor: reproduce the §6 lab experiments interactively —
+//! how does a video session (production vs Sammy) affect a neighboring
+//! UDP flow, bulk TCP flow, HTTP client, and second video session sharing
+//! its bottleneck?
+//!
+//! ```text
+//! cargo run --example friendly_neighbor --release
+//! ```
+
+use sammy_repro::netsim::SimDuration;
+use sammy_repro::sammy_bench::lab::{self, LabArm, LabConfig};
+
+fn main() {
+    let cfg = LabConfig::neighbors();
+    println!("Neighboring traffic sharing a 40 Mbps bottleneck with a video session");
+    println!("(paper Fig 8; lower is better for delays, higher for throughput)\n");
+
+    let udp_c = lab::neighbor_udp(LabArm::Control, &cfg);
+    let udp_s = lab::neighbor_udp(LabArm::Sammy, &cfg);
+    println!("UDP one-way delay : control {udp_c:>8.2} ms | sammy {udp_s:>8.2} ms | {:+.0}% (paper -51%)",
+        (udp_s - udp_c) / udp_c * 100.0);
+
+    let tcp_c = lab::neighbor_tcp(LabArm::Control, &cfg);
+    let tcp_s = lab::neighbor_tcp(LabArm::Sammy, &cfg);
+    println!("TCP throughput    : control {tcp_c:>8.2} Mb | sammy {tcp_s:>8.2} Mb | {:+.0}% (paper +28%)",
+        (tcp_s - tcp_c) / tcp_c * 100.0);
+
+    let http_c = lab::neighbor_http(LabArm::Control, &cfg);
+    let http_s = lab::neighbor_http(LabArm::Sammy, &cfg);
+    println!("HTTP response     : control {http_c:>8.0} ms | sammy {http_s:>8.0} ms | {:+.0}% (paper -18%)",
+        (http_s - http_c) / http_c * 100.0);
+
+    let vid_cfg = LabConfig { run_for: SimDuration::from_secs(45), ..LabConfig::neighbors() };
+    let vid_c = lab::neighbor_video(LabArm::Control, &vid_cfg, 4);
+    let vid_s = lab::neighbor_video(LabArm::Sammy, &vid_cfg, 4);
+    println!("Video play delay  : control {vid_c:>8.0} ms | sammy {vid_s:>8.0} ms | {:+.0}% (paper -4%)",
+        (vid_s - vid_c) / vid_c * 100.0);
+}

@@ -1,0 +1,155 @@
+//! `sammy-sim` — command-line front end for the Sammy reproduction.
+//!
+//! ```text
+//! sammy-sim single-flow [--sammy] [--rate-mbps 40] [--rtt-ms 5] [--secs 60]
+//! sammy-sim neighbors   [--secs 60]
+//! sammy-sim abtest      [--users 150] [--c0 3.2] [--c1 2.8]
+//! sammy-sim tune        [--users 40] [--rounds 2]
+//! ```
+
+use sammy_repro::abtest::{
+    draw_population, run_experiment, search, Arm, ExperimentConfig, PopulationConfig, QoeGuards,
+    Report,
+};
+use sammy_repro::netsim::{DumbbellConfig, Rate, SimDuration};
+use sammy_repro::sammy_bench::lab::{self, LabArm, LabConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return;
+    };
+    let opts = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "single-flow" => single_flow(&opts),
+        "neighbors" => neighbors(&opts),
+        "abtest" => abtest(&opts),
+        "tune" => tune(&opts),
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!("usage: sammy-sim <single-flow|neighbors|abtest|tune> [flags]");
+    eprintln!("  single-flow  [--sammy] [--rate-mbps N] [--rtt-ms N] [--secs N]");
+    eprintln!("  neighbors    [--secs N]");
+    eprintln!("  abtest       [--users N] [--c0 X] [--c1 X] [--seed N]");
+    eprintln!("  tune         [--users N] [--rounds N] [--seed N]");
+}
+
+struct Opts(Vec<(String, String)>);
+
+impl Opts {
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|(k, _)| k == key)
+    }
+}
+
+fn parse_flags(args: &[String]) -> Opts {
+    let mut out = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => String::new(),
+            };
+            out.push((key.to_string(), value));
+        }
+    }
+    Opts(out)
+}
+
+fn single_flow(opts: &Opts) {
+    let cfg = LabConfig {
+        dumbbell: DumbbellConfig {
+            bottleneck_rate: Rate::from_mbps(opts.get("rate-mbps", 40.0)),
+            rtt: SimDuration::from_millis(opts.get("rtt-ms", 5)),
+            pairs: 2,
+            ..Default::default()
+        },
+        run_for: SimDuration::from_secs(opts.get("secs", 60)),
+        ..Default::default()
+    };
+    let arm = if opts.flag("sammy") { LabArm::Sammy } else { LabArm::Control };
+    let r = lab::single_flow(arm, &cfg);
+    println!("arm              : {}", arm.label());
+    println!("chunk throughput : {:.1} Mbps", r.chunk_throughput_mbps);
+    println!("median RTT       : {:.2} ms", r.median_rtt_ms);
+    println!("retransmits      : {:.3} %", r.retx_fraction * 100.0);
+    println!("play delay       : {:.2} s", r.play_delay_s);
+    println!("rebuffers        : {}", r.rebuffers);
+    println!("peak queue       : {:.1} kB", r.max_queue_bytes as f64 / 1e3);
+}
+
+fn neighbors(opts: &Opts) {
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(opts.get("secs", 60)),
+        ..LabConfig::neighbors()
+    };
+    println!("{:<18} {:>12} {:>12} {:>8}", "neighbor", "control", "sammy", "change");
+    let rows: [(&str, fn(LabArm, &LabConfig) -> f64, &str); 3] = [
+        ("UDP OWD (ms)", lab::neighbor_udp, "-"),
+        ("TCP tput (Mbps)", lab::neighbor_tcp, "+"),
+        ("HTTP resp (ms)", lab::neighbor_http, "-"),
+    ];
+    for (name, f, _dir) in rows {
+        let c = f(LabArm::Control, &cfg);
+        let s = f(LabArm::Sammy, &cfg);
+        println!("{name:<18} {c:>12.2} {s:>12.2} {:>7.0}%", (s - c) / c * 100.0);
+    }
+}
+
+fn abtest(opts: &Opts) {
+    let cfg = ExperimentConfig {
+        users_per_arm: opts.get("users", 150),
+        pre_sessions: 3,
+        sessions_per_user: 3,
+        seed: opts.get("seed", 2023),
+        bootstrap_reps: 400,
+    };
+    let c0 = opts.get("c0", 3.2);
+    let c1 = opts.get("c1", 2.8);
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
+    let (control, treatment) =
+        run_experiment(&pop, Arm::Production, Arm::Sammy { c0, c1 }, &cfg);
+    let report = Report::build(&control, &treatment, cfg.bootstrap_reps, cfg.seed);
+    println!("Paired A/B: production vs Sammy(c0={c0}, c1={c1}), {} users\n", cfg.users_per_arm);
+    print!("{}", report.render());
+}
+
+fn tune(opts: &Opts) {
+    let cfg = ExperimentConfig {
+        users_per_arm: opts.get("users", 40),
+        pre_sessions: 2,
+        sessions_per_user: 2,
+        seed: opts.get("seed", 7),
+        bootstrap_reps: 150,
+    };
+    let rounds = opts.get("rounds", 2);
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
+    println!("Searching (c0, c1) over {rounds} rounds, {} users...\n", cfg.users_per_arm);
+    let out = search(&pop, &cfg, QoeGuards::default(), rounds);
+    println!("{:>6} {:>6} {:>10} {:>9} {:>10} {:>9}", "c0", "c1", "tput %", "vmaf %", "delay %", "feasible");
+    for c in &out.trace {
+        println!(
+            "{:>6.2} {:>6.2} {:>10.1} {:>9.3} {:>10.2} {:>9}",
+            c.c0, c.c1, c.tput_pct, c.vmaf_pct, c.play_delay_pct, c.feasible
+        );
+    }
+    let b = &out.best;
+    println!(
+        "\nchosen: c0={}, c1={} -> throughput {:.1}%, VMAF {:.3}%, play delay {:.2}%",
+        b.c0, b.c1, b.tput_pct, b.vmaf_pct, b.play_delay_pct
+    );
+    println!("(the paper's production choice was c0=3.2, c1=2.8 at -61% throughput)");
+}

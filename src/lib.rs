@@ -1,0 +1,15 @@
+//! Umbrella crate for the Sammy reproduction.
+//!
+//! Re-exports the public surface of every crate in the workspace so that the
+//! examples and integration tests can use a single import root.
+
+pub use abr;
+pub use abtest;
+pub use fluidsim;
+pub use netsim;
+pub use sammy_bench;
+pub use sammy_core;
+pub use tdigest;
+pub use traffic;
+pub use transport;
+pub use video;

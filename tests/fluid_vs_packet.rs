@@ -1,0 +1,145 @@
+//! Calibration tests: the fluid simulator's per-chunk download model must
+//! agree with the packet simulator on the quantities the A/B experiments
+//! depend on — download times, the paced/unpaced throughput split, and the
+//! presence/absence of queueing.
+
+use sammy_repro::fluidsim::{download_chunk, FluidConfig, NetworkProfile};
+use sammy_repro::netsim::{
+    Dumbbell, DumbbellConfig, FlowId, Packet, Payload, Rate, SimDuration, SimTime, Simulator,
+};
+use sammy_repro::transport::{ReceiverEndpoint, SenderEndpoint, TcpConfig};
+
+/// Run one transfer over the packet simulator, returning the wall-clock
+/// download time in seconds (request to full delivery).
+fn packet_download(bytes: u64, pace_bps: Option<f64>, capacity_mbps: f64, rtt_ms: u64) -> f64 {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(
+        &mut sim,
+        DumbbellConfig {
+            bottleneck_rate: Rate::from_mbps(capacity_mbps),
+            rtt: SimDuration::from_millis(rtt_ms),
+            ..Default::default()
+        },
+    );
+    let flow = FlowId(1);
+    sim.set_endpoint(
+        db.left[0],
+        Box::new(SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default())),
+    );
+    sim.set_endpoint(
+        db.right[0],
+        Box::new(ReceiverEndpoint::new(db.right[0], db.left[0], flow)),
+    );
+    let req = Packet::new(
+        db.right[0],
+        db.left[0],
+        flow,
+        Payload::Request { id: 0, size: bytes, pace_bps },
+    );
+    sim.inject(db.right[0], req);
+    sim.run_until(SimTime::from_secs(120));
+    let server: &mut SenderEndpoint = sim.endpoint_mut(db.left[0]).unwrap();
+    assert_eq!(server.completed.len(), 1, "transfer must complete");
+    let t = server.completed[0];
+    t.completed_at.saturating_since(SimTime::ZERO).as_secs_f64()
+}
+
+fn fluid_profile(capacity_mbps: f64, rtt_ms: u64) -> NetworkProfile {
+    NetworkProfile {
+        capacity: Rate::from_mbps(capacity_mbps),
+        base_rtt: SimDuration::from_millis(rtt_ms),
+        bufferbloat: SimDuration::from_millis(10),
+        ambient_loss: 0.0,
+        self_loss: 0.0,
+        jitter_cv: 0.0,
+        fade_prob: 0.0,
+        fade_depth: 0.1,
+    }
+}
+
+#[test]
+fn paced_download_times_agree() {
+    // 2 MB paced at 10 Mbps over a 40 Mbps / 5 ms path: both models should
+    // be close to 1.6 s.
+    let pkt = packet_download(2_000_000, Some(10e6), 40.0, 5);
+    let fluid = download_chunk(
+        &fluid_profile(40.0, 5),
+        &FluidConfig::default(),
+        2_000_000,
+        Some(Rate::from_mbps(10.0)),
+        true,
+        1.0,
+    )
+    .download_time
+    .as_secs_f64();
+    let rel = (pkt - fluid).abs() / pkt;
+    assert!(rel < 0.10, "packet {pkt:.3}s vs fluid {fluid:.3}s (rel {rel:.3})");
+}
+
+#[test]
+fn unpaced_download_times_agree_within_slow_start_error() {
+    // 4 MB unpaced over 40 Mbps / 5 ms: ideal 0.8 s plus slow-start ramp.
+    let pkt = packet_download(4_000_000, None, 40.0, 5);
+    let fluid = download_chunk(
+        &fluid_profile(40.0, 5),
+        &FluidConfig::default(),
+        4_000_000,
+        None,
+        true,
+        1.0,
+    )
+    .download_time
+    .as_secs_f64();
+    let rel = (pkt - fluid).abs() / pkt;
+    // The packet simulator additionally pays NewReno's hole-at-a-time fast
+    // recovery after the slow-start overshoot drops a window of packets —
+    // a cost the fluid model intentionally omits (it hits both arms'
+    // unpaced phases identically, so it cancels in A/B deltas; if anything
+    // it makes the fluid model's control-arm throughput optimistic and the
+    // measured Sammy-vs-control reductions conservative). Agreement within
+    // 40% on this worst case, and within 10% on the paced path that
+    // actually matters, is the documented calibration envelope.
+    assert!(rel < 0.40, "packet {pkt:.3}s vs fluid {fluid:.3}s (rel {rel:.3})");
+    // And the fluid model must not be *slower* than the packet truth.
+    assert!(fluid <= pkt, "fluid should lower-bound the packet time here");
+}
+
+#[test]
+fn congestion_boundary_matches() {
+    // Pacing below capacity: the packet sim shows zero drops, matching the
+    // fluid model's "not congested" state.
+    let profile = fluid_profile(40.0, 5);
+    let fluid_clean = download_chunk(
+        &profile,
+        &FluidConfig::default(),
+        2_000_000,
+        Some(Rate::from_mbps(10.0)),
+        false,
+        1.0,
+    );
+    assert!(!fluid_clean.congested);
+
+    let fluid_hot = download_chunk(&profile, &FluidConfig::default(), 2_000_000, None, false, 1.0);
+    assert!(fluid_hot.congested);
+}
+
+#[test]
+fn small_chunk_cold_start_penalty_matches_packet_sim() {
+    // A 500 kB chunk on a fast (100 Mbps) link is dominated by slow start.
+    // Both models must show measured throughput far below link capacity.
+    let pkt_time = packet_download(500_000, None, 100.0, 20);
+    let pkt_tput_mbps = 500_000.0 * 8.0 / pkt_time / 1e6;
+    let fluid = download_chunk(
+        &fluid_profile(100.0, 20),
+        &FluidConfig::default(),
+        500_000,
+        None,
+        true,
+        1.0,
+    );
+    let fluid_tput_mbps = 500_000.0 * 8.0 / fluid.download_time.as_secs_f64() / 1e6;
+    assert!(pkt_tput_mbps < 60.0, "packet tput {pkt_tput_mbps}");
+    assert!(fluid_tput_mbps < 60.0, "fluid tput {fluid_tput_mbps}");
+    let rel = (pkt_tput_mbps - fluid_tput_mbps).abs() / pkt_tput_mbps;
+    assert!(rel < 0.35, "packet {pkt_tput_mbps:.1} vs fluid {fluid_tput_mbps:.1}");
+}

@@ -1,0 +1,155 @@
+//! Cross-crate property-based tests on core invariants.
+
+use proptest::prelude::*;
+use sammy_repro::abr;
+use sammy_repro::fluidsim::{download_chunk, FluidConfig, NetworkProfile};
+use sammy_repro::netsim::{Rate, SimDuration};
+use sammy_repro::sammy_core::analysis;
+use sammy_repro::sammy_core::PaceSelector;
+use sammy_repro::video::{Ladder, Title, TitleConfig, VmafModel};
+
+fn profile(capacity_mbps: f64) -> NetworkProfile {
+    NetworkProfile {
+        capacity: Rate::from_mbps(capacity_mbps),
+        base_rtt: SimDuration::from_millis(30),
+        bufferbloat: SimDuration::from_millis(40),
+        ambient_loss: 0.001,
+        self_loss: 0.01,
+        jitter_cv: 0.0,
+        fade_prob: 0.0,
+        fade_depth: 0.1,
+    }
+}
+
+proptest! {
+    /// The pace multiplier always lies between c1 and c0.
+    #[test]
+    fn pace_multiplier_bounded(c0 in 0.5f64..8.0, c1 in 0.5f64..8.0, fill in -0.5f64..1.5) {
+        let p = PaceSelector::new(c0, c1);
+        let m = p.multiplier(fill);
+        let (lo, hi) = if c0 < c1 { (c0, c1) } else { (c1, c0) };
+        prop_assert!(m >= lo - 1e-12 && m <= hi + 1e-12);
+    }
+
+    /// Theorem A.1 round trip: buffer_after and achievable_bitrate are
+    /// inverses.
+    #[test]
+    fn theorem_a1_roundtrip(
+        b0 in 0.0f64..300.0,
+        dur in 10.0f64..3600.0,
+        tput in 1e6f64..1e8,
+        ratio in 0.05f64..1.0,
+    ) {
+        let bitrate = tput * ratio;
+        let b_end = analysis::buffer_after(b0, dur, bitrate, tput);
+        let back = analysis::achievable_bitrate(b0, b_end, dur, tput);
+        prop_assert!((back - bitrate).abs() / bitrate < 1e-9);
+    }
+
+    /// Eq. 1: the minimum throughput decreases monotonically with buffer
+    /// and scales linearly with the bitrate.
+    #[test]
+    fn eq1_monotonicity(beta in 0.1f64..1.0, r in 1e5f64..2e7, b in 0.0f64..200.0) {
+        let d_t = 20.0;
+        let x1 = analysis::min_throughput_for_bitrate(beta, r, b, d_t);
+        let x2 = analysis::min_throughput_for_bitrate(beta, r, b + 10.0, d_t);
+        prop_assert!(x2 < x1);
+        let x_double = analysis::min_throughput_for_bitrate(beta, 2.0 * r, b, d_t);
+        prop_assert!((x_double - 2.0 * x1).abs() / x1 < 1e-9);
+    }
+
+    /// Fluid download time is monotone: more bytes never download faster,
+    /// and — within the uncongested regime — a higher pace never downloads
+    /// slower. (Crossing the congestion boundary legitimately inflates the
+    /// RTT, which can slow a tiny transfer; that is the behaviour Sammy
+    /// exploits, not a model bug.)
+    #[test]
+    fn fluid_download_monotone(
+        bytes in 10_000u64..10_000_000,
+        pace_ratio in 0.05f64..0.45,
+        cap in 5.0f64..200.0,
+    ) {
+        let pace_mbps = cap * pace_ratio; // 2x pace still below capacity
+        let p = profile(cap);
+        let cfg = FluidConfig::default();
+        let t1 = download_chunk(&p, &cfg, bytes, Some(Rate::from_mbps(pace_mbps)), false, 1.0)
+            .download_time;
+        let t2 = download_chunk(&p, &cfg, bytes * 2, Some(Rate::from_mbps(pace_mbps)), false, 1.0)
+            .download_time;
+        prop_assert!(t2 >= t1);
+        let t3 = download_chunk(&p, &cfg, bytes, Some(Rate::from_mbps(pace_mbps * 2.0)), false, 1.0)
+            .download_time;
+        prop_assert!(t3 <= t1);
+    }
+
+    /// The fluid model never reports a throughput above min(pace, capacity).
+    #[test]
+    fn fluid_throughput_bounded(
+        bytes in 100_000u64..5_000_000,
+        pace_mbps in 1.0f64..200.0,
+        cap in 2.0f64..150.0,
+        cold in any::<bool>(),
+    ) {
+        let p = profile(cap);
+        let out = download_chunk(
+            &p,
+            &FluidConfig::default(),
+            bytes,
+            Some(Rate::from_mbps(pace_mbps)),
+            cold,
+            1.0,
+        );
+        let tput_mbps = bytes as f64 * 8.0 / out.download_time.as_secs_f64() / 1e6;
+        prop_assert!(tput_mbps <= pace_mbps.min(cap) * 1.001,
+            "tput {tput_mbps} exceeds min(pace {pace_mbps}, cap {cap})");
+    }
+
+    /// HYB never selects a rung whose bitrate exceeds the analytical cap.
+    #[test]
+    fn hyb_respects_analytic_cap(tput_mbps in 0.5f64..100.0, buffer_s in 0u64..200) {
+        use sammy_repro::video::{AbrContext, Abr, ChunkMeasurement, PlayerPhase, ThroughputHistory};
+        use sammy_repro::netsim::SimTime;
+
+        let title = Title::generate(
+            Ladder::hd(&VmafModel::standard()),
+            &TitleConfig { size_cv: 0.0, ..Default::default() },
+        );
+        let mut h = ThroughputHistory::new();
+        for i in 0..5 {
+            h.record(ChunkMeasurement {
+                index: i,
+                rung: 0,
+                bytes: (tput_mbps * 1e6 / 8.0) as u64,
+                download_time: SimDuration::from_secs(1),
+                completed_at: SimTime::ZERO,
+            });
+        }
+        let mut hyb = abr::Hyb::default();
+        let ctx = AbrContext {
+            now: SimTime::ZERO,
+            phase: PlayerPhase::Playing,
+            buffer: SimDuration::from_secs(buffer_s),
+            max_buffer: SimDuration::from_secs(240),
+            ladder: &title.ladder,
+            upcoming: title.upcoming(0),
+            history: &h,
+            last_rung: None,
+        };
+        let d = hyb.select(&ctx);
+        let cap = analysis::max_bitrate_for_throughput(0.5, tput_mbps * 1e6, buffer_s as f64, 20.0);
+        prop_assert!(
+            title.ladder.rung(d.rung).bitrate.bps() <= cap * 1.001,
+            "rung {} bitrate {} exceeds cap {cap}",
+            d.rung,
+            title.ladder.rung(d.rung).bitrate.bps()
+        );
+    }
+
+    /// Sammy's default parameters keep headroom over the Eq. 1 threshold
+    /// for every buffer capacity and HYB beta in the practical range.
+    #[test]
+    fn sammy_defaults_always_safe(beta in 0.4f64..1.0, max_buf in 60.0f64..600.0) {
+        let headroom = PaceSelector::default().validate_against_threshold(beta, 20.0, max_buf);
+        prop_assert!(headroom >= 1.0, "headroom {headroom} at beta {beta}");
+    }
+}
