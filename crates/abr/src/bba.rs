@@ -23,7 +23,11 @@ pub struct BbaConfig {
 
 impl Default for BbaConfig {
     fn default() -> Self {
-        BbaConfig { reservoir_s: 12.0, cushion_s: 96.0, startup_safety: 0.8 }
+        BbaConfig {
+            reservoir_s: 12.0,
+            cushion_s: 96.0,
+            startup_safety: 0.8,
+        }
     }
 }
 
@@ -68,9 +72,7 @@ impl Abr for Bba {
         // Startup: use throughput if we have it, else lowest.
         if ctx.phase == PlayerPhase::Initial {
             let rung = match ctx.history.ewma(0.5) {
-                Some(est) => ctx
-                    .ladder
-                    .highest_at_most(est * self.cfg.startup_safety),
+                Some(est) => ctx.ladder.highest_at_most(est * self.cfg.startup_safety),
                 None => ctx.ladder.lowest(),
             };
             return AbrDecision::unpaced(rung);
@@ -78,9 +80,7 @@ impl Abr for Bba {
         let min_bps = ctx.ladder.rung(ctx.ladder.lowest()).bitrate.bps();
         let max_bps = ctx.ladder.top_bitrate().bps();
         let target = self.rate_map(ctx.buffer.as_secs_f64(), min_bps, max_bps);
-        let rung = ctx
-            .ladder
-            .highest_at_most(netsim::Rate::from_bps(target));
+        let rung = ctx.ladder.highest_at_most(netsim::Rate::from_bps(target));
         AbrDecision::unpaced(rung)
     }
 
@@ -98,7 +98,10 @@ mod tests {
     fn title() -> Title {
         Title::generate(
             Ladder::hd(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -154,7 +157,10 @@ mod tests {
     fn rate_map_interpolates() {
         let bba = Bba::default();
         let mid = bba.rate_map(12.0 + 48.0, 1e6, 9e6);
-        assert!((mid - 5e6).abs() < 1e-6, "midpoint should be halfway: {mid}");
+        assert!(
+            (mid - 5e6).abs() < 1e-6,
+            "midpoint should be halfway: {mid}"
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct BolaConfig {
 
 impl Default for BolaConfig {
     fn default() -> Self {
-        BolaConfig { target_buffer_s: 60.0, min_buffer_s: 8.0, startup_safety: 0.8 }
+        BolaConfig {
+            target_buffer_s: 60.0,
+            min_buffer_s: 8.0,
+            startup_safety: 0.8,
+        }
     }
 }
 
@@ -50,7 +54,14 @@ impl Bola {
 
     /// The BOLA objective for one rung: `(V(u_m + γp) − Q) / S_m`, in
     /// units where chunk sizes are normalized by the lowest rung's size.
-    fn objective(&self, utilities: &[f64], sizes: &[f64], rung: usize, buffer_s: f64, chunk_s: f64) -> f64 {
+    fn objective(
+        &self,
+        utilities: &[f64],
+        sizes: &[f64],
+        rung: usize,
+        buffer_s: f64,
+        chunk_s: f64,
+    ) -> f64 {
         // Derive V and γp from the two buffer anchors, following the BOLA
         // paper's design rules: at `min_buffer` the lowest rung's objective
         // crosses zero; at `target_buffer` the highest rung's does.
@@ -131,7 +142,10 @@ mod tests {
     fn title() -> Title {
         Title::generate(
             Ladder::hd(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -172,7 +186,11 @@ mod tests {
         let mut prev = 0;
         for buf in (0..=100).step_by(5) {
             let d = bola.select(&ctx(&t, &h, buf));
-            assert!(d.rung >= prev, "rung fell from {prev} to {} at buffer {buf}", d.rung);
+            assert!(
+                d.rung >= prev,
+                "rung fell from {prev} to {} at buffer {buf}",
+                d.rung
+            );
             prev = d.rung;
         }
     }
@@ -197,13 +215,20 @@ mod tests {
         for buf in [5u64, 20, 40, 70, 100] {
             let a = bola.select(&ctx(&t, &empty, buf));
             let b = bola.select(&ctx(&t, &rich, buf));
-            assert_eq!(a.rung, b.rung, "history changed BOLA's choice at buffer {buf}");
+            assert_eq!(
+                a.rung, b.rung,
+                "history changed BOLA's choice at buffer {buf}"
+            );
         }
     }
 
     #[test]
     #[should_panic(expected = "target must exceed")]
     fn invalid_config_panics() {
-        Bola::new(BolaConfig { target_buffer_s: 5.0, min_buffer_s: 8.0, startup_safety: 0.8 });
+        Bola::new(BolaConfig {
+            target_buffer_s: 5.0,
+            min_buffer_s: 8.0,
+            startup_safety: 0.8,
+        });
     }
 }

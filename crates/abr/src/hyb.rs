@@ -27,7 +27,11 @@ pub struct HybConfig {
 
 impl Default for HybConfig {
     fn default() -> Self {
-        HybConfig { beta: 0.5, window: 5, lookahead: 5 }
+        HybConfig {
+            beta: 0.5,
+            window: 5,
+            lookahead: 5,
+        }
     }
 }
 
@@ -127,7 +131,10 @@ mod tests {
     fn title() -> Title {
         Title::generate(
             Ladder::hd(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -145,11 +152,7 @@ mod tests {
         h
     }
 
-    fn ctx<'a>(
-        t: &'a Title,
-        h: &'a ThroughputHistory,
-        buffer_s: u64,
-    ) -> AbrContext<'a> {
+    fn ctx<'a>(t: &'a Title, h: &'a ThroughputHistory, buffer_s: u64) -> AbrContext<'a> {
         AbrContext {
             now: SimTime::ZERO,
             phase: PlayerPhase::Playing,
@@ -242,6 +245,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "beta")]
     fn invalid_beta_panics() {
-        Hyb::new(HybConfig { beta: 0.0, ..Default::default() });
+        Hyb::new(HybConfig {
+            beta: 0.0,
+            ..Default::default()
+        });
     }
 }

@@ -23,9 +23,9 @@
 //! the paper's Fig 6 cold-start experiment exposes.
 
 use netsim::Rate;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 use video::{Abr, AbrContext, AbrDecision, ChunkMeasurement, PlayerPhase};
 
 /// Which samples update the historical store.
@@ -147,13 +147,82 @@ impl HistoryStore {
     }
 }
 
-/// A shareable handle: the experiment harness owns one per simulated device
-/// and threads it through that device's sessions.
-pub type SharedHistory = Rc<RefCell<HistoryStore>>;
+/// A shareable, `Send` handle to a device's [`HistoryStore`].
+///
+/// The experiment harness owns one per simulated device and threads it
+/// through that device's sessions. Cloning shares the underlying store.
+/// The handle is `Send + Sync`, so a whole per-user session stack can run
+/// on any worker thread of the sharded experiment runner; within a worker
+/// the lock is uncontended (each user's history is private to the worker
+/// running that user), so the `Arc`/`Mutex` cost only matters at shard
+/// boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct SharedHistory {
+    store: Arc<Mutex<HistoryStore>>,
+}
+
+impl SharedHistory {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing store (e.g. a pre-warmed one).
+    pub fn from_store(store: HistoryStore) -> Self {
+        SharedHistory {
+            store: Arc::new(Mutex::new(store)),
+        }
+    }
+
+    /// Record a throughput sample from the current session.
+    pub fn update(&self, sample: Rate) {
+        self.store.lock().update(sample);
+    }
+
+    /// Fold the current session's samples into the cross-session estimate.
+    pub fn end_session(&self) {
+        self.store.lock().end_session();
+    }
+
+    /// The raw cross-session estimate, if any session has completed.
+    pub fn estimate(&self) -> Option<Rate> {
+        self.store.lock().estimate()
+    }
+
+    /// Confidence in `[0, 1)` over completed sessions.
+    pub fn confidence(&self) -> f64 {
+        self.store.lock().confidence()
+    }
+
+    /// The confidence-discounted estimate for initial-phase decisions.
+    pub fn discounted_estimate(&self) -> Option<Rate> {
+        self.store.lock().discounted_estimate()
+    }
+
+    /// Completed sessions absorbed.
+    pub fn sessions(&self) -> u64 {
+        self.store.lock().sessions()
+    }
+
+    /// Total samples offered (including pending ones).
+    pub fn samples(&self) -> u64 {
+        self.store.lock().samples()
+    }
+
+    /// Clear the store.
+    pub fn reset(&self) {
+        self.store.lock().reset();
+    }
+
+    /// A point-in-time copy of the underlying store.
+    pub fn snapshot(&self) -> HistoryStore {
+        self.store.lock().clone()
+    }
+}
 
 /// Create a fresh shared store.
 pub fn shared_history() -> SharedHistory {
-    Rc::new(RefCell::new(HistoryStore::default()))
+    SharedHistory::new()
 }
 
 /// Configuration for the initial-phase selector.
@@ -169,7 +238,11 @@ pub struct InitialSelectorConfig {
 
 impl Default for InitialSelectorConfig {
     fn default() -> Self {
-        InitialSelectorConfig { safety: 0.7, cold_start_rung: 2, max_initial_rung: None }
+        InitialSelectorConfig {
+            safety: 0.7,
+            cold_start_rung: 2,
+            max_initial_rung: None,
+        }
     }
 }
 
@@ -230,7 +303,7 @@ impl<P: Abr> ProductionAbr<P> {
     /// The initial-phase rung for a given ladder and historical estimate.
     fn initial_rung(&self, ctx: &AbrContext<'_>) -> usize {
         initial_rung_for(
-            self.history.borrow().discounted_estimate(),
+            self.history.discounted_estimate(),
             ctx.ladder,
             &self.init_cfg,
         )
@@ -253,7 +326,7 @@ impl<P: Abr> Abr for ProductionAbr<P> {
             HistoryPolicy::InitialOnly => self.last_phase == PlayerPhase::Initial,
         };
         if update {
-            self.history.borrow_mut().update(m.throughput());
+            self.history.update(m.throughput());
         }
     }
 
@@ -272,15 +345,14 @@ mod tests {
     fn title() -> Title {
         Title::generate(
             Ladder::hd(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                ..Default::default()
+            },
         )
     }
 
-    fn ctx<'a>(
-        t: &'a Title,
-        h: &'a ThroughputHistory,
-        phase: PlayerPhase,
-    ) -> AbrContext<'a> {
+    fn ctx<'a>(t: &'a Title, h: &'a ThroughputHistory, phase: PlayerPhase) -> AbrContext<'a> {
         AbrContext {
             now: SimTime::ZERO,
             phase,
@@ -305,20 +377,20 @@ mod tests {
 
     /// Feed one session of a constant rate and close it.
     fn feed_session(store: &SharedHistory, mbps: f64) {
-        store.borrow_mut().update(Rate::from_mbps(mbps));
-        store.borrow_mut().end_session();
+        store.update(Rate::from_mbps(mbps));
+        store.end_session();
     }
 
     #[test]
     fn store_folds_sessions_with_ewma() {
         let store = shared_history();
-        assert_eq!(store.borrow().estimate(), None);
+        assert_eq!(store.estimate(), None);
         feed_session(&store, 10.0);
-        assert!((store.borrow().estimate().unwrap().mbps() - 10.0).abs() < 1e-9);
+        assert!((store.estimate().unwrap().mbps() - 10.0).abs() < 1e-9);
         feed_session(&store, 20.0);
         // 0.3*20 + 0.7*10 = 13 Mbps.
-        assert!((store.borrow().estimate().unwrap().mbps() - 13.0).abs() < 1e-9);
-        assert_eq!(store.borrow().sessions(), 2);
+        assert!((store.estimate().unwrap().mbps() - 13.0).abs() < 1e-9);
+        assert_eq!(store.sessions(), 2);
     }
 
     #[test]
@@ -383,7 +455,8 @@ mod tests {
     fn cold_start_uses_default_rung() {
         let t = title();
         let h = ThroughputHistory::new();
-        let mut abr = ProductionAbr::new(Mpc::default(), shared_history(), HistoryPolicy::AllSamples);
+        let mut abr =
+            ProductionAbr::new(Mpc::default(), shared_history(), HistoryPolicy::AllSamples);
         let d = abr.select(&ctx(&t, &h, PlayerPhase::Initial));
         assert_eq!(d.rung, 2);
     }
@@ -418,17 +491,16 @@ mod tests {
         for _ in 0..10 {
             feed_session(&store, 50.0);
         }
-        let before = store.borrow().estimate().unwrap().mbps();
-        let mut abr =
-            ProductionAbr::new(Mpc::default(), store.clone(), HistoryPolicy::AllSamples);
+        let before = store.estimate().unwrap().mbps();
+        let mut abr = ProductionAbr::new(Mpc::default(), store.clone(), HistoryPolicy::AllSamples);
         // Playing-phase paced samples at 10 Mbps drag the estimate down
         // once the session closes.
         let _ = abr.select(&ctx(&t, &h, PlayerPhase::Playing));
         for _ in 0..50 {
             abr.on_chunk_downloaded(&measurement(10.0));
         }
-        store.borrow_mut().end_session();
-        assert!(store.borrow().estimate().unwrap().mbps() < before);
+        store.end_session();
+        assert!(store.estimate().unwrap().mbps() < before);
     }
 
     #[test]
@@ -439,21 +511,20 @@ mod tests {
         for _ in 0..10 {
             feed_session(&store, 50.0);
         }
-        let before = store.borrow().estimate().unwrap().mbps();
-        let mut abr =
-            ProductionAbr::new(Mpc::default(), store.clone(), HistoryPolicy::InitialOnly);
+        let before = store.estimate().unwrap().mbps();
+        let mut abr = ProductionAbr::new(Mpc::default(), store.clone(), HistoryPolicy::InitialOnly);
         let _ = abr.select(&ctx(&t, &h, PlayerPhase::Playing));
         for _ in 0..50 {
             abr.on_chunk_downloaded(&measurement(10.0));
         }
-        store.borrow_mut().end_session();
+        store.end_session();
         // Paced playing-phase samples never entered the store.
-        assert!((store.borrow().estimate().unwrap().mbps() - before).abs() < 1e-9);
+        assert!((store.estimate().unwrap().mbps() - before).abs() < 1e-9);
         // But initial-phase samples do update it.
         let _ = abr.select(&ctx(&t, &h, PlayerPhase::Initial));
         abr.on_chunk_downloaded(&measurement(30.0));
-        store.borrow_mut().end_session();
-        assert!(store.borrow().estimate().unwrap().mbps() < before);
+        store.end_session();
+        assert!(store.estimate().unwrap().mbps() < before);
     }
 
     #[test]
@@ -481,7 +552,10 @@ mod tests {
         let ladder = Ladder::hd(&VmafModel::standard());
         let r = initial_rung_for(Some(Rate::from_kbps(10.0)), &ladder, &cfg);
         assert_eq!(r, 0); // cold_start 2 - 2 = 0: floor is the bottom here
-        let cfg2 = InitialSelectorConfig { cold_start_rung: 4, ..cfg };
+        let cfg2 = InitialSelectorConfig {
+            cold_start_rung: 4,
+            ..cfg
+        };
         let r2 = initial_rung_for(Some(Rate::from_kbps(10.0)), &ladder, &cfg2);
         assert_eq!(r2, 2);
     }

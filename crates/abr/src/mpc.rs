@@ -126,7 +126,10 @@ mod tests {
     fn title() -> Title {
         Title::generate(
             Ladder::hd(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -195,8 +198,14 @@ mod tests {
         let h = history_at(6.2);
         // Strong switching penalty holds the previous rung when utilities
         // are close.
-        let mut sticky = Mpc::new(MpcConfig { switch_penalty: 50.0, ..Default::default() });
-        let mut loose = Mpc::new(MpcConfig { switch_penalty: 0.0, ..Default::default() });
+        let mut sticky = Mpc::new(MpcConfig {
+            switch_penalty: 50.0,
+            ..Default::default()
+        });
+        let mut loose = Mpc::new(MpcConfig {
+            switch_penalty: 0.0,
+            ..Default::default()
+        });
         let prev = Some(4usize);
         let d_sticky = sticky.select(&ctx(&t, &h, 18, prev));
         let d_loose = loose.select(&ctx(&t, &h, 18, prev));

@@ -10,7 +10,9 @@
 //! for the Fig 3 bucketing.
 
 use crate::population::{bucket_of, UserProfile};
-use crate::stats::{compare_paired, paired_delta, percentile, Aggregate, PairedDelta, PercentChange};
+use crate::stats::{
+    compare_paired, paired_delta, percentile, Aggregate, PairedDelta, PercentChange,
+};
 use abr::{
     initial_rung_for, shared_history, HistoryPolicy, InitialSelectorConfig, Mpc, ProductionAbr,
     SharedHistory,
@@ -19,7 +21,7 @@ use fluidsim::{run_session, FluidConfig, SessionOutcome, SessionParams, StartPol
 use netsim::SimDuration;
 use sammy_core::{NaivePacedAbr, PaceSelector, Sammy, SammyConfig};
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 use video::Abr;
 
 /// An experiment arm: which algorithm variant users run.
@@ -68,7 +70,9 @@ impl Arm {
             Arm::Sammy { c0, c1 } => Box::new(Sammy::new(
                 Mpc::default(),
                 history,
-                SammyConfig { pace: PaceSelector::new(c0, c1) },
+                SammyConfig {
+                    pace: PaceSelector::new(c0, c1),
+                },
             )),
             Arm::InitialOnly => Box::new(ProductionAbr::new(
                 Mpc::default(),
@@ -97,6 +101,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Bootstrap replicates for CIs.
     pub bootstrap_reps: usize,
+    /// Worker threads for the sharded runner (0 = all available cores).
+    /// Results are bit-identical for every value — see [`run_experiment`].
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -107,12 +114,26 @@ impl Default for ExperimentConfig {
             sessions_per_user: 4,
             seed: 1,
             bootstrap_reps: 600,
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The worker count the sharded runner will actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
 
 /// Per-session record kept by the harness.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionRecord {
     /// The owning user's id.
     pub user: u64,
@@ -130,9 +151,25 @@ pub struct ArmResult {
 }
 
 impl ArmResult {
+    /// Absorb another shard's sessions. Callers merge shards in population
+    /// order so the merged result is independent of worker scheduling.
+    pub fn merge(&mut self, other: ArmResult) {
+        self.sessions.extend(other.sessions);
+    }
+
+    /// Summarize a per-session metric as a mergeable t-digest
+    /// ([`crate::stats::StreamingStat`]): shards can summarize locally and
+    /// merge summaries without shipping or materializing session records.
+    pub fn streaming_metric(
+        &self,
+        f: impl Fn(&SessionRecord) -> Option<f64>,
+    ) -> crate::stats::StreamingStat {
+        self.sessions.iter().filter_map(f).collect()
+    }
+
     /// Extract a per-session metric as a vector.
     pub fn metric(&self, f: impl Fn(&SessionRecord) -> Option<f64>) -> Vec<f64> {
-        self.sessions.iter().filter_map(|s| f(s)).collect()
+        self.sessions.iter().filter_map(f).collect()
     }
 
     /// Extract a per-session metric grouped by user (cluster structure for
@@ -149,7 +186,10 @@ impl ArmResult {
                 entry.push(v);
             }
         }
-        order.into_iter().map(|u| groups.remove(&u).unwrap_or_default()).collect()
+        order
+            .into_iter()
+            .map(|u| groups.remove(&u).unwrap_or_default())
+            .collect()
     }
 }
 
@@ -158,11 +198,7 @@ impl ArmResult {
 /// The pre-experiment sessions always use [`Arm::Production`] (they model
 /// the user's traffic before the test began) and their chunk throughputs
 /// define the user's pre-experiment p95.
-pub fn run_user(
-    user: &UserProfile,
-    arm: Arm,
-    cfg: &ExperimentConfig,
-) -> Vec<SessionRecord> {
+pub fn run_user(user: &UserProfile, arm: Arm, cfg: &ExperimentConfig) -> Vec<SessionRecord> {
     let history = shared_history();
     let init_cfg = InitialSelectorConfig::default();
     let fluid = FluidConfig::default();
@@ -195,7 +231,11 @@ pub fn run_user(
                 (cfg.pre_sessions + s) as u64,
                 cfg.seed,
             );
-            SessionRecord { user: user.id, pre_p95_mbps: pre_p95, outcome: out }
+            SessionRecord {
+                user: user.id,
+                pre_p95_mbps: pre_p95,
+                outcome: out,
+            }
         })
         .collect()
 }
@@ -209,8 +249,8 @@ fn run_one(
     session_idx: u64,
     seed: u64,
 ) -> SessionOutcome {
-    let title = Rc::new(user.title(session_idx));
-    let estimate = history.borrow().discounted_estimate();
+    let title = Arc::new(user.title(session_idx));
+    let estimate = history.discounted_estimate();
     let predicted_rung = initial_rung_for(estimate, &title.ladder, init_cfg);
     let abr = arm.build_abr(history.clone());
     let outcome = run_session(SessionParams {
@@ -230,7 +270,7 @@ fn run_one(
         startup_latency: user.startup_latency,
     });
     // Fold this session's samples into the device's historical store.
-    history.borrow_mut().end_session();
+    history.end_session();
     outcome
 }
 
@@ -244,7 +284,32 @@ fn run_one(
 /// exact counterfactual. Pairing removes all between-user variance from
 /// the comparison; CIs come from a cluster bootstrap over users
 /// ([`compare_paired`]).
+///
+/// This is the sharded runner: the population is distributed over
+/// `cfg.threads` workers (0 = all cores), each running complete paired
+/// user sessions. Every session's randomness derives only from the user's
+/// seed and the session index, and per-user results are merged back in
+/// population order, so the output is **bit-identical** to
+/// [`run_experiment_serial`] for every thread count and scheduling.
+///
+/// A panicking user session propagates, matching the serial runner; use
+/// [`run_experiment_detailed`] to isolate failures per user instead.
 pub fn run_experiment(
+    population: &[UserProfile],
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+) -> (ArmResult, ArmResult) {
+    let run = run_experiment_detailed(population, control, treatment, cfg);
+    if let Some(f) = run.failures.first() {
+        panic!("session for user {} panicked: {}", f.user, f.message);
+    }
+    (run.control, run.treatment)
+}
+
+/// The reference single-threaded runner. Kept (and tested) forever so the
+/// sharded runner's bit-identical-equivalence guarantee stays falsifiable.
+pub fn run_experiment_serial(
     population: &[UserProfile],
     control: Arm,
     treatment: Arm,
@@ -259,8 +324,107 @@ pub fn run_experiment(
     (c, t)
 }
 
+/// A user whose sessions panicked mid-experiment (isolated by the sharded
+/// runner rather than poisoning the pool).
+#[derive(Debug, Clone)]
+pub struct UserFailure {
+    /// The user's id.
+    pub user: u64,
+    /// The user's index in the population slice.
+    pub index: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Result of [`run_experiment_detailed`]: merged arms plus any per-user
+/// failures.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentRun {
+    /// Control-arm sessions of every successful user, population order.
+    pub control: ArmResult,
+    /// Treatment-arm sessions of every successful user, population order.
+    pub treatment: ArmResult,
+    /// Users whose sessions panicked, population order.
+    pub failures: Vec<UserFailure>,
+}
+
+/// Paired per-user records: (control sessions, treatment sessions).
+type UserSessions = (Vec<SessionRecord>, Vec<SessionRecord>);
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The sharded runner with per-user panic isolation.
+///
+/// Workers pull user indices from a shared counter (dynamic load balance —
+/// session counts vary wildly between users), run both arms for the user,
+/// and deposit the result in that user's slot. A panic inside a user's
+/// sessions is caught at the user boundary: the worker records the payload
+/// and moves on, the pool keeps draining, and the slot `Mutex`es recover
+/// rather than poison. Slots are merged in population order afterwards, so
+/// successful users' records are bit-identical to the serial runner's.
+pub fn run_experiment_detailed(
+    population: &[UserProfile],
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+) -> ExperimentRun {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = cfg.effective_threads().min(population.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<Result<UserSessions, String>>>> = population
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= population.len() {
+                    break;
+                }
+                let user = &population[i];
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    (run_user(user, control, cfg), run_user(user, treatment, cfg))
+                }))
+                .map_err(panic_message);
+                *slots[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("experiment worker pool");
+
+    let mut run = ExperimentRun::default();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().expect("worker pool drained every user") {
+            Ok((c, t)) => {
+                run.control.sessions.extend(c);
+                run.treatment.sessions.extend(t);
+            }
+            Err(message) => {
+                run.failures.push(UserFailure {
+                    user: population[i].id,
+                    index: i,
+                    message,
+                });
+            }
+        }
+    }
+    run
+}
+
 /// One row of a Table 2 / Table 3 style report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricRow {
     /// Metric name as the table prints it.
     pub name: String,
@@ -272,16 +436,23 @@ pub struct MetricRow {
 }
 
 /// The full Table 2-style report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Rows in table order.
     pub rows: Vec<MetricRow>,
 }
 
+/// A named metric extractor with its aggregation rule.
+type MetricSpec = (
+    &'static str,
+    Aggregate,
+    Box<dyn Fn(&SessionRecord) -> Option<f64>>,
+);
+
 impl Report {
     /// Build the report comparing `treatment` to `control`.
     pub fn build(control: &ArmResult, treatment: &ArmResult, reps: usize, seed: u64) -> Report {
-        let metrics: Vec<(&str, Aggregate, Box<dyn Fn(&SessionRecord) -> Option<f64>>)> = vec![
+        let metrics: Vec<MetricSpec> = vec![
             (
                 "Chunk Throughput",
                 Aggregate::Median,
@@ -305,7 +476,11 @@ impl Report {
                 Aggregate::Median,
                 Box::new(|s| s.outcome.qoe.initial_vmaf),
             ),
-            ("VMAF", Aggregate::Median, Box::new(|s| s.outcome.qoe.mean_vmaf)),
+            (
+                "VMAF",
+                Aggregate::Median,
+                Box::new(|s| s.outcome.qoe.mean_vmaf),
+            ),
             (
                 "Play Delay",
                 Aggregate::Median,
@@ -314,7 +489,13 @@ impl Report {
             (
                 "Rebuffers (% sess)",
                 Aggregate::Mean,
-                Box::new(|s| Some(if s.outcome.qoe.had_rebuffer() { 1.0 } else { 0.0 })),
+                Box::new(|s| {
+                    Some(if s.outcome.qoe.had_rebuffer() {
+                        1.0
+                    } else {
+                        0.0
+                    })
+                }),
             ),
             (
                 "Rebuffers (/ hr)",
@@ -378,7 +559,12 @@ pub fn throughput_by_bucket(
                 sessions: control.sessions.iter().filter(in_bucket).cloned().collect(),
             };
             let tf = ArmResult {
-                sessions: treatment.sessions.iter().filter(in_bucket).cloned().collect(),
+                sessions: treatment
+                    .sessions
+                    .iter()
+                    .filter(in_bucket)
+                    .cloned()
+                    .collect(),
             };
             if cf.sessions.len() < 10 || tf.sessions.len() < 10 {
                 return None;
@@ -390,7 +576,10 @@ pub fn throughput_by_bucket(
                 // were dropped; skip such degenerate buckets.
                 return None;
             }
-            Some((b, compare_paired(&c, &t, Aggregate::Median, reps, seed + b as u64)))
+            Some((
+                b,
+                compare_paired(&c, &t, Aggregate::Median, reps, seed + b as u64),
+            ))
         })
         .collect()
 }
@@ -407,6 +596,7 @@ mod tests {
             sessions_per_user: 2,
             seed: 11,
             bootstrap_reps: 200,
+            threads: 0,
         }
     }
 
@@ -421,8 +611,7 @@ mod tests {
     fn sammy_reduces_chunk_throughput_maintains_vmaf() {
         let cfg = tiny_cfg();
         let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
-        let (c, t) =
-            run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
+        let (c, t) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
         assert!(!c.sessions.is_empty() && !t.sessions.is_empty());
         let report = Report::build(&c, &t, cfg.bootstrap_reps, 5);
 
@@ -437,7 +626,10 @@ mod tests {
             "Sammy must not meaningfully change VMAF: {vmaf:?}"
         );
         let retx = &report.row("% Retransmits").unwrap().change;
-        assert!(retx.pct_change < 0.0, "retransmits should improve: {retx:?}");
+        assert!(
+            retx.pct_change < 0.0,
+            "retransmits should improve: {retx:?}"
+        );
     }
 
     #[test]
@@ -448,6 +640,7 @@ mod tests {
             sessions_per_user: 1,
             seed: 3,
             bootstrap_reps: 50,
+            threads: 0,
         };
         let pop = draw_population(&PopulationConfig::default(), 12, 3);
         let (c, t) = run_experiment(&pop, Arm::Production, Arm::Production, &cfg);

@@ -27,8 +27,8 @@ pub mod stats;
 pub mod sweep;
 
 pub use experiment::{
-    run_experiment, run_user, Arm, ArmResult, ExperimentConfig, MetricRow, Report, SessionRecord,
-    throughput_by_bucket,
+    run_experiment, run_experiment_detailed, run_experiment_serial, run_user, throughput_by_bucket,
+    Arm, ArmResult, ExperimentConfig, ExperimentRun, MetricRow, Report, SessionRecord, UserFailure,
 };
 pub use longitudinal::{run_cold_start, ColdStartConfig, ColdStartResult};
 pub use optimize::{search, Candidate, QoeGuards, SearchOutcome};
@@ -36,5 +36,8 @@ pub use population::{
     bucket_label, bucket_of, draw_population, ladder_with_top, PopulationConfig, UserProfile,
     THROUGHPUT_BUCKETS,
 };
-pub use stats::{compare, compare_paired, mean, median, paired_delta, percentile, Aggregate, PairedDelta, PercentChange};
+pub use stats::{
+    compare, compare_paired, mean, median, paired_delta, percentile, Aggregate, PairedDelta,
+    PercentChange, StreamingStat,
+};
 pub use sweep::{default_grid, run_sweep, SweepPoint};

@@ -15,7 +15,7 @@ use abr::{
 };
 use fluidsim::{run_session, FluidConfig, SessionParams, StartPolicy};
 use netsim::SimDuration;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration for the cold-start experiment.
 #[derive(Debug, Clone, Copy)]
@@ -28,11 +28,20 @@ pub struct ColdStartConfig {
     pub warmup_sessions: usize,
     /// Seed.
     pub seed: u64,
+    /// Worker threads (0 = all available cores). Like the A/B runner, the
+    /// result is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for ColdStartConfig {
     fn default() -> Self {
-        ColdStartConfig { days: 14, sessions_per_day: 2, warmup_sessions: 6, seed: 5 }
+        ColdStartConfig {
+            days: 14,
+            sessions_per_day: 2,
+            warmup_sessions: 6,
+            seed: 5,
+            threads: 0,
+        }
     }
 }
 
@@ -63,32 +72,48 @@ impl ColdStartResult {
 /// isolating the effect of the missing historical data exactly as the
 /// paper's experiment does.
 pub fn run_cold_start(population: &[UserProfile], cfg: &ColdStartConfig) -> ColdStartResult {
+    // Sharded like the A/B runner: workers pull users from an atomic
+    // counter, per-user day series land in per-user slots, and slots merge
+    // in population order — bit-identical output for any thread count.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let requested = if cfg.threads > 0 {
+        cfg.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let threads = requested.min(population.len().max(1));
+    let next = AtomicUsize::new(0);
+    type DaySeries = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+    let slots: Vec<parking_lot::Mutex<Option<DaySeries>>> = population
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= population.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(run_cold_start_user(&population[i], cfg));
+            });
+        }
+    })
+    .expect("cold-start worker pool");
+
     let mut control_days: Vec<Vec<f64>> = vec![Vec::new(); cfg.days];
     let mut treatment_days: Vec<Vec<f64>> = vec![Vec::new(); cfg.days];
-
-    for user in population {
-        // Warm a history store.
-        let warmed = shared_history();
-        for s in 0..cfg.warmup_sessions {
-            run_one(user, warmed.clone(), s as u64, cfg.seed);
+    for slot in slots {
+        let (c, t) = slot.into_inner().expect("worker pool drained every user");
+        for (day, vals) in c.into_iter().enumerate() {
+            control_days[day].extend(vals);
         }
-        // Control: continue with the warmed history.
-        // Treatment: same user, fresh store (reset at day 0).
-        let control = warmed;
-        let treatment = shared_history();
-
-        for day in 0..cfg.days {
-            for s in 0..cfg.sessions_per_day {
-                let idx = (cfg.warmup_sessions + day * cfg.sessions_per_day + s) as u64;
-                let c = run_one(user, control.clone(), idx, cfg.seed);
-                let t = run_one(user, treatment.clone(), idx, cfg.seed);
-                if let Some(v) = c {
-                    control_days[day].push(v);
-                }
-                if let Some(v) = t {
-                    treatment_days[day].push(v);
-                }
-            }
+        for (day, vals) in t.into_iter().enumerate() {
+            treatment_days[day].extend(vals);
         }
     }
 
@@ -103,12 +128,47 @@ pub fn run_cold_start(population: &[UserProfile], cfg: &ColdStartConfig) -> Cold
     }
 }
 
+/// One user's full cold-start timeline: warmup, then per-day initial-VMAF
+/// samples for the control (warmed) and treatment (reset) stores.
+fn run_cold_start_user(
+    user: &UserProfile,
+    cfg: &ColdStartConfig,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut control_days: Vec<Vec<f64>> = vec![Vec::new(); cfg.days];
+    let mut treatment_days: Vec<Vec<f64>> = vec![Vec::new(); cfg.days];
+
+    // Warm a history store.
+    let warmed = shared_history();
+    for s in 0..cfg.warmup_sessions {
+        run_one(user, warmed.clone(), s as u64, cfg.seed);
+    }
+    // Control: continue with the warmed history.
+    // Treatment: same user, fresh store (reset at day 0).
+    let control = warmed;
+    let treatment = shared_history();
+
+    for day in 0..cfg.days {
+        for s in 0..cfg.sessions_per_day {
+            let idx = (cfg.warmup_sessions + day * cfg.sessions_per_day + s) as u64;
+            let c = run_one(user, control.clone(), idx, cfg.seed);
+            let t = run_one(user, treatment.clone(), idx, cfg.seed);
+            if let Some(v) = c {
+                control_days[day].push(v);
+            }
+            if let Some(v) = t {
+                treatment_days[day].push(v);
+            }
+        }
+    }
+    (control_days, treatment_days)
+}
+
 /// Run one session with production ABR and the given history store;
 /// returns the session's initial VMAF.
 fn run_one(user: &UserProfile, history: SharedHistory, session_idx: u64, seed: u64) -> Option<f64> {
-    let title = Rc::new(user.title(session_idx));
+    let title = Arc::new(user.title(session_idx));
     let init_cfg = InitialSelectorConfig::default();
-    let estimate = history.borrow().discounted_estimate();
+    let estimate = history.discounted_estimate();
     let predicted = initial_rung_for(estimate, &title.ladder, &init_cfg);
     let abr = Box::new(ProductionAbr::new(
         Mpc::default(),
@@ -128,7 +188,7 @@ fn run_one(user: &UserProfile, history: SharedHistory, session_idx: u64, seed: u
         max_buffer: SimDuration::from_secs(240),
         startup_latency: user.startup_latency,
     });
-    history.borrow_mut().end_session();
+    history.end_session();
     out.qoe.initial_vmaf
 }
 
@@ -140,7 +200,13 @@ mod tests {
     #[test]
     fn treatment_starts_lower_and_converges() {
         let pop = draw_population(&PopulationConfig::default(), 40, 17);
-        let cfg = ColdStartConfig { days: 8, sessions_per_day: 2, warmup_sessions: 4, seed: 2 };
+        let cfg = ColdStartConfig {
+            days: 8,
+            sessions_per_day: 2,
+            warmup_sessions: 4,
+            seed: 2,
+            threads: 0,
+        };
         let res = run_cold_start(&pop, &cfg);
         let diffs = res.pct_diff_by_day();
         assert_eq!(diffs.len(), 8);
@@ -151,5 +217,30 @@ mod tests {
         let late = diffs[diffs.len() - 1];
         assert!(late > early, "gap must close over time: {diffs:?}");
         assert!(late > -1.0, "late gap should be small: {diffs:?}");
+    }
+
+    #[test]
+    fn cold_start_bit_identical_across_thread_counts() {
+        let pop = draw_population(&PopulationConfig::default(), 6, 9);
+        let base = ColdStartConfig {
+            days: 3,
+            sessions_per_day: 1,
+            warmup_sessions: 2,
+            seed: 4,
+            threads: 1,
+        };
+        let serial = run_cold_start(&pop, &base);
+        for threads in [2usize, 4] {
+            let cfg = ColdStartConfig { threads, ..base };
+            let res = run_cold_start(&pop, &cfg);
+            assert_eq!(
+                res.control_by_day, serial.control_by_day,
+                "control series diverged at {threads} threads"
+            );
+            assert_eq!(
+                res.treatment_by_day, serial.treatment_by_day,
+                "treatment series diverged at {threads} threads"
+            );
+        }
     }
 }

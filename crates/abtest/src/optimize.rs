@@ -29,7 +29,11 @@ pub struct QoeGuards {
 
 impl Default for QoeGuards {
     fn default() -> Self {
-        QoeGuards { min_vmaf_pct: -0.1, max_play_delay_pct: 1.0, max_rebuffer_pct: 5.0 }
+        QoeGuards {
+            min_vmaf_pct: -0.1,
+            max_play_delay_pct: 1.0,
+            max_rebuffer_pct: 5.0,
+        }
     }
 }
 
@@ -108,7 +112,11 @@ pub fn search(
                 .expect("non-empty trace")
                 .clone()
         });
-    SearchOutcome { best, trace, rounds }
+    SearchOutcome {
+        best,
+        trace,
+        rounds,
+    }
 }
 
 fn round_grid(center: (f64, f64), spread: f64) -> Vec<(f64, f64)> {
@@ -159,7 +167,15 @@ fn evaluate(
     let feasible = vmaf_pct >= guards.min_vmaf_pct
         && play_delay_pct <= guards.max_play_delay_pct
         && rebuffer_pct <= guards.max_rebuffer_pct;
-    Candidate { c0, c1, tput_pct, vmaf_pct, play_delay_pct, rebuffer_pct, feasible }
+    Candidate {
+        c0,
+        c1,
+        tput_pct,
+        vmaf_pct,
+        play_delay_pct,
+        rebuffer_pct,
+        feasible,
+    }
 }
 
 fn best_feasible(trace: &[Candidate]) -> Option<&Candidate> {
@@ -182,6 +198,7 @@ mod tests {
             sessions_per_user: 2,
             seed: 6,
             bootstrap_reps: 100,
+            threads: 0,
         };
         let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 6);
         let out = search(&pop, &cfg, QoeGuards::default(), 2);
@@ -206,10 +223,14 @@ mod tests {
             sessions_per_user: 1,
             seed: 8,
             bootstrap_reps: 50,
+            threads: 0,
         };
         let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 8);
         // Impossible guard: require a VMAF *gain* of 5%.
-        let guards = QoeGuards { min_vmaf_pct: 5.0, ..Default::default() };
+        let guards = QoeGuards {
+            min_vmaf_pct: 5.0,
+            ..Default::default()
+        };
         let out = search(&pop, &cfg, guards, 1);
         assert!(!out.best.feasible);
         // Fallback is the most conservative (largest multipliers) candidate.

@@ -25,7 +25,13 @@ pub const THROUGHPUT_BUCKETS: [(f64, f64); 5] = [
 
 /// Label for a bucket index.
 pub fn bucket_label(idx: usize) -> &'static str {
-    ["<6 Mbps", "6-15 Mbps", "15-30 Mbps", "30-90 Mbps", ">90 Mbps"][idx]
+    [
+        "<6 Mbps",
+        "6-15 Mbps",
+        "15-30 Mbps",
+        "30-90 Mbps",
+        ">90 Mbps",
+    ][idx]
 }
 
 /// The bucket index for a throughput in Mbps.
@@ -134,7 +140,9 @@ pub fn ladder_with_top(top_mbps: f64) -> Ladder {
 /// Draw a user population of `n` users, deterministically from `seed`.
 pub fn draw_population(cfg: &PopulationConfig, n: usize, seed: u64) -> Vec<UserProfile> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|i| draw_user(cfg, i as u64, seed, &mut rng)).collect()
+    (0..n)
+        .map(|i| draw_user(cfg, i as u64, seed, &mut rng))
+        .collect()
 }
 
 fn draw_user(cfg: &PopulationConfig, id: u64, seed: u64, rng: &mut StdRng) -> UserProfile {
@@ -183,9 +191,7 @@ fn draw_user(cfg: &PopulationConfig, id: u64, seed: u64, rng: &mut StdRng) -> Us
         },
         top_bitrate_mbps: top,
         title_duration: SimDuration::from_secs(dur),
-        startup_latency: SimDuration::from_secs_f64(
-            lognormal(rng, 0.9, 0.4).clamp(0.3, 3.0),
-        ),
+        startup_latency: SimDuration::from_secs_f64(lognormal(rng, 0.9, 0.4).clamp(0.3, 3.0)),
         seed: id.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(seed),
     }
 }
@@ -239,7 +245,10 @@ mod tests {
             assert_eq!(x.top_bitrate_mbps, y.top_bitrate_mbps);
         }
         let c = draw_population(&cfg, 50, 10);
-        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.network.capacity != y.network.capacity));
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.network.capacity != y.network.capacity));
     }
 
     #[test]
@@ -278,8 +287,10 @@ mod tests {
         // Our population should have capacity >> top bitrate at the median.
         let cfg = PopulationConfig::default();
         let pop = draw_population(&cfg, 2000, 5);
-        let mut ratios: Vec<f64> =
-            pop.iter().map(|u| u.network.capacity.mbps() / u.top_bitrate_mbps).collect();
+        let mut ratios: Vec<f64> = pop
+            .iter()
+            .map(|u| u.network.capacity.mbps() / u.top_bitrate_mbps)
+            .collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = ratios[ratios.len() / 2];
         assert!(median > 6.0 && median < 25.0, "median ratio {median}");

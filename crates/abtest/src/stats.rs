@@ -68,7 +68,7 @@ impl Aggregate {
 }
 
 /// A percent-change comparison with a bootstrap confidence interval.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PercentChange {
     /// Control-arm statistic.
     pub control: f64,
@@ -94,7 +94,10 @@ impl PercentChange {
     /// always with the CI.
     pub fn display(&self) -> String {
         if self.significant() {
-            format!("{:+.2}% [{:+.1}, {:+.1}]", self.pct_change, self.ci_low, self.ci_high)
+            format!(
+                "{:+.2}% [{:+.1}, {:+.1}]",
+                self.pct_change, self.ci_low, self.ci_high
+            )
         } else {
             format!("–      [{:+.1}, {:+.1}]", self.ci_low, self.ci_high)
         }
@@ -129,7 +132,13 @@ pub fn compare(
     } else {
         (percentile(&boots, 0.025), percentile(&boots, 0.975))
     };
-    PercentChange { control: c_stat, treatment: t_stat, pct_change: pct, ci_low: lo, ci_high: hi }
+    PercentChange {
+        control: c_stat,
+        treatment: t_stat,
+        pct_change: pct,
+        ci_low: lo,
+        ci_high: hi,
+    }
 }
 
 fn pct_change(control: f64, treatment: f64) -> f64 {
@@ -163,9 +172,17 @@ pub fn compare_paired(
     reps: usize,
     seed: u64,
 ) -> PercentChange {
-    assert_eq!(control.len(), treatment.len(), "paired arms must align by user");
+    assert_eq!(
+        control.len(),
+        treatment.len(),
+        "paired arms must align by user"
+    );
     let pool = |arm: &[Vec<f64>]| -> Vec<f64> {
-        arm.iter().flatten().copied().filter(|x| x.is_finite()).collect()
+        arm.iter()
+            .flatten()
+            .copied()
+            .filter(|x| x.is_finite())
+            .collect()
     };
     let c_all = pool(control);
     let t_all = pool(treatment);
@@ -194,7 +211,13 @@ pub fn compare_paired(
     } else {
         (percentile(&boots, 0.025), percentile(&boots, 0.975))
     };
-    PercentChange { control: c_stat, treatment: t_stat, pct_change: pct, ci_low: lo, ci_high: hi }
+    PercentChange {
+        control: c_stat,
+        treatment: t_stat,
+        pct_change: pct,
+        ci_low: lo,
+        ci_high: hi,
+    }
 }
 
 /// The mean per-session paired percent difference, with a cluster
@@ -202,7 +225,7 @@ pub fn compare_paired(
 /// a discrete metric (e.g. VMAF, which takes ladder-rung values) ties at
 /// zero under small effects, while the paired mean resolves sub-percent
 /// shifts — the scale of the paper's QoE movements.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PairedDelta {
     /// Mean of per-session `(t − c)/c × 100` over all pairs.
     pub mean_delta_pct: f64,
@@ -253,7 +276,11 @@ pub fn paired_delta(
         .collect();
     let all: Vec<f64> = user_deltas.iter().flatten().copied().collect();
     if all.is_empty() {
-        return PairedDelta { mean_delta_pct: f64::NAN, ci_low: f64::NAN, ci_high: f64::NAN };
+        return PairedDelta {
+            mean_delta_pct: f64::NAN,
+            ci_low: f64::NAN,
+            ci_high: f64::NAN,
+        };
     }
     let mean_all = all.iter().sum::<f64>() / all.len() as f64;
 
@@ -274,7 +301,115 @@ pub fn paired_delta(
     } else {
         (percentile(&boots, 0.025), percentile(&boots, 0.975))
     };
-    PairedDelta { mean_delta_pct: mean_all, ci_low: lo, ci_high: hi }
+    PairedDelta {
+        mean_delta_pct: mean_all,
+        ci_low: lo,
+        ci_high: hi,
+    }
+}
+
+/// A mergeable streaming summary of a metric: exact count/mean plus
+/// t-digest quantiles.
+///
+/// Each experiment shard builds one `StreamingStat` per metric from its own
+/// sessions; shard summaries are then [`merge`](StreamingStat::merge)d into
+/// the experiment-wide summary. Count and mean merge exactly (order
+/// independent); quantiles come from the underlying [`tdigest::TDigest`],
+/// whose estimates are order-*insensitive* within the digest's accuracy
+/// bound (≈1% in quantile space at the default compression) but not
+/// bit-identical across merge orders. For bit-identical reports the runner
+/// keeps full session lists; `StreamingStat` is the bounded-memory path for
+/// large sweeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingStat {
+    digest: tdigest::TDigest,
+    count: u64,
+    sum: f64,
+}
+
+impl Default for StreamingStat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingStat {
+    /// An empty summary with the default digest compression (δ = 100).
+    pub fn new() -> Self {
+        StreamingStat {
+            digest: tdigest::TDigest::new(100.0),
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Add one sample. Non-finite samples are ignored, matching the
+    /// digest's policy.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.digest.add(value);
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Fold another shard's summary into this one.
+    pub fn merge(&mut self, other: &StreamingStat) {
+        self.digest.merge(&other.digest);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of finite samples absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of absorbed samples (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q ∈ [0,1]` (NaN if empty).
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.digest.quantile(q)
+    }
+
+    /// Estimated median.
+    pub fn median(&self) -> f64 {
+        self.digest.median()
+    }
+
+    /// Smallest absorbed sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.digest.min()
+    }
+
+    /// Largest absorbed sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.digest.max()
+    }
+}
+
+impl FromIterator<f64> for StreamingStat {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = StreamingStat::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<f64> for StreamingStat {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,7 +448,10 @@ mod tests {
     fn identical_arms_not_significant() {
         let vals: Vec<f64> = (0..500).map(|i| 10.0 + ((i * 7) % 100) as f64).collect();
         let c = compare(&vals, &vals, Aggregate::Median, 500, 2);
-        assert!(!c.significant(), "identical arms must not be significant: {c:?}");
+        assert!(
+            !c.significant(),
+            "identical arms must not be significant: {c:?}"
+        );
         assert!(c.display().contains('–'));
     }
 
@@ -321,9 +459,12 @@ mod tests {
     fn noisy_small_difference_not_significant() {
         // 0.1% shift buried in 30% noise with modest n.
         let mut rng = StdRng::seed_from_u64(3);
-        let control: Vec<f64> = (0..200).map(|_| 100.0 * (1.0 + 0.3 * (rng.gen::<f64>() - 0.5))).collect();
-        let treatment: Vec<f64> =
-            (0..200).map(|_| 100.1 * (1.0 + 0.3 * (rng.gen::<f64>() - 0.5))).collect();
+        let control: Vec<f64> = (0..200)
+            .map(|_| 100.0 * (1.0 + 0.3 * (rng.gen::<f64>() - 0.5)))
+            .collect();
+        let treatment: Vec<f64> = (0..200)
+            .map(|_| 100.1 * (1.0 + 0.3 * (rng.gen::<f64>() - 0.5)))
+            .collect();
         let c = compare(&control, &treatment, Aggregate::Median, 500, 4);
         assert!(!c.significant());
     }
@@ -348,7 +489,9 @@ mod tests {
         let mut treatment = Vec::new();
         for _ in 0..100 {
             let base = 10.0 * (1.0 + 5.0 * rng.gen::<f64>()); // heavy user spread
-            let c: Vec<f64> = (0..5).map(|_| base * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5))).collect();
+            let c: Vec<f64> = (0..5)
+                .map(|_| base * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5)))
+                .collect();
             let t: Vec<f64> = c.iter().map(|v| v * 0.98).collect();
             control.push(c);
             treatment.push(t);
@@ -404,5 +547,49 @@ mod tests {
     fn mean_aggregate() {
         assert_eq!(Aggregate::Mean.apply(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(Aggregate::Median.apply(&[1.0, 2.0, 30.0]), 2.0);
+    }
+
+    #[test]
+    fn streaming_stat_tracks_exact_moments() {
+        let s: StreamingStat = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(s.count(), 1000);
+        assert!((s.mean() - 499.5).abs() < 1e-9);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(999.0));
+        let med = s.median();
+        assert!((med - 499.5).abs() < 15.0, "median estimate off: {med}");
+    }
+
+    #[test]
+    fn streaming_stat_ignores_non_finite() {
+        let mut s = StreamingStat::new();
+        s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert!(s.median().is_nan());
+    }
+
+    #[test]
+    fn streaming_stat_merge_matches_pooled_counts() {
+        let mut shards: Vec<StreamingStat> = Vec::new();
+        for shard in 0..8 {
+            shards.push((0..250).map(|i| (shard * 250 + i) as f64).collect());
+        }
+        let mut merged = StreamingStat::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        let pooled: StreamingStat = (0..2000).map(|i| i as f64).collect();
+        assert_eq!(merged.count(), pooled.count());
+        assert!((merged.mean() - pooled.mean()).abs() < 1e-9);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let m = merged.percentile(q);
+            let p = pooled.percentile(q);
+            assert!(
+                (m - p).abs() < 2000.0 * 0.02,
+                "q={q}: merged {m} vs pooled {p}"
+            );
+        }
     }
 }

@@ -55,7 +55,12 @@ pub fn run_sweep(
         .map(|&(c0, c1)| {
             let (c, t) = run_experiment(population, Arm::Production, Arm::Sammy { c0, c1 }, cfg);
             let report = Report::build(&c, &t, cfg.bootstrap_reps, cfg.seed);
-            let get = |name: &str| report.row(name).map(|r| r.change.pct_change).unwrap_or(f64::NAN);
+            let get = |name: &str| {
+                report
+                    .row(name)
+                    .map(|r| r.change.pct_change)
+                    .unwrap_or(f64::NAN)
+            };
             SweepPoint {
                 c0,
                 c1,
@@ -90,6 +95,7 @@ mod tests {
             sessions_per_user: 2,
             seed: 4,
             bootstrap_reps: 100,
+            threads: 0,
         };
         let pop = draw_population(&PopulationConfig::default(), 50, 4);
         let pts = run_sweep(&pop, &[(1.6, 1.2), (5.0, 5.0)], &cfg);

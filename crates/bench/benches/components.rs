@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netsim::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_engine_packets(c: &mut Criterion) {
     let mut g = c.benchmark_group("netsim_engine");
@@ -40,7 +40,12 @@ fn bench_tcp_transfer(c: &mut Criterion) {
             let flow = FlowId(1);
             sim.set_endpoint(
                 db.left[0],
-                Box::new(SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default())),
+                Box::new(SenderEndpoint::new(
+                    db.left[0],
+                    db.right[0],
+                    flow,
+                    TcpConfig::default(),
+                )),
             );
             sim.set_endpoint(
                 db.right[0],
@@ -50,7 +55,11 @@ fn bench_tcp_transfer(c: &mut Criterion) {
                 db.right[0],
                 db.left[0],
                 flow,
-                Payload::Request { id: 0, size: 5_000_000, pace_bps: None },
+                Payload::Request {
+                    id: 0,
+                    size: 5_000_000,
+                    pace_bps: None,
+                },
             );
             sim.inject(db.right[0], req);
             sim.run_until(SimTime::from_secs(30));
@@ -65,9 +74,12 @@ fn bench_fluid_session(c: &mut Criterion) {
     use fluidsim::{run_session, FluidConfig, NetworkProfile, SessionParams, StartPolicy};
     use video::{Ladder, Title, TitleConfig, VmafModel};
 
-    let title = Rc::new(Title::generate(
+    let title = Arc::new(Title::generate(
         Ladder::hd(&VmafModel::standard()),
-        &TitleConfig { duration: SimDuration::from_secs(20 * 60), ..Default::default() },
+        &TitleConfig {
+            duration: SimDuration::from_secs(20 * 60),
+            ..Default::default()
+        },
     ));
     let profile = NetworkProfile::fast_cable();
     c.bench_function("fluid_session_20min", |b| {

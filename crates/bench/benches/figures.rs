@@ -9,7 +9,10 @@ use sammy_bench::figures;
 use sammy_bench::lab::{self, LabArm, LabConfig};
 
 fn quick_lab() -> LabConfig {
-    LabConfig { run_for: SimDuration::from_secs(30), ..Default::default() }
+    LabConfig {
+        run_for: SimDuration::from_secs(30),
+        ..Default::default()
+    }
 }
 
 fn bench_fig1_fig7_single_flow(c: &mut Criterion) {
@@ -25,27 +28,29 @@ fn bench_fig1_fig7_single_flow(c: &mut Criterion) {
 }
 
 fn bench_fig2_analysis(c: &mut Criterion) {
-    c.bench_function("fig2_analysis_curves", |b| b.iter(|| figures::fig2(0.5, 20.0)));
+    c.bench_function("fig2_analysis_curves", |b| {
+        b.iter(|| figures::fig2(0.5, 20.0))
+    });
 }
 
 fn bench_table2_ab(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_ab");
     g.sample_size(10);
-    g.bench_function("tiny", |b| b.iter(|| figures::table2(0.08, 1)));
+    g.bench_function("tiny", |b| b.iter(|| figures::table2(0.08, 1, 0)));
     g.finish();
 }
 
 fn bench_table3_initial_only(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_initial_only");
     g.sample_size(10);
-    g.bench_function("tiny", |b| b.iter(|| figures::table3(0.08, 1)));
+    g.bench_function("tiny", |b| b.iter(|| figures::table3(0.08, 1, 0)));
     g.finish();
 }
 
 fn bench_fig3_buckets(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_buckets");
     g.sample_size(10);
-    g.bench_function("tiny", |b| b.iter(|| figures::fig3(0.08, 1)));
+    g.bench_function("tiny", |b| b.iter(|| figures::fig3(0.08, 1, 0)));
     g.finish();
 }
 
@@ -61,7 +66,7 @@ fn bench_fig4_burst(c: &mut Criterion) {
 fn bench_fig5_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_sweep");
     g.sample_size(10);
-    g.bench_function("tiny", |b| b.iter(|| figures::fig5(0.08, 1)));
+    g.bench_function("tiny", |b| b.iter(|| figures::fig5(0.08, 1, 0)));
     g.finish();
 }
 
@@ -78,14 +83,18 @@ fn bench_fig8_neighbors(c: &mut Criterion) {
     let cfg = quick_lab();
     g.bench_function("udp", |b| b.iter(|| lab::neighbor_udp(LabArm::Sammy, &cfg)));
     g.bench_function("tcp", |b| b.iter(|| lab::neighbor_tcp(LabArm::Sammy, &cfg)));
-    g.bench_function("http", |b| b.iter(|| lab::neighbor_http(LabArm::Sammy, &cfg)));
+    g.bench_function("http", |b| {
+        b.iter(|| lab::neighbor_http(LabArm::Sammy, &cfg))
+    });
     g.finish();
 }
 
 fn bench_baseline_and_spiral(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_and_spiral");
     g.sample_size(10);
-    g.bench_function("baseline_4x_tiny", |b| b.iter(|| figures::baseline_4x(0.08, 1)));
+    g.bench_function("baseline_4x_tiny", |b| {
+        b.iter(|| figures::baseline_4x(0.08, 1, 0))
+    });
     g.bench_function("spiral", |b| b.iter(figures::spiral));
     g.finish();
 }

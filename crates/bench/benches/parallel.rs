@@ -1,0 +1,48 @@
+//! Scaling benchmark for the sharded experiment runner: the same 1000-user
+//! paired A/B experiment through `run_experiment_serial` and through the
+//! parallel runner at several worker counts. On a ≥4-core machine the
+//! 4-thread run should finish at least ~3× faster than serial; on fewer
+//! cores the parallel runner degrades gracefully to serial speed.
+//!
+//! The equivalence test (`tests/end_to_end.rs`) separately proves the
+//! outputs are bit-identical, so this bench measures pure wall-clock.
+
+use abtest::{
+    draw_population, run_experiment, run_experiment_serial, Arm, ExperimentConfig, PopulationConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const USERS: usize = 1000;
+
+fn cfg(threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        users_per_arm: USERS,
+        pre_sessions: 1,
+        sessions_per_user: 1,
+        seed: 42,
+        bootstrap_reps: 0,
+        threads,
+    }
+}
+
+fn bench_experiment_scaling(c: &mut Criterion) {
+    let pop = draw_population(&PopulationConfig::default(), USERS, 42);
+    let treatment = Arm::Sammy { c0: 3.2, c1: 2.8 };
+
+    let mut g = c.benchmark_group("experiment_1000_users");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(USERS as u64));
+
+    g.bench_function("serial", |b| {
+        b.iter(|| run_experiment_serial(&pop, Arm::Production, treatment, &cfg(1)))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("parallel_{threads}"), |b| {
+            b.iter(|| run_experiment(&pop, Arm::Production, treatment, &cfg(threads)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiment_scaling);
+criterion_main!(benches);

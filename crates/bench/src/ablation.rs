@@ -144,7 +144,13 @@ pub struct ScavengerContrast {
 /// Sammy stays near 3x the top bitrate in both conditions.
 pub fn scavenger_contrast(scavenger: bool, base: &LabConfig) -> ScavengerContrast {
     let (cfg, arm) = if scavenger {
-        (LabConfig { cc: CcAlgorithm::Ledbat, ..base.clone() }, LabArm::Control)
+        (
+            LabConfig {
+                cc: CcAlgorithm::Ledbat,
+                ..base.clone()
+            },
+            LabArm::Control,
+        )
     } else {
         (base.clone(), LabArm::Sammy)
     };
@@ -172,15 +178,24 @@ mod tests {
     use super::*;
 
     fn quick() -> LabConfig {
-        LabConfig { run_for: SimDuration::from_secs(45), ..Default::default() }
+        LabConfig {
+            run_for: SimDuration::from_secs(45),
+            ..Default::default()
+        }
     }
 
     #[test]
     fn small_burst_beats_default_burst() {
-        let cfg = LabConfig { run_for: SimDuration::from_secs(60), ..Default::default() };
+        let cfg = LabConfig {
+            run_for: SimDuration::from_secs(60),
+            ..Default::default()
+        };
         let (unpaced, rows) = mechanism_ablation(&cfg);
         let small = rows.iter().find(|r| r.burst == 4).unwrap();
-        let default = rows.iter().find(|r| r.mechanism == "pacing(burst=40)").unwrap();
+        let default = rows
+            .iter()
+            .find(|r| r.mechanism == "pacing(burst=40)")
+            .unwrap();
         // All mechanisms beat no pacing; small bursts beat large bursts.
         assert!(small.retx_fraction < unpaced);
         assert!(default.retx_fraction < unpaced);
@@ -200,7 +215,10 @@ mod tests {
                 .iter()
                 .find(|r| r.cc == cc && r.arm == "control")
                 .unwrap();
-            let sammy = rows.iter().find(|r| r.cc == cc && r.arm == "sammy").unwrap();
+            let sammy = rows
+                .iter()
+                .find(|r| r.cc == cc && r.arm == "sammy")
+                .unwrap();
             assert!(
                 sammy.chunk_tput_mbps < 0.5 * control.chunk_tput_mbps,
                 "{cc}: sammy {} vs control {}",
@@ -244,8 +262,16 @@ mod tests {
             sammy.solo_tput_mbps
         );
         // Both are friendly to the TCP neighbor (>= fair share).
-        assert!(scav.neighbor_tcp_mbps > 18.0, "scav neighbor {}", scav.neighbor_tcp_mbps);
-        assert!(sammy.neighbor_tcp_mbps > 18.0, "sammy neighbor {}", sammy.neighbor_tcp_mbps);
+        assert!(
+            scav.neighbor_tcp_mbps > 18.0,
+            "scav neighbor {}",
+            scav.neighbor_tcp_mbps
+        );
+        assert!(
+            sammy.neighbor_tcp_mbps > 18.0,
+            "sammy neighbor {}",
+            sammy.neighbor_tcp_mbps
+        );
         // Neither strategy rebuffers.
         assert_eq!(scav.rebuffers, 0);
         assert_eq!(sammy.rebuffers, 0);

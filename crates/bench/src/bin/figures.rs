@@ -4,7 +4,11 @@
 //! cargo run -p sammy-bench --bin figures --release -- all
 //! cargo run -p sammy-bench --bin figures --release -- table2 fig7
 //! cargo run -p sammy-bench --bin figures --release -- --scale 2.0 all
+//! cargo run -p sammy-bench --bin figures --release -- --threads 8 table2
 //! ```
+//!
+//! `--threads N` sets the experiment worker-pool size (0 = all cores, the
+//! default). Results are bit-identical for every thread count.
 //!
 //! Text output goes to stdout; CSV files go to `results/`.
 
@@ -21,6 +25,7 @@ const SEED: u64 = 2023;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
+    let mut threads = 0usize;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -31,13 +36,19 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--scale needs a number");
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a non-negative integer");
+            }
             other => targets.push(other.to_string()),
         }
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![
-            "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "baseline", "fig6",
-            "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "spiral", "ablation",
+            "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "baseline", "fig6", "fig7",
+            "fig8a", "fig8b", "fig8c", "fig8d", "spiral", "ablation",
         ]
         .into_iter()
         .map(String::from)
@@ -49,12 +60,12 @@ fn main() {
         match t.as_str() {
             "fig1" => fig1(),
             "fig2" => fig2(),
-            "table2" => table2(scale),
-            "fig3" => fig3(scale),
+            "table2" => table2(scale, threads),
+            "fig3" => fig3(scale, threads),
             "fig4" => fig4(),
-            "fig5" => fig5(scale),
-            "table3" => table3(scale),
-            "baseline" => baseline(scale),
+            "fig5" => fig5(scale, threads),
+            "table3" => table3(scale, threads),
+            "baseline" => baseline(scale, threads),
             "fig6" => fig6(scale),
             "fig7" => fig7(),
             "fig8a" => fig8a(),
@@ -86,7 +97,10 @@ fn banner(title: &str) {
 
 fn fig1() {
     banner("Fig 1: video traffic today (a) vs smoothed (b) — same session, same QoE");
-    let cfg = LabConfig { run_for: SimDuration::from_secs(60), ..Default::default() };
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(60),
+        ..Default::default()
+    };
     let control = lab::single_flow(LabArm::Control, &cfg);
     let sammy = lab::single_flow(LabArm::Sammy, &cfg);
     println!(
@@ -100,7 +114,12 @@ fn fig1() {
     let rows: Vec<String> = control
         .throughput_series
         .iter()
-        .zip(sammy.throughput_series.iter().chain(std::iter::repeat(&(0.0, 0.0))))
+        .zip(
+            sammy
+                .throughput_series
+                .iter()
+                .chain(std::iter::repeat(&(0.0, 0.0))),
+        )
         .map(|(&(t, c), &(_, s))| format!("{t:.1},{c:.3},{s:.3}"))
         .collect();
     save_csv("fig1_trace.csv", "t_s,control_mbps,sammy_mbps", &rows);
@@ -109,7 +128,10 @@ fn fig1() {
 fn fig2() {
     banner("Fig 2: HYB selection cap (a) and minimum-throughput threshold (b), beta=0.5");
     let data = figures::fig2(0.5, 20.0);
-    println!("{:>10} {:>22} {:>22}", "buffer_s", "max bitrate (x tput)", "min tput (x bitrate)");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "buffer_s", "max bitrate (x tput)", "min tput (x bitrate)"
+    );
     for &(b, maxr, minx) in data.iter().step_by(4) {
         println!("{b:>10.0} {maxr:>22.3} {minx:>22.3}");
     }
@@ -117,12 +139,16 @@ fn fig2() {
         .iter()
         .map(|&(b, maxr, minx)| format!("{b},{maxr:.6},{minx:.6}"))
         .collect();
-    save_csv("fig2_curves.csv", "buffer_s,max_bitrate_mult,min_tput_mult", &rows);
+    save_csv(
+        "fig2_curves.csv",
+        "buffer_s,max_bitrate_mult,min_tput_mult",
+        &rows,
+    );
 }
 
-fn table2(scale: f64) {
+fn table2(scale: f64, threads: usize) {
     banner("Table 2: Sammy (c0=3.2, c1=2.8) vs production A/B");
-    let report = figures::table2(scale, SEED);
+    let report = figures::table2(scale, SEED, threads);
     print!("{}", report.render());
     let rows: Vec<String> = report
         .rows
@@ -130,18 +156,28 @@ fn table2(scale: f64) {
         .map(|r| {
             format!(
                 "{},{:.6},{:.6},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4}",
-                r.name, r.change.control, r.change.treatment, r.change.pct_change,
-                r.change.ci_low, r.change.ci_high, r.paired.mean_delta_pct,
-                r.paired.ci_low, r.paired.ci_high
+                r.name,
+                r.change.control,
+                r.change.treatment,
+                r.change.pct_change,
+                r.change.ci_low,
+                r.change.ci_high,
+                r.paired.mean_delta_pct,
+                r.paired.ci_low,
+                r.paired.ci_high
             )
         })
         .collect();
-    save_csv("table2.csv", "metric,control,treatment,pct_change,ci_low,ci_high,paired_mean,paired_lo,paired_hi", &rows);
+    save_csv(
+        "table2.csv",
+        "metric,control,treatment,pct_change,ci_low,ci_high,paired_mean,paired_lo,paired_hi",
+        &rows,
+    );
 }
 
-fn table3(scale: f64) {
+fn table3(scale: f64, threads: usize) {
     banner("Table 3: initial-phase changes only (no pacing) vs production A/B");
-    let report = figures::table3(scale, SEED);
+    let report = figures::table3(scale, SEED, threads);
     print!("{}", report.render());
     let rows: Vec<String> = report
         .rows
@@ -149,18 +185,28 @@ fn table3(scale: f64) {
         .map(|r| {
             format!(
                 "{},{:.6},{:.6},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4}",
-                r.name, r.change.control, r.change.treatment, r.change.pct_change,
-                r.change.ci_low, r.change.ci_high, r.paired.mean_delta_pct,
-                r.paired.ci_low, r.paired.ci_high
+                r.name,
+                r.change.control,
+                r.change.treatment,
+                r.change.pct_change,
+                r.change.ci_low,
+                r.change.ci_high,
+                r.paired.mean_delta_pct,
+                r.paired.ci_low,
+                r.paired.ci_high
             )
         })
         .collect();
-    save_csv("table3.csv", "metric,control,treatment,pct_change,ci_low,ci_high,paired_mean,paired_lo,paired_hi", &rows);
+    save_csv(
+        "table3.csv",
+        "metric,control,treatment,pct_change,ci_low,ci_high,paired_mean,paired_lo,paired_hi",
+        &rows,
+    );
 }
 
-fn baseline(scale: f64) {
+fn baseline(scale: f64, threads: usize) {
     banner("Sec 5.5 baseline: constant 4x pacing on all chunks vs production A/B");
-    let report = figures::baseline_4x(scale, SEED);
+    let report = figures::baseline_4x(scale, SEED, threads);
     print!("{}", report.render());
     let rows: Vec<String> = report
         .rows
@@ -168,30 +214,50 @@ fn baseline(scale: f64) {
         .map(|r| {
             format!(
                 "{},{:.6},{:.6},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4}",
-                r.name, r.change.control, r.change.treatment, r.change.pct_change,
-                r.change.ci_low, r.change.ci_high, r.paired.mean_delta_pct,
-                r.paired.ci_low, r.paired.ci_high
+                r.name,
+                r.change.control,
+                r.change.treatment,
+                r.change.pct_change,
+                r.change.ci_low,
+                r.change.ci_high,
+                r.paired.mean_delta_pct,
+                r.paired.ci_low,
+                r.paired.ci_high
             )
         })
         .collect();
-    save_csv("baseline_4x.csv", "metric,control,treatment,pct_change,ci_low,ci_high,paired_mean,paired_lo,paired_hi", &rows);
+    save_csv(
+        "baseline_4x.csv",
+        "metric,control,treatment,pct_change,ci_low,ci_high,paired_mean,paired_lo,paired_hi",
+        &rows,
+    );
 }
 
-fn fig3(scale: f64) {
+fn fig3(scale: f64, threads: usize) {
     banner("Fig 3: chunk-throughput reduction by pre-experiment throughput bucket");
-    let data = figures::fig3(scale, SEED);
+    let data = figures::fig3(scale, SEED, threads);
     println!("{:>12} {:>12} {:>20}", "bucket", "% change", "95% CI");
     let mut rows = Vec::new();
     for (label, pct, lo, hi) in &data {
-        println!("{label:>12} {pct:>12.1} {:>20}", format!("[{lo:.1}, {hi:.1}]"));
+        println!(
+            "{label:>12} {pct:>12.1} {:>20}",
+            format!("[{lo:.1}, {hi:.1}]")
+        );
         rows.push(format!("{label},{pct:.3},{lo:.3},{hi:.3}"));
     }
-    save_csv("fig3_buckets.csv", "bucket,pct_change,ci_low,ci_high", &rows);
+    save_csv(
+        "fig3_buckets.csv",
+        "bucket,pct_change,ci_low,ci_high",
+        &rows,
+    );
 }
 
 fn fig4() {
     banner("Fig 4: retransmission change vs pacing burst size (pace = 2x max bitrate)");
-    let cfg = LabConfig { run_for: SimDuration::from_secs(90), ..Default::default() };
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(90),
+        ..Default::default()
+    };
     let unpaced = lab::burst_sweep_unpaced(&cfg);
     println!("unpaced retransmit fraction: {:.4}%", unpaced * 100.0);
     println!("{:>8} {:>12} {:>16}", "burst", "retx %", "% chg vs unpaced");
@@ -202,13 +268,20 @@ fn fig4() {
         println!("{burst:>8} {:>12.4} {chg:>16.1}", r * 100.0);
         rows.push(format!("{burst},{r:.6},{chg:.2}"));
     }
-    save_csv("fig4_burst.csv", "burst_packets,retx_fraction,pct_change_vs_unpaced", &rows);
+    save_csv(
+        "fig4_burst.csv",
+        "burst_packets,retx_fraction,pct_change_vs_unpaced",
+        &rows,
+    );
 }
 
-fn fig5(scale: f64) {
+fn fig5(scale: f64, threads: usize) {
     banner("Fig 5: VMAF vs chunk-throughput tradeoff over (c0, c1) arms");
-    let pts = figures::fig5(scale, SEED);
-    println!("{:>6} {:>6} {:>12} {:>10} {:>12}", "c0", "c1", "tput %chg", "vmaf %chg", "delay %chg");
+    let pts = figures::fig5(scale, SEED, threads);
+    println!(
+        "{:>6} {:>6} {:>12} {:>10} {:>12}",
+        "c0", "c1", "tput %chg", "vmaf %chg", "delay %chg"
+    );
     let mut rows = Vec::new();
     for p in &pts {
         println!(
@@ -241,7 +314,10 @@ fn fig6(scale: f64) {
 
 fn fig7() {
     banner("Fig 7: single-flow throughput and RTT, control vs Sammy");
-    let cfg = LabConfig { run_for: SimDuration::from_secs(60), ..Default::default() };
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(60),
+        ..Default::default()
+    };
     let control = lab::single_flow(LabArm::Control, &cfg);
     let sammy = lab::single_flow(LabArm::Sammy, &cfg);
     println!(
@@ -257,8 +333,8 @@ fn fig7() {
             r.max_queue_bytes as f64 / 1e3
         );
     }
-    let chg_tput =
-        (sammy.chunk_throughput_mbps - control.chunk_throughput_mbps) / control.chunk_throughput_mbps;
+    let chg_tput = (sammy.chunk_throughput_mbps - control.chunk_throughput_mbps)
+        / control.chunk_throughput_mbps;
     let chg_rtt = (sammy.median_rtt_ms - control.median_rtt_ms) / control.median_rtt_ms;
     println!(
         "change: throughput {:.0}%, RTT {:.0}%  (paper: -53%, -47%)",
@@ -268,7 +344,10 @@ fn fig7() {
 
     let mut rows = Vec::new();
     let blank = (f64::NAN, f64::NAN);
-    let n = control.throughput_series.len().max(sammy.throughput_series.len());
+    let n = control
+        .throughput_series
+        .len()
+        .max(sammy.throughput_series.len());
     for i in 0..n {
         let (t, cm) = *control.throughput_series.get(i).unwrap_or(&blank);
         let (_, sm) = *sammy.throughput_series.get(i).unwrap_or(&blank);
@@ -286,16 +365,13 @@ fn fig7() {
     save_csv("fig7_rtt.csv", "t_s,arm,srtt_ms", &rtt_rows);
 }
 
-fn neighbor_pair(
-    name: &str,
-    unit: &str,
-    paper: &str,
-    f: impl Fn(LabArm) -> f64,
-) {
+fn neighbor_pair(name: &str, unit: &str, paper: &str, f: impl Fn(LabArm) -> f64) {
     let control = f(LabArm::Control);
     let sammy = f(LabArm::Sammy);
     let chg = (sammy - control) / control * 100.0;
-    println!("control {control:.2} {unit}, sammy {sammy:.2} {unit}, change {chg:+.0}% (paper: {paper})");
+    println!(
+        "control {control:.2} {unit}, sammy {sammy:.2} {unit}, change {chg:+.0}% (paper: {paper})"
+    );
     let mut s = String::new();
     let _ = writeln!(s, "arm,value_{unit}");
     let _ = writeln!(s, "control,{control:.4}");
@@ -308,24 +384,33 @@ fn neighbor_pair(
 fn fig8a() {
     banner("Fig 8a: neighboring UDP one-way delay");
     let cfg = LabConfig::neighbors();
-    neighbor_pair("fig8a_udp_owd", "ms", "-51%", |arm| lab::neighbor_udp(arm, &cfg));
+    neighbor_pair("fig8a_udp_owd", "ms", "-51%", |arm| {
+        lab::neighbor_udp(arm, &cfg)
+    });
 }
 
 fn fig8b() {
     banner("Fig 8b: neighboring TCP throughput");
     let cfg = LabConfig::neighbors();
-    neighbor_pair("fig8b_tcp_tput", "mbps", "+28%", |arm| lab::neighbor_tcp(arm, &cfg));
+    neighbor_pair("fig8b_tcp_tput", "mbps", "+28%", |arm| {
+        lab::neighbor_tcp(arm, &cfg)
+    });
 }
 
 fn fig8c() {
     banner("Fig 8c: neighboring HTTP response time (3 MB requests)");
     let cfg = LabConfig::neighbors();
-    neighbor_pair("fig8c_http_ms", "ms", "-18%", |arm| lab::neighbor_http(arm, &cfg));
+    neighbor_pair("fig8c_http_ms", "ms", "-18%", |arm| {
+        lab::neighbor_http(arm, &cfg)
+    });
 }
 
 fn fig8d() {
     banner("Fig 8d: neighboring video play delay (4 trials)");
-    let cfg = LabConfig { run_for: SimDuration::from_secs(45), ..LabConfig::neighbors() };
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(45),
+        ..LabConfig::neighbors()
+    };
     neighbor_pair("fig8d_video_delay", "ms", "-4% (~50 ms)", |arm| {
         lab::neighbor_video(arm, &cfg, 4)
     });
@@ -333,10 +418,16 @@ fn fig8d() {
 
 fn ablations() {
     banner("Ablation: smoothing mechanisms (Table 1 rows as burst profiles)");
-    let cfg = LabConfig { run_for: SimDuration::from_secs(90), ..Default::default() };
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(90),
+        ..Default::default()
+    };
     let (unpaced, rows) = ablation::mechanism_ablation(&cfg);
     println!("unpaced retransmit fraction: {:.4}%", unpaced * 100.0);
-    println!("{:>18} {:>8} {:>10} {:>16}", "mechanism", "burst", "retx %", "% chg vs unpaced");
+    println!(
+        "{:>18} {:>8} {:>10} {:>16}",
+        "mechanism", "burst", "retx %", "% chg vs unpaced"
+    );
     let mut csv = Vec::new();
     for r in &rows {
         let chg = (r.retx_fraction - unpaced) / unpaced * 100.0;
@@ -347,16 +438,26 @@ fn ablations() {
             r.retx_fraction * 100.0,
             chg
         );
-        csv.push(format!("{},{},{:.6},{:.2}", r.mechanism, r.burst, r.retx_fraction, chg));
+        csv.push(format!(
+            "{},{},{:.6},{:.2}",
+            r.mechanism, r.burst, r.retx_fraction, chg
+        ));
     }
-    save_csv("ablation_mechanisms.csv", "mechanism,burst,retx_fraction,pct_vs_unpaced", &csv);
+    save_csv(
+        "ablation_mechanisms.csv",
+        "mechanism,burst,retx_fraction,pct_vs_unpaced",
+        &csv,
+    );
 
     banner("Ablation: congestion-control substrate (Reno vs CUBIC)");
     let rows = ablation::cc_sensitivity(&LabConfig {
         run_for: SimDuration::from_secs(60),
         ..Default::default()
     });
-    println!("{:>8} {:>10} {:>16} {:>14} {:>10}", "cc", "arm", "chunk tput Mbps", "median RTT ms", "rebuffers");
+    println!(
+        "{:>8} {:>10} {:>16} {:>14} {:>10}",
+        "cc", "arm", "chunk tput Mbps", "median RTT ms", "rebuffers"
+    );
     let mut csv = Vec::new();
     for r in &rows {
         println!(
@@ -368,19 +469,29 @@ fn ablations() {
             r.cc, r.arm, r.chunk_tput_mbps, r.median_rtt_ms, r.rebuffers
         ));
     }
-    save_csv("ablation_cc.csv", "cc,arm,chunk_tput_mbps,median_rtt_ms,rebuffers", &csv);
+    save_csv(
+        "ablation_cc.csv",
+        "cc,arm,chunk_tput_mbps,median_rtt_ms,rebuffers",
+        &csv,
+    );
 
     banner("Ablation: pacing philosophies (Sec 2.2: Reno vs BBR vs Sammy)");
     let rows = ablation::pacing_philosophies(&LabConfig {
         run_for: SimDuration::from_secs(60),
         ..Default::default()
     });
-    println!("{:>14} {:>16} {:>14} {:>10}", "strategy", "chunk tput Mbps", "median RTT ms", "retx %");
+    println!(
+        "{:>14} {:>16} {:>14} {:>10}",
+        "strategy", "chunk tput Mbps", "median RTT ms", "retx %"
+    );
     let mut csv = Vec::new();
     for r in &rows {
         println!(
             "{:>14} {:>16.1} {:>14.2} {:>10.3}",
-            r.strategy, r.chunk_tput_mbps, r.median_rtt_ms, r.retx_fraction * 100.0
+            r.strategy,
+            r.chunk_tput_mbps,
+            r.median_rtt_ms,
+            r.retx_fraction * 100.0
         );
         csv.push(format!(
             "{},{:.3},{:.3},{:.6}",
@@ -388,13 +499,23 @@ fn ablations() {
         ));
     }
     println!("BBR paces at the bottleneck estimate; only Sammy cuts chunk throughput.");
-    save_csv("ablation_philosophies.csv", "strategy,chunk_tput_mbps,median_rtt_ms,retx_fraction", &csv);
+    save_csv(
+        "ablation_philosophies.csv",
+        "strategy,chunk_tput_mbps,median_rtt_ms,retx_fraction",
+        &csv,
+    );
 
     banner("Ablation: LEDBAT scavenger vs Sammy (Sec 2.2 contrast)");
-    let base = LabConfig { run_for: SimDuration::from_secs(60), ..Default::default() };
+    let base = LabConfig {
+        run_for: SimDuration::from_secs(60),
+        ..Default::default()
+    };
     let scav = ablation::scavenger_contrast(true, &base);
     let sammy = ablation::scavenger_contrast(false, &base);
-    println!("{:>12} {:>16} {:>14} {:>18}", "strategy", "solo tput Mbps", "solo RTT ms", "neighbor TCP Mbps");
+    println!(
+        "{:>12} {:>16} {:>14} {:>18}",
+        "strategy", "solo tput Mbps", "solo RTT ms", "neighbor TCP Mbps"
+    );
     let mut csv = Vec::new();
     for (name, r) in [("scavenger", &scav), ("sammy", &sammy)] {
         println!(
@@ -407,13 +528,20 @@ fn ablations() {
         ));
     }
     println!("The scavenger fully utilizes the link when alone; Sammy stays near 3x the bitrate.");
-    save_csv("ablation_scavenger.csv", "strategy,solo_tput_mbps,solo_rtt_ms,neighbor_tcp_mbps", &csv);
+    save_csv(
+        "ablation_scavenger.csv",
+        "strategy,solo_tput_mbps,solo_rtt_ms,neighbor_tcp_mbps",
+        &csv,
+    );
 }
 
 fn spiral() {
     banner("Sec 2.3.1: downward spiral under black-box pacing");
     let (blackbox, sammy) = figures::spiral();
-    println!("{:>6} {:>18} {:>18}", "chunk", "blackbox (Mbps)", "sammy-style (Mbps)");
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "chunk", "blackbox (Mbps)", "sammy-style (Mbps)"
+    );
     let mut rows = Vec::new();
     for (i, (b, s)) in blackbox.iter().zip(&sammy).enumerate() {
         if i % 2 == 0 {

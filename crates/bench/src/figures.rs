@@ -14,45 +14,53 @@ use sammy_core::analysis::{fig2a_selection_curve, fig2b_threshold_curve};
 /// The production Sammy parameters used throughout §5.
 pub const SAMMY_PROD: Arm = Arm::Sammy { c0: 3.2, c1: 2.8 };
 
-/// Standard experiment sizing (scaled by `scale`).
-pub fn experiment_config(scale: f64, seed: u64) -> ExperimentConfig {
+/// Standard experiment sizing (scaled by `scale`). `threads` is the
+/// worker count for the parallel runner (0 = all cores); results are
+/// bit-identical for every value.
+pub fn experiment_config(scale: f64, seed: u64, threads: usize) -> ExperimentConfig {
     ExperimentConfig {
         users_per_arm: ((200.0 * scale) as usize).max(20),
         pre_sessions: 3,
         sessions_per_user: 3,
         seed,
         bootstrap_reps: 400,
+        threads,
     }
 }
 
 /// Table 2: Sammy (c0=3.2, c1=2.8) vs production.
-pub fn table2(scale: f64, seed: u64) -> Report {
-    let cfg = experiment_config(scale, seed);
+pub fn table2(scale: f64, seed: u64, threads: usize) -> Report {
+    let cfg = experiment_config(scale, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed);
     let (c, t) = run_experiment(&pop, Arm::Production, SAMMY_PROD, &cfg);
     Report::build(&c, &t, cfg.bootstrap_reps, seed)
 }
 
 /// Table 3: initial-phase changes only (no pacing) vs production.
-pub fn table3(scale: f64, seed: u64) -> Report {
-    let cfg = experiment_config(scale, seed);
+pub fn table3(scale: f64, seed: u64, threads: usize) -> Report {
+    let cfg = experiment_config(scale, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 1);
     let (c, t) = run_experiment(&pop, Arm::Production, Arm::InitialOnly, &cfg);
     Report::build(&c, &t, cfg.bootstrap_reps, seed + 1)
 }
 
 /// §5.5: the naive constant-4x baseline vs production.
-pub fn baseline_4x(scale: f64, seed: u64) -> Report {
-    let cfg = experiment_config(scale, seed);
+pub fn baseline_4x(scale: f64, seed: u64, threads: usize) -> Report {
+    let cfg = experiment_config(scale, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 2);
-    let (c, t) = run_experiment(&pop, Arm::Production, Arm::NaivePaced { multiplier: 4.0 }, &cfg);
+    let (c, t) = run_experiment(
+        &pop,
+        Arm::Production,
+        Arm::NaivePaced { multiplier: 4.0 },
+        &cfg,
+    );
     Report::build(&c, &t, cfg.bootstrap_reps, seed + 2)
 }
 
 /// Fig 3: chunk-throughput change by pre-experiment throughput bucket.
 /// Returns `(bucket label, % change, ci_low, ci_high)`.
-pub fn fig3(scale: f64, seed: u64) -> Vec<(&'static str, f64, f64, f64)> {
-    let cfg = experiment_config(scale * 1.5, seed);
+pub fn fig3(scale: f64, seed: u64, threads: usize) -> Vec<(&'static str, f64, f64, f64)> {
+    let cfg = experiment_config(scale * 1.5, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 3);
     let (c, t) = run_experiment(&pop, Arm::Production, SAMMY_PROD, &cfg);
     throughput_by_bucket(&c, &t, cfg.bootstrap_reps, seed + 3)
@@ -62,7 +70,7 @@ pub fn fig3(scale: f64, seed: u64) -> Vec<(&'static str, f64, f64, f64)> {
 }
 
 /// Fig 5: the VMAF-vs-chunk-throughput tradeoff over the (c0, c1) grid.
-pub fn fig5(scale: f64, seed: u64) -> Vec<SweepPoint> {
+pub fn fig5(scale: f64, seed: u64, threads: usize) -> Vec<SweepPoint> {
     // Smaller per-arm population (one experiment per grid point).
     let cfg = ExperimentConfig {
         users_per_arm: ((80.0 * scale) as usize).max(15),
@@ -70,6 +78,7 @@ pub fn fig5(scale: f64, seed: u64) -> Vec<SweepPoint> {
         sessions_per_user: 2,
         seed: seed + 4,
         bootstrap_reps: 200,
+        threads,
     };
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 4);
     run_sweep(&pop, &default_grid(), &cfg)
@@ -88,6 +97,7 @@ pub fn fig6(scale: f64, seed: u64) -> Vec<f64> {
         sessions_per_day: 2,
         warmup_sessions: 6,
         seed: seed + 5,
+        threads: 0,
     };
     run_cold_start(&pop, &cfg).pct_diff_by_day()
 }
@@ -117,7 +127,10 @@ pub fn spiral() -> (Vec<f64>, Vec<f64>) {
 
     let title = Title::generate(
         Ladder::hd(&VmafModel::standard()),
-        &TitleConfig { size_cv: 0.0, ..Default::default() },
+        &TitleConfig {
+            size_cv: 0.0,
+            ..Default::default()
+        },
     );
 
     let run = |pace_of: &dyn Fn(Rate) -> Rate| -> Vec<f64> {
@@ -202,7 +215,7 @@ mod tests {
 
     #[test]
     fn tiny_table2_has_expected_directions() {
-        let report = table2(0.15, 42);
+        let report = table2(0.15, 42, 0);
         let tput = report.row("Chunk Throughput").unwrap().change.pct_change;
         assert!(tput < -25.0, "chunk throughput change {tput}");
         let vmaf = report.row("VMAF").unwrap().change.pct_change;

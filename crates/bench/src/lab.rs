@@ -9,11 +9,9 @@
 //! (Fig 1).
 
 use abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr, SharedHistory};
-use netsim::{
-    Dumbbell, DumbbellConfig, FlowId, Rate, SimDuration, SimTime, Simulator,
-};
+use netsim::{Dumbbell, DumbbellConfig, FlowId, Rate, SimDuration, SimTime, Simulator};
 use sammy_core::{Sammy, SammyConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 use traffic::{BulkReceiver, BulkSender, HttpClient};
 use transport::{CcAlgorithm, SenderEndpoint, TcpConfig, UdpCbrSource, UdpSink};
 use video::{
@@ -67,7 +65,10 @@ pub struct LabConfig {
 impl Default for LabConfig {
     fn default() -> Self {
         LabConfig {
-            dumbbell: DumbbellConfig { pairs: 2, ..Default::default() },
+            dumbbell: DumbbellConfig {
+                pairs: 2,
+                ..Default::default()
+            },
             run_for: SimDuration::from_secs(120),
             title_secs: 20 * 60,
             burst_packets: 4,
@@ -91,14 +92,14 @@ impl LabConfig {
 }
 
 /// The lab ladder: 3.3 Mbps top bitrate (§6).
-pub fn lab_title(secs: u64, seed: u64) -> Rc<Title> {
-    Rc::new(Title::generate(
+pub fn lab_title(secs: u64, seed: u64) -> Arc<Title> {
+    Arc::new(Title::generate(
         Ladder::lab(&VmafModel::standard()),
         &TitleConfig {
             duration: SimDuration::from_secs(secs),
             chunk_duration: SimDuration::from_secs(4),
             size_cv: 0.12,
-                vmaf_sd: 0.0,
+            vmaf_sd: 0.0,
             seed,
         },
     ))
@@ -108,12 +109,9 @@ pub fn lab_title(secs: u64, seed: u64) -> Rc<Title> {
 /// network before; estimate near link rate with full confidence).
 fn lab_abr(arm: LabArm) -> Box<dyn Abr> {
     let history: SharedHistory = shared_history();
-    {
-        let mut h = history.borrow_mut();
-        for _ in 0..30 {
-            h.update(Rate::from_mbps(38.0));
-            h.end_session();
-        }
+    for _ in 0..30 {
+        history.update(Rate::from_mbps(38.0));
+        history.end_session();
     }
     match arm {
         LabArm::Control => Box::new(ProductionAbr::new(
@@ -197,9 +195,7 @@ pub fn single_flow(arm: LabArm, cfg: &LabConfig) -> SingleFlowResult {
 
     let max_queue_bytes = sim.link(db.forward).queue.max_occupied_bytes;
     // Sender-side stats.
-    let server: &mut SenderEndpoint = sim
-        .endpoint_mut(db.left[0])
-        .expect("server endpoint");
+    let server: &mut SenderEndpoint = sim.endpoint_mut(db.left[0]).expect("server endpoint");
     let stats = server.sender().stats().clone();
     let rtt_digest = server.sender().rtt_digest().clone();
     let completed = server.completed.clone();
@@ -210,9 +206,7 @@ pub fn single_flow(arm: LabArm, cfg: &LabConfig) -> SingleFlowResult {
         .map(|&(t, ms)| (t.as_secs_f64(), ms))
         .collect();
 
-    let client: &mut VideoClientEndpoint = sim
-        .endpoint_mut(db.right[0])
-        .expect("client endpoint");
+    let client: &mut VideoClientEndpoint = sim.endpoint_mut(db.right[0]).expect("client endpoint");
     let qoe = client.player().qoe();
     // Goodput trace from the client receiver's 100 ms bins — the Fig 1 /
     // Fig 7 "chunk throughput over time" series.
@@ -291,7 +285,10 @@ pub fn neighbor_tcp(arm: LabArm, cfg: &LabConfig) -> f64 {
         SimTime::from_secs(10),
     )
     .install(&mut sim);
-    sim.set_endpoint(db.right[1], Box::new(BulkReceiver::new(db.right[1], db.left[1], flow)));
+    sim.set_endpoint(
+        db.right[1],
+        Box::new(BulkReceiver::new(db.right[1], db.left[1], flow)),
+    );
 
     sim.run_until(SimTime::ZERO + cfg.run_for);
     let rx: &mut BulkReceiver = sim.endpoint_mut(db.right[1]).expect("bulk receiver");
@@ -375,7 +372,10 @@ fn run_burst_experiment(burst: Option<u32>, cfg: &LabConfig) -> f64 {
     let mut sim = Simulator::new();
     let db = Dumbbell::build(
         &mut sim,
-        DumbbellConfig { pairs: 3, ..cfg.dumbbell },
+        DumbbellConfig {
+            pairs: 3,
+            ..cfg.dumbbell
+        },
     );
     // Congested bottleneck: two bulk TCP flows keep the queue full.
     for (i, pair) in [1usize, 2].iter().enumerate() {
@@ -418,7 +418,8 @@ fn run_burst_experiment(burst: Option<u32>, cfg: &LabConfig) -> f64 {
         },
         SimTime::ZERO,
     );
-    VideoClientEndpoint::new(client_node, server_node, flow, player).install(&mut sim, SimTime::ZERO);
+    VideoClientEndpoint::new(client_node, server_node, flow, player)
+        .install(&mut sim, SimTime::ZERO);
 
     sim.run_until(SimTime::ZERO + cfg.run_for);
     let server: &mut SenderEndpoint = sim.endpoint_mut(server_node).expect("server");
@@ -433,7 +434,10 @@ struct FixedPaceAbr {
 
 impl Abr for FixedPaceAbr {
     fn select(&mut self, ctx: &video::AbrContext<'_>) -> video::AbrDecision {
-        video::AbrDecision { rung: ctx.ladder.top(), pace: self.pace }
+        video::AbrDecision {
+            rung: ctx.ladder.top(),
+            pace: self.pace,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -446,7 +450,10 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> LabConfig {
-        LabConfig { run_for: SimDuration::from_secs(60), ..Default::default() }
+        LabConfig {
+            run_for: SimDuration::from_secs(60),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -467,7 +474,11 @@ mod tests {
         // Sammy's RTT returns to the propagation floor; control keeps a
         // standing queue during on periods.
         assert!(sammy.median_rtt_ms < control.median_rtt_ms);
-        assert!(sammy.median_rtt_ms < 7.0, "sammy rtt {}", sammy.median_rtt_ms);
+        assert!(
+            sammy.median_rtt_ms < 7.0,
+            "sammy rtt {}",
+            sammy.median_rtt_ms
+        );
         // Same QoE: both start quickly and never rebuffer.
         assert_eq!(control.rebuffers, 0);
         assert_eq!(sammy.rebuffers, 0);

@@ -32,7 +32,11 @@ impl<P: Abr> NaivePacedAbr<P> {
     /// Panics on a non-positive multiplier.
     pub fn new(inner: P, multiplier: f64) -> Self {
         assert!(multiplier > 0.0, "multiplier must be positive");
-        NaivePacedAbr { inner, multiplier, pace_initial: true }
+        NaivePacedAbr {
+            inner,
+            multiplier,
+            pace_initial: true,
+        }
     }
 
     /// Leave the initial phase unpaced (partial ablation).
@@ -118,7 +122,10 @@ mod tests {
     fn title() -> Title {
         Title::generate(
             Ladder::lab(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                ..Default::default()
+            },
         )
     }
 

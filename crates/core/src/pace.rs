@@ -114,8 +114,7 @@ mod tests {
         // β = 0.5, 20 s lookahead, 240 s max buffer: at empty buffer the
         // threshold is 2.0x and the pace is 3.2x — 60% headroom; with any
         // buffer the threshold falls much faster than the pace.
-        let headroom =
-            PaceSelector::default().validate_against_threshold(0.5, 20.0, 240.0);
+        let headroom = PaceSelector::default().validate_against_threshold(0.5, 20.0, 240.0);
         assert!(headroom >= 1.5, "headroom {headroom}");
     }
 

@@ -17,16 +17,10 @@ use video::{Abr, AbrContext, AbrDecision, ChunkMeasurement, PlayerPhase};
 
 /// Sammy's configuration: the pace selector plus the inner ABR's knobs are
 /// carried by the inner ABR itself.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SammyConfig {
     /// The pace-rate multipliers.
     pub pace: PaceSelector,
-}
-
-impl Default for SammyConfig {
-    fn default() -> Self {
-        SammyConfig { pace: PaceSelector::default() }
-    }
 }
 
 /// Sammy: a pacing-aware ABR wrapper implementing Algorithm 1.
@@ -63,8 +57,8 @@ impl<P: Abr> Abr for Sammy<P> {
             // Initial phase: no pacing (Algorithm 1).
             PlayerPhase::Initial => None,
             PlayerPhase::Playing => {
-                let fill = (ctx.buffer.as_secs_f64() / ctx.max_buffer.as_secs_f64())
-                    .clamp(0.0, 1.0);
+                let fill =
+                    (ctx.buffer.as_secs_f64() / ctx.max_buffer.as_secs_f64()).clamp(0.0, 1.0);
                 Some(self.cfg.pace.pace_rate(ctx.ladder.top_bitrate(), fill))
             }
         };
@@ -90,7 +84,10 @@ mod tests {
     fn title() -> Title {
         Title::generate(
             Ladder::lab(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -177,7 +174,7 @@ mod tests {
             download_time: SimDuration::from_secs(1),
             completed_at: SimTime::ZERO,
         });
-        assert_eq!(store.borrow().samples(), 0);
+        assert_eq!(store.samples(), 0);
         // Initial-phase measurement: absorbed.
         let _ = s.select(&ctx(&t, &h, PlayerPhase::Initial, 0));
         s.on_chunk_downloaded(&ChunkMeasurement {
@@ -187,9 +184,14 @@ mod tests {
             download_time: SimDuration::from_secs(1),
             completed_at: SimTime::ZERO,
         });
-        assert_eq!(store.borrow().samples(), 1);
-        store.borrow_mut().end_session();
-        assert!((store.borrow().estimate().unwrap() - Rate::from_mbps(8.0)).bps().abs() < 1.0);
+        assert_eq!(store.samples(), 1);
+        store.end_session();
+        assert!(
+            (store.estimate().unwrap() - Rate::from_mbps(8.0))
+                .bps()
+                .abs()
+                < 1.0
+        );
     }
 
     use video::ChunkMeasurement;

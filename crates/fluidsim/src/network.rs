@@ -177,7 +177,14 @@ mod tests {
 
     #[test]
     fn warm_unpaced_runs_at_capacity() {
-        let out = download_chunk(&profile(), &FluidConfig::default(), 5_000_000, None, false, 1.0);
+        let out = download_chunk(
+            &profile(),
+            &FluidConfig::default(),
+            5_000_000,
+            None,
+            false,
+            1.0,
+        );
         // 5 MB at 100 Mbps = 0.4 s plus one congested RTT (20 + 30 ms).
         let t = out.download_time.as_secs_f64();
         assert!((t - 0.45).abs() < 0.01, "t={t}");
@@ -225,10 +232,9 @@ mod tests {
         // The ramp penalty matters more for small chunks.
         let small_warm = download_chunk(&profile(), &cfg, 100_000, None, false, 1.0);
         let small_cold = download_chunk(&profile(), &cfg, 100_000, None, true, 1.0);
-        let small_ratio = small_cold.download_time.as_secs_f64()
-            / small_warm.download_time.as_secs_f64();
-        let big_ratio =
-            cold.download_time.as_secs_f64() / warm.download_time.as_secs_f64();
+        let small_ratio =
+            small_cold.download_time.as_secs_f64() / small_warm.download_time.as_secs_f64();
+        let big_ratio = cold.download_time.as_secs_f64() / warm.download_time.as_secs_f64();
         assert!(small_ratio > big_ratio);
     }
 

@@ -9,7 +9,7 @@
 use crate::network::{chunk_capacity_multiplier, download_chunk, FluidConfig, NetworkProfile};
 use netsim::{Rate, SimDuration, SimTime};
 use rand::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 use tdigest::TDigest;
 use video::{Abr, Player, PlayerConfig, PlayerState, QoeSummary, Title};
 
@@ -56,7 +56,12 @@ impl StartPolicy {
     pub fn threshold(&self, estimate: Option<Rate>, initial_bitrate: Rate) -> SimDuration {
         match *self {
             StartPolicy::Fixed(d) => d,
-            StartPolicy::Adaptive { base, scale, lo, hi } => {
+            StartPolicy::Adaptive {
+                base,
+                scale,
+                lo,
+                hi,
+            } => {
                 let phi = match estimate {
                     Some(e) if initial_bitrate.bps() > 0.0 => e.bps() / initial_bitrate.bps(),
                     // No estimate: assume the worst and bank the most.
@@ -69,7 +74,7 @@ impl StartPolicy {
 }
 
 /// Everything the A/B harness needs from one simulated session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionOutcome {
     /// The player's QoE summary.
     pub qoe: QoeSummary,
@@ -92,7 +97,7 @@ pub struct SessionParams<'a> {
     /// The user's network.
     pub profile: &'a NetworkProfile,
     /// The title to stream.
-    pub title: Rc<Title>,
+    pub title: Arc<Title>,
     /// The ABR algorithm (consumed; algorithms carry per-session state).
     pub abr: Box<dyn Abr>,
     /// Startup-threshold policy.
@@ -170,7 +175,7 @@ pub fn run_session(params: SessionParams<'_>) -> SessionOutcome {
             };
             let jitter = chunk_capacity_multiplier(&mut rng, profile);
             let out = download_chunk(profile, &fluid, req.bytes, req.pace, cold, jitter);
-            now = now + out.download_time;
+            now += out.download_time;
             last_download_end = Some(now);
             player.on_chunk_complete(now, out.download_time);
 
@@ -193,7 +198,7 @@ pub fn run_session(params: SessionParams<'_>) -> SessionOutcome {
         } else {
             // Waiting with no deadline (e.g. rebuffering with a request
             // outstanding cannot happen here; defensive step).
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             player.advance_to(now);
         }
     }
@@ -223,12 +228,12 @@ mod tests {
     use abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr};
     use video::{Ladder, TitleConfig, VmafModel};
 
-    fn title(top_mbps: f64) -> Rc<Title> {
+    fn title(top_mbps: f64) -> Arc<Title> {
         let ladder = Ladder::from_bitrates(
             &[235e3, 560e3, 1_050e3, 1_750e3, top_mbps * 1e6],
             &VmafModel::standard(),
         );
-        Rc::new(Title::generate(
+        Arc::new(Title::generate(
             ladder,
             &TitleConfig {
                 duration: SimDuration::from_secs(600),
@@ -241,7 +246,7 @@ mod tests {
 
     fn params<'a>(
         profile: &'a NetworkProfile,
-        t: Rc<Title>,
+        t: Arc<Title>,
         abr: Box<dyn Abr>,
     ) -> SessionParams<'a> {
         SessionParams {
@@ -262,9 +267,13 @@ mod tests {
     fn production(history_mbps: Option<f64>) -> Box<dyn Abr> {
         let store = shared_history();
         if let Some(m) = history_mbps {
-            store.borrow_mut().update(Rate::from_mbps(m));
+            store.update(Rate::from_mbps(m));
         }
-        Box::new(ProductionAbr::new(Mpc::default(), store, HistoryPolicy::AllSamples))
+        Box::new(ProductionAbr::new(
+            Mpc::default(),
+            store,
+            HistoryPolicy::AllSamples,
+        ))
     }
 
     #[test]
@@ -286,7 +295,7 @@ mod tests {
         let control = run_session(params(&p, t.clone(), production(Some(50.0))));
         // Sammy-like pacing at 3x top bitrate = 12 Mbps << 100 Mbps capacity.
         let store = shared_history();
-        store.borrow_mut().update(Rate::from_mbps(50.0));
+        store.update(Rate::from_mbps(50.0));
         let sammy = Box::new(sammy_core::Sammy::new(
             Mpc::default(),
             store,
@@ -305,7 +314,10 @@ mod tests {
         // Chunk throughput drops substantially.
         let c = control.avg_chunk_throughput.unwrap().mbps();
         let s = paced.avg_chunk_throughput.unwrap().mbps();
-        assert!(s < 0.5 * c, "expected big smoothing: control {c} vs sammy {s}");
+        assert!(
+            s < 0.5 * c,
+            "expected big smoothing: control {c} vs sammy {s}"
+        );
         // Congestion metrics improve.
         assert!(paced.retx_fraction < control.retx_fraction);
         assert!(paced.median_rtt_ms < control.median_rtt_ms);
@@ -371,7 +383,10 @@ mod tests {
         let pol = StartPolicy::Fixed(SimDuration::from_secs(6));
         let b = Rate::from_mbps(4.0);
         assert_eq!(pol.threshold(None, b), SimDuration::from_secs(6));
-        assert_eq!(pol.threshold(Some(Rate::from_mbps(100.0)), b), SimDuration::from_secs(6));
+        assert_eq!(
+            pol.threshold(Some(Rate::from_mbps(100.0)), b),
+            SimDuration::from_secs(6)
+        );
     }
 
     #[test]

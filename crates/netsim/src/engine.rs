@@ -156,7 +156,10 @@ impl Simulator {
     /// Add a node (initially a pure router with no endpoint).
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { routes: HashMap::new(), endpoint: None });
+        self.nodes.push(Node {
+            routes: HashMap::new(),
+            endpoint: None,
+        });
         id
     }
 
@@ -190,7 +193,10 @@ impl Simulator {
 
     /// Add a unidirectional link and return its id.
     pub fn add_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) -> LinkId {
-        assert!(src.0 < self.nodes.len() && dst.0 < self.nodes.len(), "unknown node");
+        assert!(
+            src.0 < self.nodes.len() && dst.0 < self.nodes.len(),
+            "unknown node"
+        );
         let id = LinkId(self.links.len());
         self.links.push(Link::new(src, dst, cfg));
         id
@@ -206,7 +212,10 @@ impl Simulator {
     /// # Panics
     /// Panics if `via` does not originate at `at`.
     pub fn add_route(&mut self, at: NodeId, dst: NodeId, via: LinkId) {
-        assert_eq!(self.links[via.0].src, at, "route via a link not at this node");
+        assert_eq!(
+            self.links[via.0].src, at,
+            "route via a link not at this node"
+        );
         self.nodes[at.0].routes.insert(dst, via);
     }
 
@@ -253,7 +262,11 @@ impl Simulator {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        let ev = Event { at, seq: self.seq, kind };
+        let ev = Event {
+            at,
+            seq: self.seq,
+            kind,
+        };
         self.seq += 1;
         self.events.push(Reverse(ev));
     }
@@ -329,7 +342,11 @@ impl Simulator {
         st.delivered_packets += 1;
         if self.nodes[node.0].endpoint.is_some() {
             let mut ep = self.nodes[node.0].endpoint.take().expect("checked");
-            let mut ctx = NodeCtx { node, out: Vec::new(), timers: Vec::new() };
+            let mut ctx = NodeCtx {
+                node,
+                out: Vec::new(),
+                timers: Vec::new(),
+            };
             ep.on_packet(self.now, pkt, &mut ctx);
             self.nodes[node.0].endpoint = Some(ep);
             self.apply_ctx(node, ctx);
@@ -339,7 +356,11 @@ impl Simulator {
     fn dispatch_timer(&mut self, node: NodeId, token: u64) {
         if self.nodes[node.0].endpoint.is_some() {
             let mut ep = self.nodes[node.0].endpoint.take().expect("checked");
-            let mut ctx = NodeCtx { node, out: Vec::new(), timers: Vec::new() };
+            let mut ctx = NodeCtx {
+                node,
+                out: Vec::new(),
+                timers: Vec::new(),
+            };
             ep.on_timer(self.now, token, &mut ctx);
             self.nodes[node.0].endpoint = Some(ep);
             self.apply_ctx(node, ctx);
@@ -410,7 +431,10 @@ mod tests {
         }
     }
 
-    fn two_node_sim(rate_mbps: f64, delay: SimDuration) -> (Simulator, NodeId, NodeId, LinkId, LinkId) {
+    fn two_node_sim(
+        rate_mbps: f64,
+        delay: SimDuration,
+    ) -> (Simulator, NodeId, NodeId, LinkId, LinkId) {
         let mut sim = Simulator::new();
         let a = sim.add_node();
         let b = sim.add_node();
@@ -431,7 +455,13 @@ mod tests {
         let (mut sim, a, b, _, _) = two_node_sim(12.0, SimDuration::from_millis(5));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let timers = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { arrivals: arrivals.clone(), timers }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                arrivals: arrivals.clone(),
+                timers,
+            }),
+        );
 
         let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq: 0 }).with_size(1500);
         sim.inject(a, pkt);
@@ -450,7 +480,13 @@ mod tests {
         let (mut sim, a, b, _, _) = two_node_sim(12.0, SimDuration::from_millis(5));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let timers = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { arrivals: arrivals.clone(), timers }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                arrivals: arrivals.clone(),
+                timers,
+            }),
+        );
 
         for seq in 0..3 {
             let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq }).with_size(1500);
@@ -496,7 +532,13 @@ mod tests {
         let (mut sim, _a, b, _, _) = two_node_sim(10.0, SimDuration::from_millis(1));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let timers = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { arrivals, timers: timers.clone() }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                arrivals,
+                timers: timers.clone(),
+            }),
+        );
 
         sim.start_timer(b, SimTime::from_millis(30), 3);
         sim.start_timer(b, SimTime::from_millis(10), 1);
@@ -519,7 +561,13 @@ mod tests {
         let (mut sim, _a, b, _, _) = two_node_sim(10.0, SimDuration::from_millis(1));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let timers = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { arrivals, timers: timers.clone() }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                arrivals,
+                timers: timers.clone(),
+            }),
+        );
 
         let t = SimTime::from_millis(5);
         for token in 0..10 {
@@ -550,7 +598,13 @@ mod tests {
 
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let timers = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { arrivals: arrivals.clone(), timers }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                arrivals: arrivals.clone(),
+                timers,
+            }),
+        );
 
         let pkt = Packet::new(a, b, FlowId(2), Payload::Datagram { seq: 0 }).with_size(1500);
         sim.inject(a, pkt);
@@ -567,7 +621,13 @@ mod tests {
         let (mut sim, _a, b, _, _) = two_node_sim(10.0, SimDuration::from_millis(1));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let timers = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { arrivals, timers: timers.clone() }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                arrivals,
+                timers: timers.clone(),
+            }),
+        );
 
         sim.start_timer(b, SimTime::from_millis(10), 1);
         sim.start_timer(b, SimTime::from_millis(50), 2);

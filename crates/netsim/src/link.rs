@@ -25,10 +25,19 @@ impl LinkConfig {
     /// bandwidth-delay product computed from `rate` and `rtt`.
     ///
     /// The paper's lab setup is 40 Mbps, 5 ms RTT, queue of 4x BDP.
-    pub fn with_bdp_queue(rate: Rate, delay: SimDuration, rtt: SimDuration, bdp_multiple: f64) -> Self {
+    pub fn with_bdp_queue(
+        rate: Rate,
+        delay: SimDuration,
+        rtt: SimDuration,
+        bdp_multiple: f64,
+    ) -> Self {
         let bdp_bytes = (rate.bps() * rtt.as_secs_f64() / 8.0).ceil();
         let queue_bytes = ((bdp_bytes * bdp_multiple) as u64).max(crate::units::MTU_BYTES * 2);
-        LinkConfig { rate, delay, queue_bytes }
+        LinkConfig {
+            rate,
+            delay,
+            queue_bytes,
+        }
     }
 }
 
@@ -128,8 +137,13 @@ mod tests {
     }
 
     fn pkt(size: u64) -> Packet {
-        Packet::new(NodeId(0), NodeId(1), FlowId(0), Payload::Datagram { seq: 0 })
-            .with_size(size)
+        Packet::new(
+            NodeId(0),
+            NodeId(1),
+            FlowId(0),
+            Payload::Datagram { seq: 0 },
+        )
+        .with_size(size)
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl QueueMonitor {
     /// Panics on a zero interval.
     pub fn new(link: LinkId, interval: SimDuration) -> Self {
         assert!(!interval.is_zero(), "sampling interval must be positive");
-        QueueMonitor { link, interval, series: GaugeSeries::new() }
+        QueueMonitor {
+            link,
+            interval,
+            series: GaugeSeries::new(),
+        }
     }
 
     /// Record one sample at the simulator's current time.
@@ -46,7 +50,7 @@ impl QueueMonitor {
         while next < deadline {
             sim.run_until(next);
             self.sample(sim);
-            next = next + self.interval;
+            next += self.interval;
         }
         sim.run_until(deadline);
         self.sample(sim);
@@ -66,7 +70,7 @@ impl QueueMonitor {
 mod tests {
     use super::*;
     use crate::link::LinkConfig;
-    use crate::packet::{FlowId, NodeId, Packet, Payload};
+    use crate::packet::{FlowId, Packet, Payload};
     use crate::units::Rate;
 
     #[test]
@@ -86,8 +90,7 @@ mod tests {
         sim.add_route(a, b, link);
         // Burst of 50 packets at t=0: queue drains at 1 packet / 10 ms.
         for seq in 0..50 {
-            let pkt =
-                Packet::new(a, b, FlowId(1), Payload::Datagram { seq }).with_size(1500);
+            let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq }).with_size(1500);
             sim.inject(a, pkt);
         }
         let mut mon = QueueMonitor::new(link, SimDuration::from_millis(50));
@@ -122,8 +125,7 @@ mod tests {
         );
         sim.add_route(a, b, link);
         for seq in 0..20 {
-            let pkt =
-                Packet::new(a, b, FlowId(1), Payload::Datagram { seq }).with_size(1500);
+            let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq }).with_size(1500);
             sim.inject(a, pkt);
         }
         // At 12 Mbps, 20 packets serialize in 20 ms. Throttle to 1.2 Mbps

@@ -11,21 +11,15 @@ use crate::units::HEADER_BYTES;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a node (host or router) in the topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 /// Identifies a unidirectional link in the topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub usize);
 
 /// Identifies a flow (a transport connection or datagram stream).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub u64);
 
 /// What a packet carries.
@@ -144,7 +138,12 @@ mod tests {
             NodeId(0),
             NodeId(1),
             FlowId(7),
-            Payload::Data { offset: 0, len: 1460, retx: false, round: 0 },
+            Payload::Data {
+                offset: 0,
+                len: 1460,
+                retx: false,
+                round: 0,
+            },
         );
         assert_eq!(p.size, 1500);
     }
@@ -155,15 +154,24 @@ mod tests {
             NodeId(1),
             NodeId(0),
             FlowId(7),
-            Payload::Ack { cum_ack: 1460, echo_ts: SimTime::ZERO, round: 0 },
+            Payload::Ack {
+                cum_ack: 1460,
+                echo_ts: SimTime::ZERO,
+                round: 0,
+            },
         );
         assert_eq!(p.size, HEADER_BYTES);
     }
 
     #[test]
     fn with_size_override() {
-        let p = Packet::new(NodeId(0), NodeId(1), FlowId(1), Payload::Datagram { seq: 3 })
-            .with_size(1200);
+        let p = Packet::new(
+            NodeId(0),
+            NodeId(1),
+            FlowId(1),
+            Payload::Datagram { seq: 3 },
+        )
+        .with_size(1200);
         assert_eq!(p.size, 1200);
     }
 }

@@ -101,8 +101,13 @@ mod tests {
     use crate::packet::{FlowId, NodeId, Payload};
 
     fn pkt(size: u64) -> Packet {
-        Packet::new(NodeId(0), NodeId(1), FlowId(0), Payload::Datagram { seq: 0 })
-            .with_size(size)
+        Packet::new(
+            NodeId(0),
+            NodeId(1),
+            FlowId(0),
+            Payload::Datagram { seq: 0 },
+        )
+        .with_size(size)
     }
 
     #[test]

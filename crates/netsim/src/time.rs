@@ -268,10 +268,7 @@ mod tests {
     #[test]
     fn saturating_behaviour() {
         assert_eq!(SimTime::ZERO - SimDuration::from_secs(5), SimTime::ZERO);
-        assert_eq!(
-            SimTime::MAX + SimDuration::from_secs(1),
-            SimTime::MAX
-        );
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
         assert_eq!(
             SimTime::from_secs(1).saturating_since(SimTime::from_secs(2)),
             SimDuration::ZERO

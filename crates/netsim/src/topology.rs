@@ -120,7 +120,14 @@ impl Dumbbell {
             sim.add_route(right_router, r, r_down);
         }
 
-        Dumbbell { left, right, left_router, right_router, forward, reverse }
+        Dumbbell {
+            left,
+            right,
+            left_router,
+            right_router,
+            forward,
+            reverse,
+        }
     }
 }
 
@@ -157,10 +164,21 @@ mod tests {
     #[test]
     fn cross_traffic_reaches_far_side() {
         let mut sim = Simulator::new();
-        let db = Dumbbell::build(&mut sim, DumbbellConfig { pairs: 2, ..Default::default() });
+        let db = Dumbbell::build(
+            &mut sim,
+            DumbbellConfig {
+                pairs: 2,
+                ..Default::default()
+            },
+        );
         let arrived = Rc::new(RefCell::new(Vec::new()));
         for &r in &db.right {
-            sim.set_endpoint(r, Box::new(Sink { arrived: arrived.clone() }));
+            sim.set_endpoint(
+                r,
+                Box::new(Sink {
+                    arrived: arrived.clone(),
+                }),
+            );
         }
         // Both left hosts send to their right peers.
         for (i, (&l, &r)) in db.left.iter().zip(db.right.iter()).enumerate() {
@@ -183,9 +201,19 @@ mod tests {
         let mut sim = Simulator::new();
         let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
         let arrived = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(db.left[0], Box::new(Sink { arrived: arrived.clone() }));
-        let pkt = Packet::new(db.right[0], db.left[0], FlowId(5), Payload::Datagram { seq: 1 })
-            .with_size(40);
+        sim.set_endpoint(
+            db.left[0],
+            Box::new(Sink {
+                arrived: arrived.clone(),
+            }),
+        );
+        let pkt = Packet::new(
+            db.right[0],
+            db.left[0],
+            FlowId(5),
+            Payload::Datagram { seq: 1 },
+        )
+        .with_size(40);
         sim.inject(db.right[0], pkt);
         sim.run_to_completion();
         assert_eq!(arrived.borrow().len(), 1);

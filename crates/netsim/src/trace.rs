@@ -23,7 +23,10 @@ impl BinnedThroughput {
     /// Panics if `bin` is zero.
     pub fn new(bin: SimDuration) -> Self {
         assert!(!bin.is_zero(), "bin width must be positive");
-        BinnedThroughput { bin, bytes: Vec::new() }
+        BinnedThroughput {
+            bin,
+            bytes: Vec::new(),
+        }
     }
 
     /// Record `bytes` delivered at time `at`.
@@ -93,7 +96,7 @@ impl GaugeSeries {
     /// (the simulator guarantees this; debug builds assert it).
     pub fn record(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(t, _)| t <= at),
+            self.points.last().is_none_or(|&(t, _)| t <= at),
             "gauge samples out of order"
         );
         self.points.push((at, value));

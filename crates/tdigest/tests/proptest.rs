@@ -55,7 +55,7 @@ proptest! {
     /// The median of identical values is that value.
     #[test]
     fn constant_stream(v in -1e6f64..1e6, n in 1usize..3000) {
-        let d: TDigest = std::iter::repeat(v).take(n).collect();
+        let d: TDigest = std::iter::repeat_n(v, n).collect();
         let tol = 1e-9 * v.abs().max(1.0);
         prop_assert!((d.median() - v).abs() < tol);
         prop_assert!((d.mean() - v).abs() < tol);

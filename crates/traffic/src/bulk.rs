@@ -39,7 +39,10 @@ impl BulkSender {
     ) -> Self {
         // A bulk flow queues its entire (possibly huge) transfer up front;
         // size the send buffer to fit it rather than model backpressure.
-        let cfg = TcpConfig { send_buffer: cfg.send_buffer.max(bytes + 1), ..cfg };
+        let cfg = TcpConfig {
+            send_buffer: cfg.send_buffer.max(bytes + 1),
+            ..cfg
+        };
         BulkSender {
             local,
             sender: TcpSender::new(local, remote, flow, cfg),
@@ -85,7 +88,12 @@ impl BulkSender {
 
 impl Endpoint for BulkSender {
     fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
-        if let Payload::Ack { cum_ack, echo_ts, round } = pkt.payload {
+        if let Payload::Ack {
+            cum_ack,
+            echo_ts,
+            round,
+        } = pkt.payload
+        {
             if pkt.flow == self.sender.flow() {
                 let mut out = Vec::new();
                 self.sender.on_ack(now, cum_ack, echo_ts, round, &mut out);

@@ -88,7 +88,11 @@ impl HttpClient {
             self.local,
             self.server,
             self.flow,
-            Payload::Request { id, size: self.request_bytes, pace_bps: None },
+            Payload::Request {
+                id,
+                size: self.request_bytes,
+                pace_bps: None,
+            },
         ));
     }
 }

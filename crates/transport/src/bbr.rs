@@ -141,7 +141,13 @@ impl BbrLite {
 }
 
 impl CongestionControl for BbrLite {
-    fn on_ack(&mut self, now: SimTime, bytes_acked: u64, rtt: Option<SimDuration>, _in_recovery: bool) {
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        bytes_acked: u64,
+        rtt: Option<SimDuration>,
+        _in_recovery: bool,
+    ) {
         if let Some(r) = rtt {
             self.min_rtt = Some(match self.min_rtt {
                 Some(m) if m < r => m,
@@ -188,9 +194,7 @@ impl CongestionControl for BbrLite {
 
     fn cwnd(&self) -> u64 {
         // 2x BDP, floored at the initial window.
-        (2 * self.bdp_bytes())
-            .max(INITIAL_CWND_SEGMENTS * MSS_BYTES)
-            .min(MAX_CWND_BYTES)
+        (2 * self.bdp_bytes()).clamp(INITIAL_CWND_SEGMENTS * MSS_BYTES, MAX_CWND_BYTES)
     }
 
     fn ssthresh(&self) -> u64 {
@@ -224,9 +228,9 @@ mod tests {
         for _ in 0..epochs {
             // Two ACKs per epoch, half the bytes each.
             cc.on_ack(now, bytes_per_epoch / 2, Some(rtt), false);
-            now = now + rtt / 2;
+            now += rtt / 2;
             cc.on_ack(now, bytes_per_epoch / 2, Some(rtt), false);
-            now = now + rtt / 2;
+            now += rtt / 2;
         }
     }
 
@@ -252,7 +256,10 @@ mod tests {
         // Across the gain cycle, pacing stays within [0.75, 1.25] x btlbw.
         let pace = cc.pacing_rate().unwrap().mbps();
         let bw = cc.btlbw_bps() / 1e6;
-        assert!(pace >= 0.7 * bw && pace <= 1.3 * bw, "pace {pace} vs bw {bw}");
+        assert!(
+            pace >= 0.7 * bw && pace <= 1.3 * bw,
+            "pace {pace} vs bw {bw}"
+        );
     }
 
     #[test]

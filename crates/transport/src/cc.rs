@@ -21,7 +21,13 @@ pub trait CongestionControl: std::fmt::Debug {
     /// `bytes_acked` new bytes were cumulatively acknowledged.
     /// `in_recovery` is true while the sender is in fast recovery (window
     /// growth is suspended there).
-    fn on_ack(&mut self, now: SimTime, bytes_acked: u64, rtt: Option<SimDuration>, in_recovery: bool);
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        bytes_acked: u64,
+        rtt: Option<SimDuration>,
+        in_recovery: bool,
+    );
 
     /// A loss event was detected via duplicate ACKs (at most once per
     /// window). Multiplicative decrease happens here.
@@ -84,7 +90,13 @@ impl Reno {
 }
 
 impl CongestionControl for Reno {
-    fn on_ack(&mut self, _now: SimTime, bytes_acked: u64, _rtt: Option<SimDuration>, in_recovery: bool) {
+    fn on_ack(
+        &mut self,
+        _now: SimTime,
+        bytes_acked: u64,
+        _rtt: Option<SimDuration>,
+        in_recovery: bool,
+    ) {
         if in_recovery {
             return;
         }
@@ -180,7 +192,13 @@ impl Cubic {
 }
 
 impl CongestionControl for Cubic {
-    fn on_ack(&mut self, now: SimTime, bytes_acked: u64, rtt: Option<SimDuration>, in_recovery: bool) {
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        bytes_acked: u64,
+        rtt: Option<SimDuration>,
+        in_recovery: bool,
+    ) {
         if in_recovery {
             return;
         }
@@ -199,8 +217,8 @@ impl CongestionControl for Cubic {
         let cwnd_mss = self.cwnd as f64 / MSS_BYTES as f64;
 
         // TCP-friendly region: grow at least as fast as Reno would.
-        self.w_est += 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * bytes_acked as f64
-            / self.cwnd as f64;
+        self.w_est +=
+            3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * bytes_acked as f64 / self.cwnd as f64;
         let target = target.max(self.w_est);
 
         if target > cwnd_mss {

@@ -9,9 +9,12 @@
 //! [`ReceiverEndpoint`] hosts one [`TcpReceiver`] and ACKs arriving data.
 //! Experiments read progress via [`ReceiverEndpoint::receiver`].
 
-use crate::sender::{CompletedTransfer, TcpConfig, TcpSender};
 use crate::receiver::TcpReceiver;
-use netsim::{BinnedThroughput, Endpoint, FlowId, GaugeSeries, NodeCtx, NodeId, Packet, Payload, Rate, SimDuration, SimTime};
+use crate::sender::{CompletedTransfer, TcpConfig, TcpSender};
+use netsim::{
+    BinnedThroughput, Endpoint, FlowId, GaugeSeries, NodeCtx, NodeId, Packet, Payload, Rate,
+    SimDuration, SimTime,
+};
 
 /// Timer token used by sender endpoints for all wakeups.
 const TICK: u64 = 1;
@@ -82,7 +85,11 @@ impl Endpoint for SenderEndpoint {
     fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
         let mut out = Vec::new();
         match pkt.payload {
-            Payload::Ack { cum_ack, echo_ts, round } if pkt.flow == self.sender.flow() => {
+            Payload::Ack {
+                cum_ack,
+                echo_ts,
+                round,
+            } if pkt.flow == self.sender.flow() => {
                 self.sender.on_ack(now, cum_ack, echo_ts, round, &mut out);
                 if let Some(srtt) = self.sender.srtt() {
                     self.rtt_trace.record(now, srtt.as_millis_f64());
@@ -178,7 +185,11 @@ mod tests {
             db.right[0],
             db.left[0],
             flow,
-            Payload::Request { id: 0, size: bytes, pace_bps: pace },
+            Payload::Request {
+                id: 0,
+                size: bytes,
+                pace_bps: pace,
+            },
         );
         sim.inject(db.right[0], req);
         sim.run_until(SimTime::from_secs(60));

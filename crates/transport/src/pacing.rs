@@ -72,8 +72,8 @@ impl Pacer {
         let elapsed = now.saturating_since(self.last_refill);
         self.last_refill = now;
         if let Some(rate) = self.rate {
-            self.tokens = (self.tokens + rate.bytes_per_sec() * elapsed.as_secs_f64())
-                .min(self.capacity);
+            self.tokens =
+                (self.tokens + rate.bytes_per_sec() * elapsed.as_secs_f64()).min(self.capacity);
         } else {
             self.tokens = self.capacity;
         }

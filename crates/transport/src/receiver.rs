@@ -56,7 +56,10 @@ impl TcpReceiver {
     /// `None` is returned for packets that are not data segments of this
     /// flow (caller bugs surface as dropped packets, not corruption).
     pub fn on_data(&mut self, _now: SimTime, pkt: &Packet) -> Option<Packet> {
-        let Payload::Data { offset, len, round, .. } = pkt.payload else {
+        let Payload::Data {
+            offset, len, round, ..
+        } = pkt.payload
+        else {
             return None;
         };
         if pkt.flow != self.flow {
@@ -77,7 +80,11 @@ impl TcpReceiver {
             self.local,
             self.remote,
             self.flow,
-            Payload::Ack { cum_ack: self.rcv_nxt, echo_ts: pkt.sent_at, round },
+            Payload::Ack {
+                cum_ack: self.rcv_nxt,
+                echo_ts: pkt.sent_at,
+                round,
+            },
         ))
     }
 
@@ -135,7 +142,12 @@ mod tests {
             NodeId(0),
             NodeId(1),
             FlowId(flow),
-            Payload::Data { offset, len, retx: false, round: 7 },
+            Payload::Data {
+                offset,
+                len,
+                retx: false,
+                round: 7,
+            },
         );
         p.sent_at = sent_at;
         p
@@ -151,9 +163,13 @@ mod tests {
     #[test]
     fn in_order_acks_advance() {
         let mut r = TcpReceiver::new(NodeId(1), NodeId(0), FlowId(3));
-        let a1 = r.on_data(SimTime::ZERO, &data_pkt(3, 0, 1000, SimTime::ZERO)).unwrap();
+        let a1 = r
+            .on_data(SimTime::ZERO, &data_pkt(3, 0, 1000, SimTime::ZERO))
+            .unwrap();
         assert_eq!(cum(&a1), 1000);
-        let a2 = r.on_data(SimTime::ZERO, &data_pkt(3, 1000, 500, SimTime::ZERO)).unwrap();
+        let a2 = r
+            .on_data(SimTime::ZERO, &data_pkt(3, 1000, 500, SimTime::ZERO))
+            .unwrap();
         assert_eq!(cum(&a2), 1500);
         assert_eq!(r.contiguous_bytes(), 1500);
     }
@@ -163,11 +179,15 @@ mod tests {
         let mut r = TcpReceiver::new(NodeId(1), NodeId(0), FlowId(3));
         // Segment 0 lost; 1, 2, 3 arrive.
         for i in 1..4u64 {
-            let a = r.on_data(SimTime::ZERO, &data_pkt(3, i * 1000, 1000, SimTime::ZERO)).unwrap();
+            let a = r
+                .on_data(SimTime::ZERO, &data_pkt(3, i * 1000, 1000, SimTime::ZERO))
+                .unwrap();
             assert_eq!(cum(&a), 0, "holes must hold the cumulative ack");
         }
         // Retransmission of segment 0 fills the hole: cum jumps to 4000.
-        let a = r.on_data(SimTime::ZERO, &data_pkt(3, 0, 1000, SimTime::ZERO)).unwrap();
+        let a = r
+            .on_data(SimTime::ZERO, &data_pkt(3, 0, 1000, SimTime::ZERO))
+            .unwrap();
         assert_eq!(cum(&a), 4000);
         assert!(r.ooo.is_empty());
     }
@@ -176,7 +196,9 @@ mod tests {
     fn ack_echoes_send_timestamp() {
         let mut r = TcpReceiver::new(NodeId(1), NodeId(0), FlowId(3));
         let ts = SimTime::from_millis(123);
-        let a = r.on_data(SimTime::from_millis(130), &data_pkt(3, 0, 100, ts)).unwrap();
+        let a = r
+            .on_data(SimTime::from_millis(130), &data_pkt(3, 0, 100, ts))
+            .unwrap();
         match a.payload {
             Payload::Ack { echo_ts, round, .. } => {
                 assert_eq!(echo_ts, ts);
@@ -204,14 +226,18 @@ mod tests {
         r.on_data(SimTime::ZERO, &data_pkt(3, 4000, 500, SimTime::ZERO));
         assert_eq!(r.ooo, vec![(2000, 3500), (4000, 4500)]);
         // Fill the first hole.
-        let a = r.on_data(SimTime::ZERO, &data_pkt(3, 0, 2000, SimTime::ZERO)).unwrap();
+        let a = r
+            .on_data(SimTime::ZERO, &data_pkt(3, 0, 2000, SimTime::ZERO))
+            .unwrap();
         assert_eq!(cum(&a), 3500);
     }
 
     #[test]
     fn wrong_flow_ignored() {
         let mut r = TcpReceiver::new(NodeId(1), NodeId(0), FlowId(3));
-        assert!(r.on_data(SimTime::ZERO, &data_pkt(4, 0, 100, SimTime::ZERO)).is_none());
+        assert!(r
+            .on_data(SimTime::ZERO, &data_pkt(4, 0, 100, SimTime::ZERO))
+            .is_none());
         assert_eq!(r.bytes_received, 0);
     }
 }

@@ -48,9 +48,8 @@ impl RttEstimator {
             Some(srtt) => {
                 // rttvar = 3/4 rttvar + 1/4 |srtt - R|
                 let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
-                self.rttvar = SimDuration::from_nanos(
-                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((3 * self.rttvar.as_nanos() + err.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 R
                 self.srtt = Some(SimDuration::from_nanos(
                     (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,

@@ -29,7 +29,10 @@ pub struct LedbatConfig {
 
 impl Default for LedbatConfig {
     fn default() -> Self {
-        LedbatConfig { target: SimDuration::from_millis(15), gain: 1.0 }
+        LedbatConfig {
+            target: SimDuration::from_millis(15),
+            gain: 1.0,
+        }
     }
 }
 
@@ -66,7 +69,13 @@ impl Default for Ledbat {
 }
 
 impl CongestionControl for Ledbat {
-    fn on_ack(&mut self, _now: SimTime, bytes_acked: u64, rtt: Option<SimDuration>, in_recovery: bool) {
+    fn on_ack(
+        &mut self,
+        _now: SimTime,
+        bytes_acked: u64,
+        rtt: Option<SimDuration>,
+        in_recovery: bool,
+    ) {
         if in_recovery {
             return;
         }
@@ -90,8 +99,8 @@ impl CongestionControl for Ledbat {
         let queuing = rtt.saturating_since_duration(base);
         let target = self.cfg.target.as_secs_f64().max(1e-6);
         let off_target = (target - queuing.as_secs_f64()) / target; // in (-inf, 1]
-        // LEDBAT window update: proportional controller, clamped so one
-        // update never moves the window by more than one MSS per MSS acked.
+                                                                    // LEDBAT window update: proportional controller, clamped so one
+                                                                    // update never moves the window by more than one MSS per MSS acked.
         let delta = self.cfg.gain * off_target * bytes_acked as f64 * MSS_BYTES as f64
             / self.cwnd.max(1) as f64;
         let delta = delta.clamp(-(bytes_acked as f64), bytes_acked as f64);
@@ -148,7 +157,12 @@ mod tests {
     fn ack(cc: &mut Ledbat, rtt_ms: u64, times: usize) {
         for _ in 0..times {
             let w = cc.cwnd();
-            cc.on_ack(SimTime::ZERO, w, Some(SimDuration::from_millis(rtt_ms)), false);
+            cc.on_ack(
+                SimTime::ZERO,
+                w,
+                Some(SimDuration::from_millis(rtt_ms)),
+                false,
+            );
         }
     }
 

@@ -460,13 +460,25 @@ impl TcpSender {
         MSS_BYTES.min(limit - offset)
     }
 
-    fn emit_segment(&mut self, now: SimTime, offset: u64, len: u64, retx: bool, out: &mut Vec<Packet>) {
+    fn emit_segment(
+        &mut self,
+        now: SimTime,
+        offset: u64,
+        len: u64,
+        retx: bool,
+        out: &mut Vec<Packet>,
+    ) {
         debug_assert!(len > 0);
         let pkt = Packet::new(
             self.src,
             self.dst,
             self.flow,
-            Payload::Data { offset, len: len as u32, retx, round: self.round },
+            Payload::Data {
+                offset,
+                len: len as u32,
+                retx,
+                round: self.round,
+            },
         );
         self.pacer.on_send(now, pkt.size);
         self.stats.bytes_sent += len;
@@ -544,7 +556,9 @@ mod tests {
 
     fn data_range(pkt: &Packet) -> (u64, u64, bool) {
         match pkt.payload {
-            Payload::Data { offset, len, retx, .. } => (offset, offset + len as u64, retx),
+            Payload::Data {
+                offset, len, retx, ..
+            } => (offset, offset + len as u64, retx),
             _ => panic!("not a data packet"),
         }
     }
@@ -573,7 +587,10 @@ mod tests {
         // ACK everything: slow start doubles cwnd; roughly 2x packets flow.
         let t1 = SimTime::from_millis(10);
         s.on_ack(t1, s.bytes_in_flight(), SimTime::ZERO, 0, &mut out);
-        assert!(out.len() >= first_burst, "slow start should open the window");
+        assert!(
+            out.len() >= first_burst,
+            "slow start should open the window"
+        );
         assert!(s.srtt().is_some());
     }
 
@@ -691,7 +708,10 @@ mod tests {
             NodeId(0),
             NodeId(1),
             FlowId(1),
-            TcpConfig { max_burst_packets: 4, ..Default::default() },
+            TcpConfig {
+                max_burst_packets: 4,
+                ..Default::default()
+            },
         );
         let mut out = Vec::new();
         // Pace at 12 Mbps: 1500 B wire packets, 1 per ms after the burst.
@@ -734,12 +754,15 @@ mod tests {
                 finished_at = Some(now);
                 break;
             }
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             s.on_tick(now, &mut out);
         }
         let finished = finished_at.expect("transfer did not finish");
         let elapsed = finished.as_secs_f64();
-        assert!(elapsed > 0.5, "transfer finished suspiciously fast: {elapsed}");
+        assert!(
+            elapsed > 0.5,
+            "transfer finished suspiciously fast: {elapsed}"
+        );
         let avg = wire_bytes as f64 * 8.0 / elapsed;
         assert!(
             (avg - pace.bps()).abs() / pace.bps() < 0.1,
@@ -763,7 +786,7 @@ mod tests {
         // crosses into the second transfer, switching the pacer.
         let mut now = SimTime::ZERO;
         for _ in 0..200 {
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             s.on_ack(now, s.snd_nxt, now, 0, &mut out);
             if s.is_idle() {
                 break;
@@ -780,7 +803,11 @@ mod tests {
 
     #[test]
     fn retransmit_fraction_stat() {
-        let mut st = SenderStats { bytes_sent: 1000, retx_bytes: 50, ..Default::default() };
+        let mut st = SenderStats {
+            bytes_sent: 1000,
+            retx_bytes: 50,
+            ..Default::default()
+        };
         assert!((st.retransmit_fraction() - 0.05).abs() < 1e-12);
         st.bytes_sent = 0;
         assert_eq!(st.retransmit_fraction(), 0.0);
@@ -805,8 +832,18 @@ mod tests {
 
         // A late cumulative ACK for all pre-reset data arrives.
         out.clear();
-        s.on_ack(deadline + SimDuration::from_millis(1), sent, SimTime::ZERO, 0, &mut out);
-        assert!(s.bytes_in_flight() < 1 << 40, "flight underflowed: {}", s.bytes_in_flight());
+        s.on_ack(
+            deadline + SimDuration::from_millis(1),
+            sent,
+            SimTime::ZERO,
+            0,
+            &mut out,
+        );
+        assert!(
+            s.bytes_in_flight() < 1 << 40,
+            "flight underflowed: {}",
+            s.bytes_in_flight()
+        );
 
         // The connection keeps making progress to completion.
         let mut now = deadline + SimDuration::from_millis(1);
@@ -815,7 +852,7 @@ mod tests {
             if s.is_idle() {
                 break;
             }
-            now = now + SimDuration::from_millis(5);
+            now += SimDuration::from_millis(5);
             acked += s.bytes_in_flight();
             s.on_ack(now, acked, now, 0, &mut out);
             s.on_tick(now, &mut out);
@@ -832,8 +869,14 @@ mod tests {
         // Grow the window a lot.
         let mut now = SimTime::ZERO;
         for _ in 0..20 {
-            now = now + SimDuration::from_millis(10);
-            s.on_ack(now, s.snd_nxt, now - SimDuration::from_millis(10), 0, &mut out);
+            now += SimDuration::from_millis(10);
+            s.on_ack(
+                now,
+                s.snd_nxt,
+                now - SimDuration::from_millis(10),
+                0,
+                &mut out,
+            );
         }
         assert!(s.cwnd() > 20 * MSS_BYTES);
         assert!(s.is_idle());
@@ -843,6 +886,10 @@ mod tests {
         s.start_transfer(later, 100_000, None);
         out.clear();
         s.pump(later, &mut out);
-        assert_eq!(out.len(), 10, "slow-start restart should cap the burst at IW");
+        assert_eq!(
+            out.len(),
+            10,
+            "slow-start restart should cap the burst at IW"
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Paced constant-bit-rate datagram flows (UDP-style) with one-way-delay
 //! measurement — the neighboring traffic of the paper's Fig 8a.
 
-use netsim::{Endpoint, FlowId, GaugeSeries, NodeCtx, NodeId, Packet, Payload, Rate, SimDuration, SimTime};
+use netsim::{
+    Endpoint, FlowId, GaugeSeries, NodeCtx, NodeId, Packet, Payload, Rate, SimDuration, SimTime,
+};
 
 /// A constant-bit-rate datagram source: sends `packet_bytes`-sized packets
 /// at `rate`, evenly spaced, from `start` until `stop`.
@@ -98,7 +100,12 @@ pub struct UdpSink {
 impl UdpSink {
     /// Create a sink for `flow`.
     pub fn new(flow: FlowId) -> Self {
-        UdpSink { flow, owd_ms: GaugeSeries::new(), packets_received: 0, max_seq: None }
+        UdpSink {
+            flow,
+            owd_ms: GaugeSeries::new(),
+            packets_received: 0,
+            max_seq: None,
+        }
     }
 
     /// Estimated lost packets: gap between the max sequence and the count.
@@ -158,8 +165,11 @@ mod tests {
         let sink: &mut UdpSink = sim.endpoint_mut(db.right[0]).expect("sink present");
 
         // 5 Mbps / (1200*8 bits) = ~520.8 pkts/sec.
-        assert!(sink.packets_received >= 519 && sink.packets_received <= 523,
-            "got {}", sink.packets_received);
+        assert!(
+            sink.packets_received >= 519 && sink.packets_received <= 523,
+            "got {}",
+            sink.packets_received
+        );
         assert_eq!(sink.estimated_losses(), 0);
         // Empty network: OWD is close to propagation-only (2.5 ms + tx).
         let mean = sink.owd_ms.mean();

@@ -8,9 +8,13 @@ use transport::{ReceiverEndpoint, SenderEndpoint, TcpConfig};
 
 /// Run one request/response transfer, returning (delivered stream bytes,
 /// retransmit fraction, completed transfers).
-fn run(bytes: u64, pace_mbps: Option<f64>, rate_mbps: f64, queue_mult: f64, burst: u32)
-    -> (u64, f64, usize)
-{
+fn run(
+    bytes: u64,
+    pace_mbps: Option<f64>,
+    rate_mbps: f64,
+    queue_mult: f64,
+    burst: u32,
+) -> (u64, f64, usize) {
     let mut sim = Simulator::new();
     let db = Dumbbell::build(
         &mut sim,
@@ -27,7 +31,10 @@ fn run(bytes: u64, pace_mbps: Option<f64>, rate_mbps: f64, queue_mult: f64, burs
             db.left[0],
             db.right[0],
             flow,
-            TcpConfig { max_burst_packets: burst, ..Default::default() },
+            TcpConfig {
+                max_burst_packets: burst,
+                ..Default::default()
+            },
         )),
     );
     sim.set_endpoint(
@@ -38,7 +45,11 @@ fn run(bytes: u64, pace_mbps: Option<f64>, rate_mbps: f64, queue_mult: f64, burs
         db.right[0],
         db.left[0],
         flow,
-        Payload::Request { id: 0, size: bytes, pace_bps: pace_mbps.map(|m| m * 1e6) },
+        Payload::Request {
+            id: 0,
+            size: bytes,
+            pace_bps: pace_mbps.map(|m| m * 1e6),
+        },
     );
     sim.inject(db.right[0], req);
     sim.run_until(SimTime::from_secs(300));

@@ -58,7 +58,11 @@ impl AbrDecision {
 }
 
 /// An adaptive-bitrate algorithm (possibly pacing-aware).
-pub trait Abr {
+///
+/// `Send` is a supertrait so a whole session stack (player + ABR + shared
+/// history) can move across threads: the experiment runner shards users
+/// over a worker pool and each worker owns the sessions it runs.
+pub trait Abr: Send {
     /// Select the rung and pace rate for the next chunk.
     fn select(&mut self, ctx: &AbrContext<'_>) -> AbrDecision;
 

@@ -25,7 +25,10 @@ impl PlaybackBuffer {
     /// Panics if `max` is zero.
     pub fn new(max: SimDuration) -> Self {
         assert!(!max.is_zero(), "buffer capacity must be positive");
-        PlaybackBuffer { level: SimDuration::ZERO, max }
+        PlaybackBuffer {
+            level: SimDuration::ZERO,
+            max,
+        }
     }
 
     /// Current buffered duration.
@@ -126,7 +129,10 @@ mod tests {
         b.add_chunk(SimDuration::from_secs(8));
         assert!(b.has_room_for(SimDuration::from_secs(2)));
         assert!(!b.has_room_for(SimDuration::from_secs(3)));
-        assert_eq!(b.time_until_room(SimDuration::from_secs(2)), SimDuration::ZERO);
+        assert_eq!(
+            b.time_until_room(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
         assert_eq!(
             b.time_until_room(SimDuration::from_secs(4)),
             SimDuration::from_secs(2)

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn unpaced_request_omits_rtp() {
-        let r = CmcdRequest { requested_max_throughput: None, ..sample() };
+        let r = CmcdRequest {
+            requested_max_throughput: None,
+            ..sample()
+        };
         let h = r.to_header();
         assert!(!h.contains("rtp"));
         let back = CmcdRequest::from_header(&h).unwrap();

@@ -37,7 +37,10 @@ impl Ladder {
         Ladder {
             rungs: bitrates_bps
                 .iter()
-                .map(|&b| Rung { bitrate: Rate::from_bps(b), vmaf: vmaf.score(b) })
+                .map(|&b| Rung {
+                    bitrate: Rate::from_bps(b),
+                    vmaf: vmaf.score(b),
+                })
                 .collect(),
         }
     }
@@ -46,7 +49,9 @@ impl Ladder {
     /// 235 kbps up to 16 Mbps across 9 rungs.
     pub fn hd(vmaf: &VmafModel) -> Self {
         Ladder::from_bitrates(
-            &[235e3, 375e3, 560e3, 750e3, 1_050e3, 1_750e3, 3_000e3, 5_800e3, 16_000e3],
+            &[
+                235e3, 375e3, 560e3, 750e3, 1_050e3, 1_750e3, 3_000e3, 5_800e3, 16_000e3,
+            ],
             vmaf,
         )
     }

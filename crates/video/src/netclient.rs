@@ -7,7 +7,9 @@
 //! back to the player.
 
 use crate::player::{ChunkRequest, Player, PlayerState};
-use netsim::{BinnedThroughput, Endpoint, FlowId, NodeCtx, NodeId, Packet, Payload, SimDuration, SimTime};
+use netsim::{
+    BinnedThroughput, Endpoint, FlowId, NodeCtx, NodeId, Packet, Payload, SimDuration, SimTime,
+};
 use transport::TcpReceiver;
 
 /// Timer token for player-deadline wakeups.
@@ -168,11 +170,11 @@ mod tests {
     use crate::title::{Title, TitleConfig};
     use crate::vmaf::VmafModel;
     use netsim::{Dumbbell, DumbbellConfig, SimDuration, Simulator};
-    use std::rc::Rc;
+    use std::sync::Arc;
     use transport::{SenderEndpoint, TcpConfig};
 
-    fn lab_title(secs: u64) -> Rc<Title> {
-        Rc::new(Title::generate(
+    fn lab_title(secs: u64) -> Arc<Title> {
+        Arc::new(Title::generate(
             Ladder::lab(&VmafModel::standard()),
             &TitleConfig {
                 duration: SimDuration::from_secs(secs),

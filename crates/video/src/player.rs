@@ -19,7 +19,7 @@ use crate::history::{ChunkMeasurement, ThroughputHistory};
 use crate::qoe::{QoeAccumulator, QoeSummary};
 use crate::title::Title;
 use netsim::{Rate, SimDuration, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Player configuration.
 #[derive(Debug, Clone)]
@@ -71,7 +71,7 @@ pub struct ChunkRequest {
 /// The sans-IO player.
 pub struct Player {
     cfg: PlayerConfig,
-    title: Rc<Title>,
+    title: Arc<Title>,
     abr: Box<dyn Abr>,
 
     state: PlayerState,
@@ -92,7 +92,7 @@ pub struct Player {
 
 impl Player {
     /// Create a player for `title` driven by `abr`, starting at `now`.
-    pub fn new(title: Rc<Title>, abr: Box<dyn Abr>, cfg: PlayerConfig, now: SimTime) -> Self {
+    pub fn new(title: Arc<Title>, abr: Box<dyn Abr>, cfg: PlayerConfig, now: SimTime) -> Self {
         assert!(cfg.start_threshold <= cfg.max_buffer);
         assert!(cfg.resume_threshold <= cfg.max_buffer);
         Player {
@@ -212,7 +212,10 @@ impl Player {
             last_rung: self.last_rung,
         };
         let d = self.abr.select(&ctx);
-        assert!(d.rung < self.title.ladder.len(), "ABR chose an invalid rung");
+        assert!(
+            d.rung < self.title.ladder.len(),
+            "ABR chose an invalid rung"
+        );
         d
     }
 
@@ -236,8 +239,11 @@ impl Player {
 
         let spec = &self.title.chunks[req.index];
         self.buffer.add_chunk(spec.duration);
-        self.qoe
-            .on_chunk(spec.duration, spec.vmaf(req.rung), spec.actual_bitrate(req.rung));
+        self.qoe.on_chunk(
+            spec.duration,
+            spec.vmaf(req.rung),
+            spec.actual_bitrate(req.rung),
+        );
         if let Some(prev) = self.last_rung {
             if prev != req.rung {
                 self.qoe.on_quality_switch();
@@ -309,8 +315,8 @@ mod tests {
     use crate::title::{Title, TitleConfig};
     use crate::vmaf::VmafModel;
 
-    fn short_title() -> Rc<Title> {
-        Rc::new(Title::generate(
+    fn short_title() -> Arc<Title> {
+        Arc::new(Title::generate(
             Ladder::lab(&VmafModel::standard()),
             &TitleConfig {
                 duration: SimDuration::from_secs(60),
@@ -335,13 +341,13 @@ mod tests {
             }
             if let Some(req) = p.poll_request(now) {
                 let dl = SimDuration::from_secs_f64(req.bytes as f64 * 8.0 / rate_bps);
-                now = now + dl;
+                now += dl;
                 p.on_chunk_complete(now, dl);
             } else if let Some(d) = p.next_deadline(now) {
                 now = d.max(now + SimDuration::from_millis(1));
                 p.advance_to(now);
             } else {
-                now = now + SimDuration::from_millis(100);
+                now += SimDuration::from_millis(100);
                 p.advance_to(now);
             }
         }
@@ -365,7 +371,10 @@ mod tests {
         // Rung 2 = 1.05 Mbps; network at 0.9 Mbps cannot keep up.
         let p = run_session(player(PlayerConfig::default()), 0.9e6);
         let q = p.qoe();
-        assert!(q.rebuffer_count > 0, "must rebuffer on an underprovisioned link");
+        assert!(
+            q.rebuffer_count > 0,
+            "must rebuffer on an underprovisioned link"
+        );
         assert!(q.rebuffer_time > SimDuration::ZERO);
         // Content still eventually plays out fully.
         assert_eq!(q.played, SimDuration::from_secs(60));
@@ -394,7 +403,7 @@ mod tests {
         // Download two chunks instantly-ish: buffer = 8 s = max.
         for _ in 0..2 {
             let req = p.poll_request(now).expect("request expected");
-            now = now + SimDuration::from_millis(10);
+            now += SimDuration::from_millis(10);
             p.on_chunk_complete(now, SimDuration::from_millis(10));
             let _ = req;
         }
@@ -418,10 +427,10 @@ mod tests {
         while p.state() != PlayerState::Ended {
             if let Some(req) = p.poll_request(now) {
                 let _ = req;
-                now = now + SimDuration::from_millis(1);
+                now += SimDuration::from_millis(1);
                 p.on_chunk_complete(now, SimDuration::from_millis(1));
             } else {
-                now = now + SimDuration::from_secs(1);
+                now += SimDuration::from_secs(1);
                 p.advance_to(now);
             }
         }

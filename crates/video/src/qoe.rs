@@ -138,7 +138,7 @@ fn initial_window_mean(points: &[(SimDuration, f64)], window: SimDuration) -> Op
 }
 
 /// Final QoE metrics of one session.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QoeSummary {
     /// Time from session start to first frame. `None` if playback never
     /// started.

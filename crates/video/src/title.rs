@@ -87,8 +87,14 @@ impl Title {
     /// # Panics
     /// Panics if the chunk duration is zero or longer than the title.
     pub fn generate(ladder: Ladder, cfg: &TitleConfig) -> Self {
-        assert!(!cfg.chunk_duration.is_zero(), "chunk duration must be positive");
-        assert!(cfg.duration >= cfg.chunk_duration, "title shorter than one chunk");
+        assert!(
+            !cfg.chunk_duration.is_zero(),
+            "chunk duration must be positive"
+        );
+        assert!(
+            cfg.duration >= cfg.chunk_duration,
+            "title shorter than one chunk"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = (cfg.duration.as_nanos() / cfg.chunk_duration.as_nanos()) as usize;
         let chunk_secs = cfg.chunk_duration.as_secs_f64();
@@ -116,7 +122,12 @@ impl Title {
                         (r.vmaf + offset * (0.5 + headroom)).clamp(0.0, 100.0)
                     })
                     .collect();
-                ChunkSpec { index, duration: cfg.chunk_duration, sizes, vmafs }
+                ChunkSpec {
+                    index,
+                    duration: cfg.chunk_duration,
+                    sizes,
+                    vmafs,
+                }
             })
             .collect();
         Title { ladder, chunks }
@@ -171,7 +182,11 @@ mod tests {
     fn title(seed: u64, cv: f64) -> Title {
         Title::generate(
             Ladder::hd(&VmafModel::standard()),
-            &TitleConfig { seed, size_cv: cv, ..Default::default() },
+            &TitleConfig {
+                seed,
+                size_cv: cv,
+                ..Default::default()
+            },
         )
     }
 
@@ -237,7 +252,11 @@ mod tests {
     fn zero_vmaf_sd_is_exact() {
         let t = Title::generate(
             Ladder::hd(&VmafModel::standard()),
-            &TitleConfig { size_cv: 0.0, vmaf_sd: 0.0, ..Default::default() },
+            &TitleConfig {
+                size_cv: 0.0,
+                vmaf_sd: 0.0,
+                ..Default::default()
+            },
         );
         for c in &t.chunks {
             for (i, r) in t.ladder.rungs().iter().enumerate() {

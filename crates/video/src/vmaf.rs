@@ -30,18 +30,30 @@ impl VmafModel {
     /// A model typical of mainstream live-action content: ~96 VMAF
     /// asymptote, half quality around 350 kbps, soft knee.
     pub fn standard() -> Self {
-        VmafModel { v_max: 97.0, r_half: 350e3, shape: 0.9 }
+        VmafModel {
+            v_max: 97.0,
+            r_half: 350e3,
+            shape: 0.9,
+        }
     }
 
     /// Easily-compressed content (animation): reaches high quality at low
     /// bitrates.
     pub fn animation() -> Self {
-        VmafModel { v_max: 98.0, r_half: 150e3, shape: 0.95 }
+        VmafModel {
+            v_max: 98.0,
+            r_half: 150e3,
+            shape: 0.95,
+        }
     }
 
     /// Hard-to-compress content (sports, grain): needs more bits.
     pub fn complex() -> Self {
-        VmafModel { v_max: 95.0, r_half: 900e3, shape: 0.85 }
+        VmafModel {
+            v_max: 95.0,
+            r_half: 900e3,
+            shape: 0.85,
+        }
     }
 
     /// Score for an encoding bitrate in bits/sec.
@@ -90,7 +102,11 @@ mod tests {
 
     #[test]
     fn half_rate_semantics() {
-        let m = VmafModel { v_max: 90.0, r_half: 1e6, shape: 1.0 };
+        let m = VmafModel {
+            v_max: 90.0,
+            r_half: 1e6,
+            shape: 1.0,
+        };
         assert!((m.score(1e6) - 45.0).abs() < 1e-9);
     }
 

@@ -3,19 +3,17 @@
 
 use netsim::{SimDuration, SimTime};
 use proptest::prelude::*;
-use std::rc::Rc;
-use video::{
-    FixedRung, Ladder, Player, PlayerConfig, PlayerState, Title, TitleConfig, VmafModel,
-};
+use std::sync::Arc;
+use video::{FixedRung, Ladder, Player, PlayerConfig, PlayerState, Title, TitleConfig, VmafModel};
 
-fn title(chunks: u64) -> Rc<Title> {
-    Rc::new(Title::generate(
+fn title(chunks: u64) -> Arc<Title> {
+    Arc::new(Title::generate(
         Ladder::lab(&VmafModel::standard()),
         &TitleConfig {
             duration: SimDuration::from_secs(4 * chunks),
             chunk_duration: SimDuration::from_secs(4),
             size_cv: 0.0,
-                vmaf_sd: 0.0,
+            vmaf_sd: 0.0,
             seed: 0,
         },
     ))
@@ -48,13 +46,13 @@ proptest! {
             if let Some(_req) = p.poll_request(now) {
                 let dl = SimDuration::from_millis(dl_ms[i % dl_ms.len()]);
                 i += 1;
-                now = now + dl;
+                now += dl;
                 p.on_chunk_complete(now, dl);
             } else if let Some(d) = p.next_deadline(now) {
                 now = d.max(now + SimDuration::from_millis(1));
                 p.advance_to(now);
             } else {
-                now = now + SimDuration::from_millis(500);
+                now += SimDuration::from_millis(500);
                 p.advance_to(now);
             }
         }
@@ -100,13 +98,13 @@ proptest! {
             );
             if let Some(_req) = p.poll_request(now) {
                 let dl = SimDuration::from_micros(dl_us);
-                now = now + dl;
+                now += dl;
                 p.on_chunk_complete(now, dl);
             } else if let Some(d) = p.next_deadline(now) {
                 now = d.max(now + SimDuration::from_millis(1));
                 p.advance_to(now);
             } else {
-                now = now + SimDuration::from_secs(1);
+                now += SimDuration::from_secs(1);
                 p.advance_to(now);
             }
         }
@@ -131,7 +129,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         while p.state() == PlayerState::Startup {
             if let Some(_r) = p.poll_request(now) {
-                now = now + SimDuration::from_millis(dl_ms);
+                now += SimDuration::from_millis(dl_ms);
                 p.on_chunk_complete(now, SimDuration::from_millis(dl_ms));
             }
         }

@@ -4,11 +4,12 @@
 //! ```text
 //! cargo run --example ab_experiment --release
 //! cargo run --example ab_experiment --release -- 500   # users per arm
+//! cargo run --example ab_experiment --release -- 500 8 # ... on 8 threads
 //! ```
 
 use sammy_repro::abtest::{
-    draw_population, run_experiment, throughput_by_bucket, Arm, ExperimentConfig,
-    PopulationConfig, Report,
+    draw_population, run_experiment, throughput_by_bucket, Arm, ExperimentConfig, PopulationConfig,
+    Report,
 };
 
 fn main() {
@@ -16,6 +17,12 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(150);
+    // Worker threads for the sharded runner (0 = all cores). The report is
+    // bit-identical for every value.
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
 
     let cfg = ExperimentConfig {
         users_per_arm,
@@ -23,6 +30,7 @@ fn main() {
         sessions_per_user: 3,
         seed: 2023,
         bootstrap_reps: 400,
+        threads,
     };
     println!(
         "Paired A/B test: production vs Sammy(c0=3.2, c1=2.8), {} users, {} sessions/arm each\n",

@@ -10,8 +10,17 @@
 use sammy_repro::abtest::{draw_population, run_cold_start, ColdStartConfig, PopulationConfig};
 
 fn main() {
-    let users: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
-    let cfg = ColdStartConfig { days: 14, sessions_per_day: 2, warmup_sessions: 6, seed: 5 };
+    let users: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let cfg = ColdStartConfig {
+        days: 14,
+        sessions_per_day: 2,
+        warmup_sessions: 6,
+        seed: 5,
+        threads: 0,
+    };
     println!(
         "Cold-start experiment: {users} users, {} sessions/day, history wiped at day 0\n",
         cfg.sessions_per_day
@@ -19,7 +28,10 @@ fn main() {
     let pop = draw_population(&PopulationConfig::default(), users, cfg.seed);
     let result = run_cold_start(&pop, &cfg);
 
-    println!("{:>5} {:>12}   bar (each # = 0.5% below control)", "day", "% diff");
+    println!(
+        "{:>5} {:>12}   bar (each # = 0.5% below control)",
+        "day", "% diff"
+    );
     for (day, d) in result.pct_diff_by_day().iter().enumerate() {
         let bars = ((-d / 0.5).round().max(0.0) as usize).min(60);
         println!("{day:>5} {d:>12.2}   {}", "#".repeat(bars));

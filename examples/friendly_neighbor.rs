@@ -30,9 +30,14 @@ fn main() {
     println!("HTTP response     : control {http_c:>8.0} ms | sammy {http_s:>8.0} ms | {:+.0}% (paper -18%)",
         (http_s - http_c) / http_c * 100.0);
 
-    let vid_cfg = LabConfig { run_for: SimDuration::from_secs(45), ..LabConfig::neighbors() };
+    let vid_cfg = LabConfig {
+        run_for: SimDuration::from_secs(45),
+        ..LabConfig::neighbors()
+    };
     let vid_c = lab::neighbor_video(LabArm::Control, &vid_cfg, 4);
     let vid_s = lab::neighbor_video(LabArm::Sammy, &vid_cfg, 4);
-    println!("Video play delay  : control {vid_c:>8.0} ms | sammy {vid_s:>8.0} ms | {:+.0}% (paper -4%)",
-        (vid_s - vid_c) / vid_c * 100.0);
+    println!(
+        "Video play delay  : control {vid_c:>8.0} ms | sammy {vid_s:>8.0} ms | {:+.0}% (paper -4%)",
+        (vid_s - vid_c) / vid_c * 100.0
+    );
 }

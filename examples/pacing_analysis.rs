@@ -18,7 +18,10 @@ fn main() {
 
     println!("Eq. 1: minimum throughput (as a multiple of the bitrate) an HYB-style");
     println!("ABR needs to keep selecting a bitrate, by buffer level (beta = {beta}):\n");
-    println!("{:>10} {:>24} {:>24}", "buffer_s", "min tput (x bitrate)", "max bitrate (x tput)");
+    println!(
+        "{:>10} {:>24} {:>24}",
+        "buffer_s", "min tput (x bitrate)", "max bitrate (x tput)"
+    );
     for buffer in [0.0, 4.0, 8.0, 16.0, 32.0, 64.0, 120.0, 240.0] {
         let min_x = min_throughput_for_bitrate(beta, 1.0, buffer, horizon_s);
         let max_r = max_bitrate_for_throughput(beta, 1.0, buffer, horizon_s);
@@ -37,7 +40,10 @@ fn main() {
     println!("\nThe downward spiral (Sec 2.3.1): naive rule paced at 1.5x its own");
     println!("bitrate vs Sammy-style pacing at 3.2x the ladder top:\n");
     let (blackbox, sammy) = figures::spiral();
-    println!("{:>6} {:>16} {:>16}", "chunk", "blackbox Mbps", "sammy Mbps");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "chunk", "blackbox Mbps", "sammy Mbps"
+    );
     for (i, (b, s)) in blackbox.iter().zip(&sammy).enumerate().take(12) {
         println!("{i:>6} {b:>16.2} {s:>16.2}");
     }

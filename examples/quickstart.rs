@@ -15,7 +15,7 @@ use sammy_repro::transport::{SenderEndpoint, TcpConfig};
 use sammy_repro::video::{
     Abr, Ladder, Player, PlayerConfig, Title, TitleConfig, VideoClientEndpoint, VmafModel,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     println!("Sammy quickstart: one video session on a 40 Mbps / 5 ms lab link\n");
@@ -26,10 +26,7 @@ fn main() {
         println!("  chunk throughput : {tput:.1} Mbps");
         println!("  median RTT       : {rtt:.2} ms");
         println!("  retransmits      : {:.3} %", retx * 100.0);
-        println!(
-            "  play delay       : {:.2} s",
-            qoe.0
-        );
+        println!("  play delay       : {:.2} s", qoe.0);
         println!("  mean VMAF        : {:.1}", qoe.1);
         println!("  rebuffers        : {}\n", qoe.2);
     }
@@ -49,18 +46,21 @@ fn run_session(use_sammy: bool) -> (f64, f64, f64, (f64, f64, u64)) {
         db.left[0],
         db.right[0],
         flow,
-        TcpConfig { max_burst_packets: 4, ..Default::default() },
+        TcpConfig {
+            max_burst_packets: 4,
+            ..Default::default()
+        },
     );
     sim.set_endpoint(db.left[0], Box::new(server));
 
     // A 10-minute title on the lab ladder (3.3 Mbps top rung).
-    let title = Rc::new(Title::generate(
+    let title = Arc::new(Title::generate(
         Ladder::lab(&VmafModel::standard()),
         &TitleConfig {
             duration: SimDuration::from_secs(600),
             chunk_duration: SimDuration::from_secs(4),
             size_cv: 0.12,
-                vmaf_sd: 0.0,
+            vmaf_sd: 0.0,
             seed: 7,
         },
     ));
@@ -68,13 +68,17 @@ fn run_session(use_sammy: bool) -> (f64, f64, f64, (f64, f64, u64)) {
     // Device history: this network has been seen before.
     let history = shared_history();
     for _ in 0..30 {
-        history.borrow_mut().update(Rate::from_mbps(38.0));
-        history.borrow_mut().end_session();
+        history.update(Rate::from_mbps(38.0));
+        history.end_session();
     }
     let abr: Box<dyn Abr> = if use_sammy {
         Box::new(Sammy::new(Mpc::default(), history, SammyConfig::default()))
     } else {
-        Box::new(ProductionAbr::new(Mpc::default(), history, HistoryPolicy::AllSamples))
+        Box::new(ProductionAbr::new(
+            Mpc::default(),
+            history,
+            HistoryPolicy::AllSamples,
+        ))
     };
 
     let player = Player::new(title, abr, PlayerConfig::default(), SimTime::ZERO);

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset this workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple adaptive
+//! timing loop instead of criterion's full statistical machinery. Results
+//! are printed as mean wall-clock time per iteration (plus throughput for
+//! groups that declare one).
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Overridable via
+/// `CRITERION_MEASURE_MS` to trade precision for runtime.
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark measurement state handed to the bench closure.
+pub struct Bencher {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, choosing an iteration count that fills the measurement
+    /// budget, and record the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration pass.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = measure_budget();
+        let n = (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let total = t1.elapsed();
+        self.mean = total / n as u32;
+        self.iters = n;
+    }
+
+    /// Mean time per iteration from the last `iter` call.
+    pub fn mean_time(&self) -> Duration {
+        self.mean
+    }
+}
+
+/// Units for group throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<44} time: {:>12}   ({} iters)",
+        human(b.mean),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / b.mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "   thrpt: {:.1} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Benchmark registry/runner, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes iteration counts
+    /// from the measurement budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b, self.throughput);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        c.bench_function("noop-sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the scoped-thread API is needed here; it is implemented on top of
+//! `std::thread::scope` (stable since 1.63), which provides the same
+//! borrow-the-stack guarantees crossbeam pioneered. Signatures mirror
+//! `crossbeam::thread`: the spawn closure receives `&Scope` so workers can
+//! spawn siblings, and `scope` returns `thread::Result` capturing whether
+//! any propagated panic occurred.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning threads that may borrow from the enclosing
+    /// scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// it can spawn further siblings, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Unlike
+    /// `std::thread::scope`, a panic that propagates out of the closure or
+    /// an unjoined child is returned as `Err` rather than resuming.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let data = &data;
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|w| s.spawn(move |_| data.iter().skip(w).step_by(2).sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn propagated_panic_becomes_err() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().map_err(std::panic::resume_unwind).ok();
+        });
+        assert!(r.is_err());
+    }
+}

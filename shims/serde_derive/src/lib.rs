@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! `#[derive(Serialize, Deserialize)]` annotations compile unchanged. The
+//! shim `serde` crate blanket-implements the marker traits, so the derives
+//! emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

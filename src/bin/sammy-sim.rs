@@ -3,7 +3,7 @@
 //! ```text
 //! sammy-sim single-flow [--sammy] [--rate-mbps 40] [--rtt-ms 5] [--secs 60]
 //! sammy-sim neighbors   [--secs 60]
-//! sammy-sim abtest      [--users 150] [--c0 3.2] [--c1 2.8]
+//! sammy-sim abtest      [--users 150] [--c0 3.2] [--c1 2.8] [--threads 0]
 //! sammy-sim tune        [--users 40] [--rounds 2]
 //! ```
 
@@ -34,8 +34,8 @@ fn usage() {
     eprintln!("usage: sammy-sim <single-flow|neighbors|abtest|tune> [flags]");
     eprintln!("  single-flow  [--sammy] [--rate-mbps N] [--rtt-ms N] [--secs N]");
     eprintln!("  neighbors    [--secs N]");
-    eprintln!("  abtest       [--users N] [--c0 X] [--c1 X] [--seed N]");
-    eprintln!("  tune         [--users N] [--rounds N] [--seed N]");
+    eprintln!("  abtest       [--users N] [--c0 X] [--c1 X] [--seed N] [--threads N]");
+    eprintln!("  tune         [--users N] [--rounds N] [--seed N] [--threads N]");
 }
 
 struct Opts(Vec<(String, String)>);
@@ -80,7 +80,11 @@ fn single_flow(opts: &Opts) {
         run_for: SimDuration::from_secs(opts.get("secs", 60)),
         ..Default::default()
     };
-    let arm = if opts.flag("sammy") { LabArm::Sammy } else { LabArm::Control };
+    let arm = if opts.flag("sammy") {
+        LabArm::Sammy
+    } else {
+        LabArm::Control
+    };
     let r = lab::single_flow(arm, &cfg);
     println!("arm              : {}", arm.label());
     println!("chunk throughput : {:.1} Mbps", r.chunk_throughput_mbps);
@@ -88,7 +92,10 @@ fn single_flow(opts: &Opts) {
     println!("retransmits      : {:.3} %", r.retx_fraction * 100.0);
     println!("play delay       : {:.2} s", r.play_delay_s);
     println!("rebuffers        : {}", r.rebuffers);
-    println!("peak queue       : {:.1} kB", r.max_queue_bytes as f64 / 1e3);
+    println!(
+        "peak queue       : {:.1} kB",
+        r.max_queue_bytes as f64 / 1e3
+    );
 }
 
 fn neighbors(opts: &Opts) {
@@ -96,8 +103,12 @@ fn neighbors(opts: &Opts) {
         run_for: SimDuration::from_secs(opts.get("secs", 60)),
         ..LabConfig::neighbors()
     };
-    println!("{:<18} {:>12} {:>12} {:>8}", "neighbor", "control", "sammy", "change");
-    let rows: [(&str, fn(LabArm, &LabConfig) -> f64, &str); 3] = [
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "neighbor", "control", "sammy", "change"
+    );
+    type NeighborRow = (&'static str, fn(LabArm, &LabConfig) -> f64, &'static str);
+    let rows: [NeighborRow; 3] = [
         ("UDP OWD (ms)", lab::neighbor_udp, "-"),
         ("TCP tput (Mbps)", lab::neighbor_tcp, "+"),
         ("HTTP resp (ms)", lab::neighbor_http, "-"),
@@ -105,7 +116,10 @@ fn neighbors(opts: &Opts) {
     for (name, f, _dir) in rows {
         let c = f(LabArm::Control, &cfg);
         let s = f(LabArm::Sammy, &cfg);
-        println!("{name:<18} {c:>12.2} {s:>12.2} {:>7.0}%", (s - c) / c * 100.0);
+        println!(
+            "{name:<18} {c:>12.2} {s:>12.2} {:>7.0}%",
+            (s - c) / c * 100.0
+        );
     }
 }
 
@@ -116,14 +130,17 @@ fn abtest(opts: &Opts) {
         sessions_per_user: 3,
         seed: opts.get("seed", 2023),
         bootstrap_reps: 400,
+        threads: opts.get("threads", 0),
     };
     let c0 = opts.get("c0", 3.2);
     let c1 = opts.get("c1", 2.8);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
-    let (control, treatment) =
-        run_experiment(&pop, Arm::Production, Arm::Sammy { c0, c1 }, &cfg);
+    let (control, treatment) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0, c1 }, &cfg);
     let report = Report::build(&control, &treatment, cfg.bootstrap_reps, cfg.seed);
-    println!("Paired A/B: production vs Sammy(c0={c0}, c1={c1}), {} users\n", cfg.users_per_arm);
+    println!(
+        "Paired A/B: production vs Sammy(c0={c0}, c1={c1}), {} users\n",
+        cfg.users_per_arm
+    );
     print!("{}", report.render());
 }
 
@@ -134,12 +151,19 @@ fn tune(opts: &Opts) {
         sessions_per_user: 2,
         seed: opts.get("seed", 7),
         bootstrap_reps: 150,
+        threads: opts.get("threads", 0),
     };
     let rounds = opts.get("rounds", 2);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
-    println!("Searching (c0, c1) over {rounds} rounds, {} users...\n", cfg.users_per_arm);
+    println!(
+        "Searching (c0, c1) over {rounds} rounds, {} users...\n",
+        cfg.users_per_arm
+    );
     let out = search(&pop, &cfg, QoeGuards::default(), rounds);
-    println!("{:>6} {:>6} {:>10} {:>9} {:>10} {:>9}", "c0", "c1", "tput %", "vmaf %", "delay %", "feasible");
+    println!(
+        "{:>6} {:>6} {:>10} {:>9} {:>10} {:>9}",
+        "c0", "c1", "tput %", "vmaf %", "delay %", "feasible"
+    );
     for c in &out.trace {
         println!(
             "{:>6.2} {:>6.2} {:>10.1} {:>9.3} {:>10.2} {:>9}",

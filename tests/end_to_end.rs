@@ -12,16 +12,16 @@ use sammy_repro::video::{
     Abr, Ladder, Player, PlayerConfig, PlayerState, Title, TitleConfig, VideoClientEndpoint,
     VmafModel,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn lab_title(secs: u64, seed: u64) -> Rc<Title> {
-    Rc::new(Title::generate(
+fn lab_title(secs: u64, seed: u64) -> Arc<Title> {
+    Arc::new(Title::generate(
         Ladder::lab(&VmafModel::standard()),
         &TitleConfig {
             duration: SimDuration::from_secs(secs),
             chunk_duration: SimDuration::from_secs(4),
             size_cv: 0.1,
-                vmaf_sd: 0.0,
+            vmaf_sd: 0.0,
             seed,
         },
     ))
@@ -30,8 +30,8 @@ fn lab_title(secs: u64, seed: u64) -> Rc<Title> {
 fn warmed_history() -> sammy_repro::abr::SharedHistory {
     let h = shared_history();
     for _ in 0..20 {
-        h.borrow_mut().update(Rate::from_mbps(38.0));
-        h.borrow_mut().end_session();
+        h.update(Rate::from_mbps(38.0));
+        h.end_session();
     }
     h
 }
@@ -57,10 +57,18 @@ fn run_lab_session(abr: Box<dyn Abr>, secs: u64) -> SessionResult {
             db.left[0],
             db.right[0],
             flow,
-            TcpConfig { max_burst_packets: 4, ..Default::default() },
+            TcpConfig {
+                max_burst_packets: 4,
+                ..Default::default()
+            },
         )),
     );
-    let player = Player::new(lab_title(secs, 3), abr, PlayerConfig::default(), SimTime::ZERO);
+    let player = Player::new(
+        lab_title(secs, 3),
+        abr,
+        PlayerConfig::default(),
+        SimTime::ZERO,
+    );
     VideoClientEndpoint::new(db.right[0], db.left[0], flow, player)
         .install(&mut sim, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(secs + 60));
@@ -70,7 +78,11 @@ fn run_lab_session(abr: Box<dyn Abr>, secs: u64) -> SessionResult {
     let retx = server.sender().stats().retransmit_fraction();
     let rtt = server.sender().rtt_digest().median();
     let completed = server.completed.clone();
-    let tput = completed.iter().skip(2).map(|t| t.throughput().mbps()).sum::<f64>()
+    let tput = completed
+        .iter()
+        .skip(2)
+        .map(|t| t.throughput().mbps())
+        .sum::<f64>()
         / completed.len().saturating_sub(2).max(1) as f64;
 
     let client: &mut VideoClientEndpoint = sim.endpoint_mut(db.right[0]).unwrap();
@@ -114,7 +126,11 @@ fn sammy_session_same_qoe_much_smoother() {
         180,
     );
     let sammy = run_lab_session(
-        Box::new(Sammy::new(Mpc::default(), warmed_history(), SammyConfig::default())),
+        Box::new(Sammy::new(
+            Mpc::default(),
+            warmed_history(),
+            SammyConfig::default(),
+        )),
         180,
     );
 
@@ -152,7 +168,11 @@ fn sammy_session_same_qoe_much_smoother() {
 #[test]
 fn sammy_paces_near_three_times_top_bitrate() {
     let sammy = run_lab_session(
-        Box::new(Sammy::new(Mpc::default(), warmed_history(), SammyConfig::default())),
+        Box::new(Sammy::new(
+            Mpc::default(),
+            warmed_history(),
+            SammyConfig::default(),
+        )),
         240,
     );
     // Top bitrate 3.3 Mbps, multipliers 2.8–3.2: chunk throughput must sit
@@ -168,7 +188,11 @@ fn sammy_paces_near_three_times_top_bitrate() {
 fn deterministic_replay() {
     let run = || {
         run_lab_session(
-            Box::new(Sammy::new(Mpc::default(), warmed_history(), SammyConfig::default())),
+            Box::new(Sammy::new(
+                Mpc::default(),
+                warmed_history(),
+                SammyConfig::default(),
+            )),
             120,
         )
     };
@@ -180,25 +204,85 @@ fn deterministic_replay() {
 }
 
 #[test]
+fn parallel_experiment_bit_identical_to_serial() {
+    use sammy_repro::abtest::{
+        draw_population, run_experiment, run_experiment_serial, Arm, ExperimentConfig,
+        PopulationConfig, Report,
+    };
+
+    let base = ExperimentConfig {
+        users_per_arm: 12,
+        pre_sessions: 2,
+        sessions_per_user: 2,
+        seed: 77,
+        bootstrap_reps: 120,
+        threads: 0,
+    };
+    let treatment = Arm::Sammy { c0: 3.2, c1: 2.8 };
+    let pop = draw_population(&PopulationConfig::default(), base.users_per_arm, base.seed);
+
+    let (sc, st) = run_experiment_serial(&pop, Arm::Production, treatment, &base);
+    let serial_report = Report::build(&sc, &st, base.bootstrap_reps, base.seed);
+    assert!(!sc.sessions.is_empty());
+
+    for threads in [1usize, 2, 8] {
+        let cfg = ExperimentConfig {
+            threads,
+            ..base.clone()
+        };
+        let (c, t) = run_experiment(&pop, Arm::Production, treatment, &cfg);
+        // Every session record — QoE, throughputs, RTT digests — must be
+        // bit-identical to the serial runner's, in the same order.
+        assert!(
+            c.sessions == sc.sessions,
+            "control records diverged at {threads} threads"
+        );
+        assert!(
+            t.sessions == st.sessions,
+            "treatment records diverged at {threads} threads"
+        );
+        // And so must the derived report (same bootstrap draws, same rows).
+        let report = Report::build(&c, &t, cfg.bootstrap_reps, cfg.seed);
+        assert!(
+            report == serial_report,
+            "report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn constrained_network_adapts_down_without_stalling() {
     // 3 Mbps bottleneck: top rung (3.3 Mbps) is unsustainable; MPC must
     // downshift and keep playing.
     let mut sim = Simulator::new();
     let db = Dumbbell::build(
         &mut sim,
-        DumbbellConfig { bottleneck_rate: Rate::from_mbps(3.0), ..Default::default() },
+        DumbbellConfig {
+            bottleneck_rate: Rate::from_mbps(3.0),
+            ..Default::default()
+        },
     );
     let flow = FlowId(1);
     sim.set_endpoint(
         db.left[0],
-        Box::new(SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default())),
+        Box::new(SenderEndpoint::new(
+            db.left[0],
+            db.right[0],
+            flow,
+            TcpConfig::default(),
+        )),
     );
     let abr = Box::new(ProductionAbr::new(
         Mpc::default(),
         shared_history(),
         HistoryPolicy::AllSamples,
     ));
-    let player = Player::new(lab_title(120, 9), abr, PlayerConfig::default(), SimTime::ZERO);
+    let player = Player::new(
+        lab_title(120, 9),
+        abr,
+        PlayerConfig::default(),
+        SimTime::ZERO,
+    );
     VideoClientEndpoint::new(db.right[0], db.left[0], flow, player)
         .install(&mut sim, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(400));

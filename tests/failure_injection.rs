@@ -12,13 +12,13 @@ use sammy_repro::video::{
     Abr, Ladder, Player, PlayerConfig, PlayerState, Title, TitleConfig, VideoClientEndpoint,
     VmafModel,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn warmed_history() -> sammy_repro::abr::SharedHistory {
     let h = shared_history();
     for _ in 0..20 {
-        h.borrow_mut().update(Rate::from_mbps(38.0));
-        h.borrow_mut().end_session();
+        h.update(Rate::from_mbps(38.0));
+        h.end_session();
     }
     h
 }
@@ -44,16 +44,19 @@ fn run_with_dip(abr: Box<dyn Abr>, dip_mbps: f64) -> Outcome {
             db.left[0],
             db.right[0],
             flow,
-            TcpConfig { max_burst_packets: 4, ..Default::default() },
+            TcpConfig {
+                max_burst_packets: 4,
+                ..Default::default()
+            },
         )),
     );
-    let title = Rc::new(Title::generate(
+    let title = Arc::new(Title::generate(
         Ladder::lab(&VmafModel::standard()),
         &TitleConfig {
             duration: SimDuration::from_secs(240),
             chunk_duration: SimDuration::from_secs(4),
             size_cv: 0.1,
-                vmaf_sd: 0.0,
+            vmaf_sd: 0.0,
             seed: 5,
         },
     ));
@@ -90,11 +93,19 @@ fn run_with_dip(abr: Box<dyn Abr>, dip_mbps: f64) -> Outcome {
 }
 
 fn production() -> Box<dyn Abr> {
-    Box::new(ProductionAbr::new(Mpc::default(), warmed_history(), HistoryPolicy::AllSamples))
+    Box::new(ProductionAbr::new(
+        Mpc::default(),
+        warmed_history(),
+        HistoryPolicy::AllSamples,
+    ))
 }
 
 fn sammy() -> Box<dyn Abr> {
-    Box::new(Sammy::new(Mpc::default(), warmed_history(), SammyConfig::default()))
+    Box::new(Sammy::new(
+        Mpc::default(),
+        warmed_history(),
+        SammyConfig::default(),
+    ))
 }
 
 #[test]
@@ -123,6 +134,65 @@ fn severe_dip_recovers_after_restoration() {
         // Stalls are allowed, but bounded by roughly the dip length.
         assert!(o.rebuffer_secs < 70.0, "stalled {}s", o.rebuffer_secs);
     }
+}
+
+#[test]
+fn worker_panic_is_isolated_and_reported() {
+    use sammy_repro::abtest::{
+        draw_population, run_experiment_detailed, run_experiment_serial, Arm, ExperimentConfig,
+        PopulationConfig,
+    };
+
+    let cfg = ExperimentConfig {
+        users_per_arm: 10,
+        pre_sessions: 1,
+        sessions_per_user: 2,
+        seed: 13,
+        bootstrap_reps: 50,
+        threads: 4,
+    };
+    let treatment = Arm::Sammy { c0: 3.2, c1: 2.8 };
+    let mut pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
+    // Sabotage one user mid-population: a title shorter than one chunk
+    // trips `Title::generate`'s assertion inside that user's worker.
+    pop[4].title_duration = SimDuration::from_secs(1);
+
+    let run = run_experiment_detailed(&pop, Arm::Production, treatment, &cfg);
+
+    // Exactly the sabotaged user failed, with the panic payload captured.
+    assert_eq!(run.failures.len(), 1, "failures: {:?}", run.failures);
+    assert_eq!(run.failures[0].index, 4);
+    assert_eq!(run.failures[0].user, pop[4].id);
+    assert!(
+        run.failures[0].message.contains("chunk"),
+        "unexpected payload: {}",
+        run.failures[0].message
+    );
+
+    // The pool neither deadlocked nor dropped the other nine users: their
+    // records match a clean run of the population without the bad user.
+    let healthy: Vec<_> = pop
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 4)
+        .map(|(_, u)| u.clone())
+        .collect();
+    let (hc, ht) = run_experiment_serial(&healthy, Arm::Production, treatment, &cfg);
+    assert!(
+        run.control.sessions == hc.sessions,
+        "surviving control records diverged"
+    );
+    assert!(
+        run.treatment.sessions == ht.sessions,
+        "surviving treatment records diverged"
+    );
+
+    // The strict runner propagates the same failure instead of returning a
+    // silently incomplete experiment.
+    let strict = std::panic::catch_unwind(|| {
+        sammy_repro::abtest::run_experiment(&pop, Arm::Production, treatment, &cfg)
+    });
+    assert!(strict.is_err(), "run_experiment must propagate user panics");
 }
 
 #[test]

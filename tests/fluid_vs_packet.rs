@@ -24,7 +24,12 @@ fn packet_download(bytes: u64, pace_bps: Option<f64>, capacity_mbps: f64, rtt_ms
     let flow = FlowId(1);
     sim.set_endpoint(
         db.left[0],
-        Box::new(SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default())),
+        Box::new(SenderEndpoint::new(
+            db.left[0],
+            db.right[0],
+            flow,
+            TcpConfig::default(),
+        )),
     );
     sim.set_endpoint(
         db.right[0],
@@ -34,7 +39,11 @@ fn packet_download(bytes: u64, pace_bps: Option<f64>, capacity_mbps: f64, rtt_ms
         db.right[0],
         db.left[0],
         flow,
-        Payload::Request { id: 0, size: bytes, pace_bps },
+        Payload::Request {
+            id: 0,
+            size: bytes,
+            pace_bps,
+        },
     );
     sim.inject(db.right[0], req);
     sim.run_until(SimTime::from_secs(120));
@@ -73,7 +82,10 @@ fn paced_download_times_agree() {
     .download_time
     .as_secs_f64();
     let rel = (pkt - fluid).abs() / pkt;
-    assert!(rel < 0.10, "packet {pkt:.3}s vs fluid {fluid:.3}s (rel {rel:.3})");
+    assert!(
+        rel < 0.10,
+        "packet {pkt:.3}s vs fluid {fluid:.3}s (rel {rel:.3})"
+    );
 }
 
 #[test]
@@ -99,9 +111,15 @@ fn unpaced_download_times_agree_within_slow_start_error() {
     // measured Sammy-vs-control reductions conservative). Agreement within
     // 40% on this worst case, and within 10% on the paced path that
     // actually matters, is the documented calibration envelope.
-    assert!(rel < 0.40, "packet {pkt:.3}s vs fluid {fluid:.3}s (rel {rel:.3})");
+    assert!(
+        rel < 0.40,
+        "packet {pkt:.3}s vs fluid {fluid:.3}s (rel {rel:.3})"
+    );
     // And the fluid model must not be *slower* than the packet truth.
-    assert!(fluid <= pkt, "fluid should lower-bound the packet time here");
+    assert!(
+        fluid <= pkt,
+        "fluid should lower-bound the packet time here"
+    );
 }
 
 #[test]
@@ -119,7 +137,14 @@ fn congestion_boundary_matches() {
     );
     assert!(!fluid_clean.congested);
 
-    let fluid_hot = download_chunk(&profile, &FluidConfig::default(), 2_000_000, None, false, 1.0);
+    let fluid_hot = download_chunk(
+        &profile,
+        &FluidConfig::default(),
+        2_000_000,
+        None,
+        false,
+        1.0,
+    );
     assert!(fluid_hot.congested);
 }
 
@@ -141,5 +166,8 @@ fn small_chunk_cold_start_penalty_matches_packet_sim() {
     assert!(pkt_tput_mbps < 60.0, "packet tput {pkt_tput_mbps}");
     assert!(fluid_tput_mbps < 60.0, "fluid tput {fluid_tput_mbps}");
     let rel = (pkt_tput_mbps - fluid_tput_mbps).abs() / pkt_tput_mbps;
-    assert!(rel < 0.35, "packet {pkt_tput_mbps:.1} vs fluid {fluid_tput_mbps:.1}");
+    assert!(
+        rel < 0.35,
+        "packet {pkt_tput_mbps:.1} vs fluid {fluid_tput_mbps:.1}"
+    );
 }
