@@ -1,0 +1,122 @@
+//! The perf-trajectory runner.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p sammy-bench --bin perf --release            # full battery
+//! cargo run -p sammy-bench --bin perf --release -- --quick # CI smoke
+//! ```
+//!
+//! Runs the fixed battery from `sammy_bench::perf`, writes the next
+//! `BENCH_<n>.json` into `--dir` (default: the current directory), and
+//! prints a comparison against the previous file. Flags:
+//!
+//! - `--quick`      tiny battery for CI (seconds, noisy; trend only)
+//! - `--dir PATH`   where BENCH files live
+//! - `--tolerance P` regression threshold in percent (default 10)
+//! - `--no-write`   measure and compare without writing a new file
+//! - `--strict`     exit non-zero if any regression is flagged
+
+use sammy_bench::json;
+use sammy_bench::perf::{self, BatteryConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut dir = PathBuf::from(".");
+    let mut tolerance = 10.0f64;
+    let mut write = true;
+    let mut strict = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--dir" => dir = PathBuf::from(it.next().expect("--dir needs a path")),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a number")
+            }
+            "--no-write" => write = false,
+            "--strict" => strict = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = if quick {
+        BatteryConfig::quick()
+    } else {
+        BatteryConfig::full()
+    };
+    println!(
+        "running perf battery ({}), dir: {}",
+        if quick { "quick" } else { "full" },
+        dir.display()
+    );
+    let measurements = perf::run_battery(&cfg);
+    for m in &measurements {
+        println!(
+            "  {:<28} {:>14.2} {:<10} ({} reps)",
+            m.name, m.value, m.unit, m.reps
+        );
+    }
+
+    let prev_index = perf::latest_index(&dir);
+    let deltas = match prev_index {
+        Some(n) => {
+            let path = dir.join(format!("BENCH_{n}.json"));
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| json::parse(&s))
+            {
+                Ok(prev) => {
+                    let deltas = perf::compare(&prev, &measurements, tolerance);
+                    println!("vs {}:", path.display());
+                    for d in &deltas {
+                        println!(
+                            "  {:<28} {:>+9.2}% {}",
+                            d.name,
+                            d.improvement_pct,
+                            if d.regression { "REGRESSION" } else { "" }
+                        );
+                    }
+                    deltas
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot read {}: {e}", path.display());
+                    Vec::new()
+                }
+            }
+        }
+        None => {
+            println!(
+                "no previous BENCH_<n>.json in {}; seeding trajectory",
+                dir.display()
+            );
+            Vec::new()
+        }
+    };
+
+    let regressions = deltas.iter().filter(|d| d.regression).count();
+    if write {
+        let index = prev_index.map_or(1, |n| n + 1);
+        let path = dir.join(format!("BENCH_{index}.json"));
+        let doc = perf::render(index, quick, &measurements, &deltas);
+        // Self-check: the emitted document must parse under our own reader.
+        json::parse(&doc).expect("emitted JSON must parse");
+        std::fs::write(&path, doc).expect("write BENCH file");
+        println!("wrote {}", path.display());
+    }
+
+    if strict && regressions > 0 {
+        eprintln!("{regressions} regression(s) beyond {tolerance}% tolerance");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

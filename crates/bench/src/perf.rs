@@ -1,0 +1,389 @@
+//! The perf-trajectory battery.
+//!
+//! A fixed set of wall-clock measurements over the hot paths the ROADMAP
+//! cares about: raw engine event throughput, a TCP transfer over the
+//! packet simulator, fluid-session throughput, and a small-scale table2
+//! experiment. The `perf` binary runs the battery, writes a schema'd
+//! `BENCH_<n>.json`, and compares against the previous file in the same
+//! directory so performance regressions surface as a diff in review, not
+//! as a slow bisect months later.
+//!
+//! Measurements here are wall-clock and machine-dependent; the JSON keeps
+//! enough context (units, direction, rep counts) for trend reading, and
+//! the comparison flags only changes beyond a configurable tolerance.
+
+use crate::json::{self, Value};
+use abtest::{draw_population, run_experiment, Arm, ExperimentConfig, PopulationConfig};
+use netsim::prelude::*;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema identifier written into every file.
+pub const SCHEMA: &str = "sammy-perf/1";
+
+/// One battery entry.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Stable measurement name (comparison key).
+    pub name: &'static str,
+    /// Measured value.
+    pub value: f64,
+    /// Unit for display.
+    pub unit: &'static str,
+    /// Direction: `true` if larger values are improvements.
+    pub higher_is_better: bool,
+    /// Repetitions averaged into `value`.
+    pub reps: u64,
+}
+
+/// A comparison of one measurement against the previous file.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Measurement name.
+    pub name: String,
+    /// Previous value (from the last `BENCH_<n>.json`).
+    pub prev: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Percent change, signed so that positive is an improvement.
+    pub improvement_pct: f64,
+    /// True if the change is a regression beyond tolerance.
+    pub regression: bool,
+}
+
+/// Battery sizing. `quick` keeps CI runs to a couple of seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct BatteryConfig {
+    /// Target measurement time per timed item.
+    pub budget: Duration,
+    /// Scale factor for the table2 experiment item.
+    pub table2_scale: f64,
+}
+
+impl BatteryConfig {
+    /// The default battery (a few seconds per item).
+    pub fn full() -> Self {
+        BatteryConfig {
+            budget: Duration::from_millis(1500),
+            table2_scale: 0.3,
+        }
+    }
+
+    /// A tiny battery for CI smoke runs.
+    pub fn quick() -> Self {
+        BatteryConfig {
+            budget: Duration::from_millis(150),
+            table2_scale: 0.1,
+        }
+    }
+}
+
+/// Time `f` repeatedly until `budget` is filled; returns (mean seconds
+/// per call, reps).
+fn time_adaptive<F: FnMut()>(budget: Duration, mut f: F) -> (f64, u64) {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(100));
+    let reps = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    (t1.elapsed().as_secs_f64() / reps as f64, reps)
+}
+
+fn engine_item(budget: Duration) -> Measurement {
+    let (secs, reps) = time_adaptive(budget, || {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+        for seq in 0..10_000u64 {
+            let pkt = Packet::new(
+                db.left[0],
+                db.right[0],
+                FlowId(1),
+                Payload::Datagram { seq },
+            )
+            .with_size(1500);
+            sim.inject(db.left[0], pkt);
+        }
+        sim.run_to_completion();
+        std::hint::black_box(sim.flow_stats(FlowId(1)).delivered_packets);
+    });
+    Measurement {
+        name: "engine_packets_per_sec",
+        value: 10_000.0 / secs,
+        unit: "pkts/s",
+        higher_is_better: true,
+        reps,
+    }
+}
+
+fn tcp_item(budget: Duration) -> Measurement {
+    use transport::{ReceiverEndpoint, SenderEndpoint, TcpConfig};
+    let (secs, reps) = time_adaptive(budget, || {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+        let flow = FlowId(1);
+        sim.set_endpoint(
+            db.left[0],
+            Box::new(SenderEndpoint::new(
+                db.left[0],
+                db.right[0],
+                flow,
+                TcpConfig::default(),
+            )),
+        );
+        sim.set_endpoint(
+            db.right[0],
+            Box::new(ReceiverEndpoint::new(db.right[0], db.left[0], flow)),
+        );
+        let req = Packet::new(
+            db.right[0],
+            db.left[0],
+            flow,
+            Payload::Request {
+                id: 0,
+                size: 5_000_000,
+                pace_bps: None,
+            },
+        );
+        sim.inject(db.right[0], req);
+        sim.run_until(SimTime::from_secs(30));
+        std::hint::black_box(sim.flow_stats(flow).delivered_bytes);
+    });
+    Measurement {
+        name: "tcp_5mb_transfer_ms",
+        value: secs * 1e3,
+        unit: "ms",
+        higher_is_better: false,
+        reps,
+    }
+}
+
+fn fluid_item(budget: Duration) -> Measurement {
+    use abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr};
+    use fluidsim::{run_session, FluidConfig, NetworkProfile, SessionParams, StartPolicy};
+    use video::{Ladder, Title, TitleConfig, VmafModel};
+
+    let title = Arc::new(Title::generate(
+        Ladder::hd(&VmafModel::standard()),
+        &TitleConfig::default(),
+    ));
+    let profile = NetworkProfile::fast_cable();
+    let (secs, reps) = time_adaptive(budget, || {
+        let abr = Box::new(ProductionAbr::new(
+            Mpc::default(),
+            shared_history(),
+            HistoryPolicy::AllSamples,
+        ));
+        let out = run_session(SessionParams {
+            profile: &profile,
+            title: title.clone(),
+            abr,
+            start: StartPolicy::default(),
+            history_estimate: None,
+            predicted_initial_rung: 2,
+            max_wall_clock: SimDuration::from_secs(3600),
+            seed: 1,
+            fluid: FluidConfig::default(),
+            max_buffer: SimDuration::from_secs(240),
+            startup_latency: SimDuration::ZERO,
+        });
+        std::hint::black_box(out.chunks);
+    });
+    Measurement {
+        name: "fluid_sessions_per_sec",
+        value: 1.0 / secs,
+        unit: "sessions/s",
+        higher_is_better: true,
+        reps,
+    }
+}
+
+fn table2_item(scale: f64) -> Measurement {
+    let cfg = ExperimentConfig {
+        users_per_arm: ((200.0 * scale) as usize).max(20),
+        pre_sessions: 3,
+        sessions_per_user: 3,
+        seed: 2023,
+        bootstrap_reps: 50,
+        threads: 1,
+    };
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 2023);
+    let t0 = Instant::now();
+    let (c, t) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
+    let wall = t0.elapsed();
+    std::hint::black_box((c.sessions.len(), t.sessions.len()));
+    Measurement {
+        name: "table2_small_wall_ms",
+        value: wall.as_secs_f64() * 1e3,
+        unit: "ms",
+        higher_is_better: false,
+        reps: 1,
+    }
+}
+
+/// Run the whole battery.
+pub fn run_battery(cfg: &BatteryConfig) -> Vec<Measurement> {
+    vec![
+        engine_item(cfg.budget),
+        tcp_item(cfg.budget),
+        fluid_item(cfg.budget),
+        table2_item(cfg.table2_scale),
+    ]
+}
+
+/// Compare the current battery against a parsed previous file. A change
+/// counts as a regression when the metric moved in its worse direction by
+/// more than `tolerance_pct`.
+pub fn compare(prev: &Value, cur: &[Measurement], tolerance_pct: f64) -> Vec<Delta> {
+    let empty = Vec::new();
+    let prev_ms = prev
+        .get("measurements")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&empty);
+    let mut out = Vec::new();
+    for m in cur {
+        let Some(p) = prev_ms
+            .iter()
+            .find(|p| p.get("name").and_then(|n| n.as_str()) == Some(m.name))
+            .and_then(|p| p.get("value"))
+            .and_then(|v| v.as_f64())
+        else {
+            continue;
+        };
+        if p <= 0.0 {
+            continue;
+        }
+        let raw_pct = (m.value - p) / p * 100.0;
+        let improvement_pct = if m.higher_is_better {
+            raw_pct
+        } else {
+            -raw_pct
+        };
+        out.push(Delta {
+            name: m.name.to_string(),
+            prev: p,
+            cur: m.value,
+            improvement_pct,
+            regression: improvement_pct < -tolerance_pct,
+        });
+    }
+    out
+}
+
+/// Render a `BENCH_<n>.json` document.
+pub fn render(index: u32, quick: bool, measurements: &[Measurement], deltas: &[Delta]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", json::quote(SCHEMA));
+    let _ = writeln!(s, "  \"index\": {index},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    s.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": {}, \"value\": {}, \"unit\": {}, \"higher_is_better\": {}, \"reps\": {}}}{comma}",
+            json::quote(m.name),
+            json::num(m.value),
+            json::quote(m.unit),
+            m.higher_is_better,
+            m.reps,
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"vs_previous\": [\n");
+    for (i, d) in deltas.iter().enumerate() {
+        let comma = if i + 1 < deltas.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": {}, \"prev\": {}, \"improvement_pct\": {}, \"regression\": {}}}{comma}",
+            json::quote(&d.name),
+            json::num(d.prev),
+            json::num((d.improvement_pct * 100.0).round() / 100.0),
+            d.regression,
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Find the highest existing `BENCH_<n>.json` index in `dir`.
+pub fn latest_index(dir: &std::path::Path) -> Option<u32> {
+    let mut best = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            best = Some(best.map_or(n, |b: u32| b.max(n)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(name: &'static str, value: f64, higher: bool) -> Measurement {
+        Measurement {
+            name,
+            value,
+            unit: "u",
+            higher_is_better: higher,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn render_parse_compare_round_trip() {
+        let ms = [fake("a", 100.0, true), fake("b", 10.0, false)];
+        let doc = render(1, true, &ms, &[]);
+        let prev = json::parse(&doc).unwrap();
+        assert_eq!(prev.get("schema").unwrap().as_str(), Some(SCHEMA));
+
+        // a: higher-better drops 20% -> regression; b: lower-better drops
+        // (improves) 20% -> improvement.
+        let cur = [fake("a", 80.0, true), fake("b", 8.0, false)];
+        let deltas = compare(&prev, &cur, 10.0);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas[0].regression && deltas[0].improvement_pct < -19.9);
+        assert!(!deltas[1].regression && deltas[1].improvement_pct > 19.9);
+    }
+
+    #[test]
+    fn tolerance_suppresses_noise() {
+        let ms = [fake("a", 100.0, true)];
+        let prev = json::parse(&render(3, false, &ms, &[])).unwrap();
+        let cur = [fake("a", 95.0, true)];
+        assert!(!compare(&prev, &cur, 10.0)[0].regression);
+        assert!(compare(&prev, &cur, 2.0)[0].regression);
+    }
+
+    #[test]
+    fn unknown_names_are_skipped() {
+        let prev = json::parse(&render(1, false, &[fake("x", 1.0, true)], &[])).unwrap();
+        let deltas = compare(&prev, &[fake("y", 1.0, true)], 5.0);
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn quick_battery_runs() {
+        // Smoke: the battery itself must run in a test-sized budget.
+        let cfg = BatteryConfig {
+            budget: Duration::from_millis(10),
+            table2_scale: 0.05,
+        };
+        let ms = run_battery(&cfg);
+        assert_eq!(ms.len(), 4);
+        assert!(ms.iter().all(|m| m.value.is_finite() && m.value > 0.0));
+        let doc = render(1, true, &ms, &[]);
+        assert!(json::parse(&doc).is_ok());
+    }
+}

@@ -1,0 +1,140 @@
+//! Golden-snapshot determinism tests for the hot-path optimizations.
+//!
+//! These fixtures were captured on the tree immediately before the engine
+//! and A/B hot paths were rewritten (scratch buffers, Vec-indexed tables,
+//! timer wheel, prefix-sum MPC). Any divergence means an optimization
+//! changed observable behavior — event order, per-flow accounting, or the
+//! A/B record stream — and must be treated as a bug, not re-baselined.
+
+use sammy_repro::abtest::{
+    draw_population, run_experiment, Arm, ExperimentConfig, PopulationConfig,
+};
+use sammy_repro::netsim::{Dumbbell, DumbbellConfig, FlowId, Packet, Payload, SimTime, Simulator};
+use sammy_repro::transport::{ReceiverEndpoint, SenderEndpoint, TcpConfig};
+
+/// FNV-1a over a byte stream; stable, dependency-free fingerprint.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// A 5 MB TCP transfer over the default dumbbell, identical to the
+/// `tcp_transfer` bench scenario. Returns (processed_events, delivered
+/// bytes/packets, drops).
+fn tcp_transfer(pace_bps: Option<f64>) -> (u64, u64, u64, u64) {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+    let flow = FlowId(1);
+    sim.set_endpoint(
+        db.left[0],
+        Box::new(SenderEndpoint::new(
+            db.left[0],
+            db.right[0],
+            flow,
+            TcpConfig::default(),
+        )),
+    );
+    sim.set_endpoint(
+        db.right[0],
+        Box::new(ReceiverEndpoint::new(db.right[0], db.left[0], flow)),
+    );
+    let req = Packet::new(
+        db.right[0],
+        db.left[0],
+        flow,
+        Payload::Request {
+            id: 0,
+            size: 5_000_000,
+            pace_bps,
+        },
+    );
+    sim.inject(db.right[0], req);
+    sim.run_until(SimTime::from_secs(30));
+    let st = sim.flow_stats(flow);
+    (
+        sim.processed_events(),
+        st.delivered_bytes,
+        st.delivered_packets,
+        st.dropped_packets,
+    )
+}
+
+/// Record-stream fingerprint of a tiny seed-2023 table2 experiment
+/// (both arms, every session field including per-chunk throughputs).
+fn table2_fingerprint() -> u64 {
+    let cfg = ExperimentConfig {
+        users_per_arm: 20,
+        pre_sessions: 3,
+        sessions_per_user: 3,
+        seed: 2023,
+        bootstrap_reps: 50,
+        threads: 0,
+    };
+    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 2023);
+    let (c, t) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
+    let mut h = Fnv::new();
+    for arm in [&c, &t] {
+        for r in &arm.sessions {
+            h.u64(r.user);
+            h.f64(r.pre_p95_mbps);
+            let o = &r.outcome;
+            h.u64(o.qoe.play_delay.map_or(u64::MAX, |d| d.as_nanos()));
+            h.u64(o.qoe.rebuffer_count);
+            h.u64(o.qoe.rebuffer_time.as_nanos());
+            h.f64(o.qoe.mean_vmaf.unwrap_or(-1.0));
+            h.f64(o.qoe.initial_vmaf.unwrap_or(-1.0));
+            h.f64(o.qoe.mean_bitrate.map_or(-1.0, |b| b.bps()));
+            h.u64(o.qoe.played.as_nanos());
+            h.u64(o.qoe.quality_switches);
+            h.f64(o.avg_chunk_throughput.map_or(-1.0, |b| b.bps()));
+            h.f64(o.retx_fraction);
+            h.f64(o.median_rtt_ms);
+            h.u64(o.chunks as u64);
+            h.f64(o.congested_byte_fraction);
+            for &s in &o.chunk_throughputs_mbps {
+                h.f64(s);
+            }
+        }
+    }
+    h.0
+}
+
+/// Captured on the pre-optimization tree (see module docs): the event
+/// count pins the global event order (any reordering shifts the TCP
+/// feedback loop and changes the count), and the flow stats pin the
+/// delivery/drop accounting.
+#[test]
+fn golden_tcp_transfer_unpaced() {
+    assert_eq!(tcp_transfer(None), (41_317, 5_274_040, 6_851, 101));
+}
+
+/// Same transfer with a 12 Mbps application pace: exercises the pacing
+/// timer path (timer-wheel traffic) heavily.
+#[test]
+fn golden_tcp_transfer_paced() {
+    assert_eq!(tcp_transfer(Some(12e6)), (44_480, 5_274_040, 6_851, 0));
+}
+
+/// The full A/B record stream of a tiny seed-2023 table2 experiment,
+/// fingerprinted field by field (including every per-chunk throughput
+/// sample). Pins ABR decisions, session arithmetic, and run order.
+#[test]
+fn golden_table2_record_stream() {
+    assert_eq!(table2_fingerprint(), 0x02504583afd041c5);
+}
