@@ -36,6 +36,10 @@ impl Default for BolaConfig {
 #[derive(Debug, Clone)]
 pub struct Bola {
     cfg: BolaConfig,
+    /// Reusable per-select scratch (normalized sizes / log utilities), so
+    /// steady-state selection allocates nothing after the first chunk.
+    sizes: Vec<f64>,
+    utilities: Vec<f64>,
 }
 
 impl Bola {
@@ -49,7 +53,11 @@ impl Bola {
             cfg.target_buffer_s > cfg.min_buffer_s,
             "target must exceed the minimum buffer"
         );
-        Bola { cfg }
+        Bola {
+            cfg,
+            sizes: Vec::new(),
+            utilities: Vec::new(),
+        }
     }
 
     /// The BOLA objective for one rung: `(V(u_m + γp) − Q) / S_m`, in
@@ -94,20 +102,18 @@ impl Abr for Bola {
             return AbrDecision::unpaced(rung);
         }
 
-        let chunk_s = ctx
-            .upcoming
-            .first()
-            .map(|c| c.duration.as_secs_f64())
-            .unwrap_or(4.0);
+        let chunk_s = if ctx.upcoming.is_empty() {
+            4.0
+        } else {
+            ctx.upcoming.chunk(0).duration().as_secs_f64()
+        };
         // Normalized sizes and log utilities relative to the lowest rung.
         let s0 = ctx.ladder.rung(0).bitrate.bps();
-        let sizes: Vec<f64> = ctx
-            .ladder
-            .rungs()
-            .iter()
-            .map(|r| r.bitrate.bps() / s0)
-            .collect();
-        let utilities: Vec<f64> = sizes.iter().map(|s| s.ln()).collect();
+        self.sizes.clear();
+        self.sizes
+            .extend(ctx.ladder.rungs().iter().map(|r| r.bitrate.bps() / s0));
+        self.utilities.clear();
+        self.utilities.extend(self.sizes.iter().map(|s| s.ln()));
 
         let buffer_s = ctx.buffer.as_secs_f64();
         // Below the low threshold, take the lowest rung outright (the
@@ -119,7 +125,7 @@ impl Abr for Bola {
         let mut best = ctx.ladder.lowest();
         let mut best_obj = f64::NEG_INFINITY;
         for rung in 0..ctx.ladder.len() {
-            let obj = self.objective(&utilities, &sizes, rung, buffer_s, chunk_s);
+            let obj = self.objective(&self.utilities, &self.sizes, rung, buffer_s, chunk_s);
             if obj > best_obj {
                 best_obj = obj;
                 best = rung;

@@ -74,20 +74,21 @@ impl Abr for Hyb {
         if bx <= 0.0 {
             return AbrDecision::unpaced(ctx.ladder.lowest());
         }
-        let horizon = &ctx.upcoming[..self.cfg.lookahead.min(ctx.upcoming.len())];
+        let horizon = self.cfg.lookahead.min(ctx.upcoming.len());
 
         // Try rungs from the top down; keep the simulated buffer positive
         // over the horizon.
         for rung in (0..ctx.ladder.len()).rev() {
             let mut buf = ctx.buffer.as_secs_f64();
             let mut ok = true;
-            for chunk in horizon {
+            for i in 0..horizon {
+                let chunk = ctx.upcoming.chunk(i);
                 // Standard buffer update (Appendix A): B += d_t − Δ_t.
                 // Playback of already-buffered content continues while the
                 // chunk downloads, so the step is applied as a whole and
                 // the constraint is B_t > 0 after each step.
                 let dl = chunk.size(rung) as f64 * 8.0 / bx;
-                buf += chunk.duration.as_secs_f64() - dl;
+                buf += chunk.duration().as_secs_f64() - dl;
                 if buf <= 0.0 {
                     ok = false;
                     break;

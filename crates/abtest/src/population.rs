@@ -303,7 +303,7 @@ mod tests {
         let t1 = pop[0].title(3);
         let t2 = pop[0].title(3);
         let t3 = pop[0].title(4);
-        assert_eq!(t1.chunks[0].sizes, t2.chunks[0].sizes);
-        assert_ne!(t1.chunks[0].sizes, t3.chunks[0].sizes);
+        assert_eq!(t1.chunk(0).sizes(), t2.chunk(0).sizes());
+        assert_ne!(t1.chunk(0).sizes(), t3.chunk(0).sizes());
     }
 }

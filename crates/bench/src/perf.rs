@@ -107,7 +107,10 @@ fn engine_item(budget: Duration) -> Measurement {
             .with_size(1500);
             sim.inject(db.left[0], pkt);
         }
-        sim.run_to_completion();
+        // A 10k-datagram drain takes ~40k events; the budget is a loud
+        // backstop against the battery hanging on an engine regression.
+        sim.run_with_budget(1_000_000)
+            .expect("engine battery exceeded its event budget");
         std::hint::black_box(sim.flow_stats(FlowId(1)).delivered_packets);
     });
     Measurement {

@@ -157,7 +157,8 @@ pub fn run_session(params: SessionParams<'_>) -> SessionOutcome {
     let mut total_bytes = 0u64;
     let mut retx_bytes = 0.0f64;
     let mut congested_bytes = 0u64;
-    let mut chunk_tputs = Vec::new();
+    // One sample per chunk; size the buffer once instead of growing it.
+    let mut chunk_tputs = Vec::with_capacity(player.title().len());
     let deadline = SimTime::ZERO + max_wall_clock;
 
     loop {

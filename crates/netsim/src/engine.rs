@@ -12,11 +12,23 @@
 //! propagation delay (`PacketArrive` event). Arriving packets at their
 //! destination are handed to that node's endpoint; at intermediate nodes they
 //! are forwarded onward.
+//!
+//! ## Hot-path layout
+//!
+//! The event loop is allocation-free in steady state: endpoint callbacks
+//! write into scratch buffers owned by the simulator (reused across events),
+//! routing tables and per-link/per-flow state are dense vectors indexed by
+//! the id newtypes, and endpoint timers — the dominant event class under
+//! pacing — live in a hierarchical timer wheel (`timerwheel`) instead of the
+//! packet event heap. Timers and packet events draw `seq` from one global
+//! counter, so the merged dispatch order is exactly the historical single-
+//! heap `(at, seq)` order.
 
 use crate::link::{Link, LinkConfig};
 use crate::packet::{FlowId, LinkId, NodeId, Packet};
 use crate::queue::EnqueueResult;
 use crate::time::SimTime;
+use crate::timerwheel::TimerWheel;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -38,13 +50,16 @@ pub trait Endpoint {
 }
 
 /// The interface an [`Endpoint`] uses to act on the network.
-pub struct NodeCtx {
+///
+/// Borrows the simulator's scratch buffers for the duration of one callback;
+/// nothing is allocated per event.
+pub struct NodeCtx<'a> {
     node: NodeId,
-    out: Vec<Packet>,
-    timers: Vec<(SimTime, u64)>,
+    out: &'a mut Vec<Packet>,
+    timers: &'a mut Vec<(SimTime, u64)>,
 }
 
-impl NodeCtx {
+impl NodeCtx<'_> {
     /// The node this context belongs to.
     pub fn node(&self) -> NodeId {
         self.node
@@ -62,21 +77,31 @@ impl NodeCtx {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
     /// The link finished serializing its in-flight packet.
     LinkTxDone(LinkId),
-    /// A packet reached the node at the far end of its last link.
-    PacketArrive(NodeId, Packet),
-    /// An endpoint timer expired.
-    Timer(NodeId, u64),
+    /// A packet reached the node at the far end of its last link. The
+    /// packet itself is parked in the simulator's arrival slab (second
+    /// field is the slot) so heap sifts move 32-byte events, not the
+    /// ~100-byte packet-carrying variant.
+    PacketArrive(NodeId, u32),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 struct Event {
     at: SimTime,
     seq: u64,
     kind: EventKind,
+}
+
+// Every comparison trait keys on `(at, seq)` alone — the payload must never
+// influence queue order (or equality), and `seq` is globally unique so the
+// order is total and deterministic.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
 }
 
 impl Eq for Event {}
@@ -94,7 +119,9 @@ impl PartialOrd for Event {
 }
 
 struct Node {
-    routes: HashMap<NodeId, LinkId>,
+    /// Next-hop link per destination, indexed by `NodeId` (dense; `None`
+    /// where no route is installed).
+    routes: Vec<Option<LinkId>>,
     endpoint: Option<Box<dyn Endpoint>>,
 }
 
@@ -109,17 +136,60 @@ pub struct FlowStats {
     pub dropped_packets: u64,
 }
 
+/// Flow ids below this index live in the dense stats table; anything larger
+/// (experiments occasionally grind through synthetic id spaces) falls back to
+/// a hash map so the table cannot balloon.
+const DENSE_FLOWS: u64 = 4096;
+
+/// The error returned by [`Simulator::run_with_budget`] when the event
+/// budget is exhausted before the queue drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Total events processed by the simulator when the budget ran out.
+    pub processed_events: u64,
+    /// Simulated time reached when the budget ran out.
+    pub at: SimTime,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event budget exceeded at t={:?} after {} events",
+            self.at, self.processed_events
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
 /// The discrete-event network simulator.
 pub struct Simulator {
     now: SimTime,
     seq: u64,
+    /// Packet events (`LinkTxDone`, `PacketArrive`).
     events: BinaryHeap<Reverse<Event>>,
+    /// Endpoint timers; shares the `seq` counter with `events` so the merged
+    /// dispatch order equals the historical single-heap order.
+    timers: TimerWheel,
     nodes: Vec<Node>,
     links: Vec<Link>,
-    /// Packet currently being serialized on each busy link.
-    in_flight: HashMap<usize, Packet>,
-    flow_stats: HashMap<FlowId, FlowStats>,
+    /// Packet currently being serialized on each link, indexed by `LinkId`.
+    in_flight: Vec<Option<Packet>>,
+    /// Slab of packets referenced by queued `PacketArrive` events, plus its
+    /// free list. Slot reuse follows event order, so it is deterministic,
+    /// and slots never influence event ordering.
+    arrivals: Vec<Packet>,
+    arrival_free: Vec<u32>,
+    /// Dense per-flow stats indexed by `FlowId` (ids < `DENSE_FLOWS`).
+    flow_stats: Vec<FlowStats>,
+    /// Fallback for out-of-range flow ids.
+    flow_stats_overflow: HashMap<FlowId, FlowStats>,
     processed_events: u64,
+    /// Scratch buffers lent to endpoint callbacks via [`NodeCtx`]; drained
+    /// after every callback, so capacity is reused run-long.
+    scratch_out: Vec<Packet>,
+    scratch_timers: Vec<(SimTime, u64)>,
 }
 
 impl Default for Simulator {
@@ -135,11 +205,17 @@ impl Simulator {
             now: SimTime::ZERO,
             seq: 0,
             events: BinaryHeap::new(),
+            timers: TimerWheel::new(),
             nodes: Vec::new(),
             links: Vec::new(),
-            in_flight: HashMap::new(),
-            flow_stats: HashMap::new(),
+            in_flight: Vec::new(),
+            arrivals: Vec::new(),
+            arrival_free: Vec::new(),
+            flow_stats: Vec::new(),
+            flow_stats_overflow: HashMap::new(),
             processed_events: 0,
+            scratch_out: Vec::new(),
+            scratch_timers: Vec::new(),
         }
     }
 
@@ -157,7 +233,7 @@ impl Simulator {
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Node {
-            routes: HashMap::new(),
+            routes: Vec::new(),
             endpoint: None,
         });
         id
@@ -199,6 +275,7 @@ impl Simulator {
         );
         let id = LinkId(self.links.len());
         self.links.push(Link::new(src, dst, cfg));
+        self.in_flight.push(None);
         id
     }
 
@@ -216,7 +293,11 @@ impl Simulator {
             self.links[via.0].src, at,
             "route via a link not at this node"
         );
-        self.nodes[at.0].routes.insert(dst, via);
+        let routes = &mut self.nodes[at.0].routes;
+        if routes.len() <= dst.0 {
+            routes.resize(dst.0 + 1, None);
+        }
+        routes[dst.0] = Some(via);
     }
 
     /// Immutable access to a link (for reading counters and queue state).
@@ -244,7 +325,29 @@ impl Simulator {
 
     /// Delivery statistics for a flow (zeros if the flow never delivered).
     pub fn flow_stats(&self, flow: FlowId) -> FlowStats {
-        self.flow_stats.get(&flow).copied().unwrap_or_default()
+        if flow.0 < DENSE_FLOWS {
+            self.flow_stats
+                .get(flow.0 as usize)
+                .copied()
+                .unwrap_or_default()
+        } else {
+            self.flow_stats_overflow
+                .get(&flow)
+                .copied()
+                .unwrap_or_default()
+        }
+    }
+
+    fn flow_stats_mut(&mut self, flow: FlowId) -> &mut FlowStats {
+        if flow.0 < DENSE_FLOWS {
+            let i = flow.0 as usize;
+            if self.flow_stats.len() <= i {
+                self.flow_stats.resize(i + 1, FlowStats::default());
+            }
+            &mut self.flow_stats[i]
+        } else {
+            self.flow_stats_overflow.entry(flow).or_default()
+        }
     }
 
     /// Inject a packet into the network from `from` at the current time, as
@@ -257,7 +360,7 @@ impl Simulator {
     /// Arm a timer for a node's endpoint from outside the endpoint (used to
     /// bootstrap protocols: e.g. fire token 0 at t=0 to start a flow).
     pub fn start_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
-        self.push_event(at, EventKind::Timer(node, token));
+        self.push_timer(at, node, token);
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
@@ -271,9 +374,16 @@ impl Simulator {
         self.events.push(Reverse(ev));
     }
 
+    fn push_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.timers.insert(at, seq, node, token);
+    }
+
     /// Route a packet leaving `from`: pick the next hop and enqueue it.
     fn route_packet(&mut self, from: NodeId, pkt: Packet) {
-        let Some(&via) = self.nodes[from.0].routes.get(&pkt.dst) else {
+        let Some(via) = self.nodes[from.0].routes.get(pkt.dst.0).copied().flatten() else {
             panic!("no route from {from:?} to {:?}", pkt.dst);
         };
         let link = &mut self.links[via.0];
@@ -284,7 +394,7 @@ impl Simulator {
                 }
             }
             EnqueueResult::Dropped => {
-                self.flow_stats.entry(pkt.flow).or_default().dropped_packets += 1;
+                self.flow_stats_mut(pkt.flow).dropped_packets += 1;
             }
         }
     }
@@ -294,38 +404,63 @@ impl Simulator {
         let now = self.now;
         let link = &mut self.links[id.0];
         if let Some((pkt, done)) = link.start_transmission(now) {
-            self.in_flight.insert(id.0, pkt);
+            self.in_flight[id.0] = Some(pkt);
             self.push_event(done, EventKind::LinkTxDone(id));
         }
     }
 
     /// Run one event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.events.pop() else {
-            return false;
+        // Merge the packet heap and the timer wheel by (at, seq): both draw
+        // seq from the same counter, so the pair is unique and the merged
+        // order is the historical single-queue order.
+        let packet_key = self.events.peek().map(|&Reverse(e)| (e.at, e.seq));
+        let timer_key = self.timers.peek_key();
+        let take_timer = match (packet_key, timer_key) {
+            (None, None) => return false,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(p), Some(t)) => t < p,
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
-        self.processed_events += 1;
-        match ev.kind {
-            EventKind::LinkTxDone(id) => {
-                let pkt = self
-                    .in_flight
-                    .remove(&id.0)
-                    .expect("LinkTxDone with no packet in flight");
-                let (delay, dst) = {
-                    let link = &mut self.links[id.0];
-                    link.finish_transmission(&pkt);
-                    (link.delay, link.dst)
-                };
-                self.push_event(self.now + delay, EventKind::PacketArrive(dst, pkt));
-                self.kick_link(id);
-            }
-            EventKind::PacketArrive(node, pkt) => {
-                self.deliver(node, pkt);
-            }
-            EventKind::Timer(node, token) => {
-                self.dispatch_timer(node, token);
+        if take_timer {
+            let e = self.timers.pop().expect("peeked entry vanished");
+            debug_assert!(e.at >= self.now, "time went backwards");
+            self.now = e.at;
+            self.processed_events += 1;
+            self.dispatch_timer(e.node, e.token);
+        } else {
+            let Reverse(ev) = self.events.pop().expect("peeked event vanished");
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.processed_events += 1;
+            match ev.kind {
+                EventKind::LinkTxDone(id) => {
+                    let pkt = self.in_flight[id.0]
+                        .take()
+                        .expect("LinkTxDone with no packet in flight");
+                    let (delay, dst) = {
+                        let link = &mut self.links[id.0];
+                        link.finish_transmission(&pkt);
+                        (link.delay, link.dst)
+                    };
+                    let slot = match self.arrival_free.pop() {
+                        Some(s) => {
+                            self.arrivals[s as usize] = pkt;
+                            s
+                        }
+                        None => {
+                            self.arrivals.push(pkt);
+                            (self.arrivals.len() - 1) as u32
+                        }
+                    };
+                    self.push_event(self.now + delay, EventKind::PacketArrive(dst, slot));
+                    self.kick_link(id);
+                }
+                EventKind::PacketArrive(node, slot) => {
+                    let pkt = self.arrivals[slot as usize];
+                    self.arrival_free.push(slot);
+                    self.deliver(node, pkt);
+                }
             }
         }
         true
@@ -337,41 +472,52 @@ impl Simulator {
             self.route_packet(node, pkt);
             return;
         }
-        let st = self.flow_stats.entry(pkt.flow).or_default();
+        let st = self.flow_stats_mut(pkt.flow);
         st.delivered_bytes += pkt.size;
         st.delivered_packets += 1;
         if self.nodes[node.0].endpoint.is_some() {
             let mut ep = self.nodes[node.0].endpoint.take().expect("checked");
+            let mut out = std::mem::take(&mut self.scratch_out);
+            let mut timers = std::mem::take(&mut self.scratch_timers);
             let mut ctx = NodeCtx {
                 node,
-                out: Vec::new(),
-                timers: Vec::new(),
+                out: &mut out,
+                timers: &mut timers,
             };
             ep.on_packet(self.now, pkt, &mut ctx);
             self.nodes[node.0].endpoint = Some(ep);
-            self.apply_ctx(node, ctx);
+            self.apply_ctx(node, &mut out, &mut timers);
+            self.scratch_out = out;
+            self.scratch_timers = timers;
         }
     }
 
     fn dispatch_timer(&mut self, node: NodeId, token: u64) {
         if self.nodes[node.0].endpoint.is_some() {
             let mut ep = self.nodes[node.0].endpoint.take().expect("checked");
+            let mut out = std::mem::take(&mut self.scratch_out);
+            let mut timers = std::mem::take(&mut self.scratch_timers);
             let mut ctx = NodeCtx {
                 node,
-                out: Vec::new(),
-                timers: Vec::new(),
+                out: &mut out,
+                timers: &mut timers,
             };
             ep.on_timer(self.now, token, &mut ctx);
             self.nodes[node.0].endpoint = Some(ep);
-            self.apply_ctx(node, ctx);
+            self.apply_ctx(node, &mut out, &mut timers);
+            self.scratch_out = out;
+            self.scratch_timers = timers;
         }
     }
 
-    fn apply_ctx(&mut self, node: NodeId, ctx: NodeCtx) {
-        for (at, token) in ctx.timers {
-            self.push_event(at.max(self.now), EventKind::Timer(node, token));
+    /// Drain one callback's scratch output into the queues. Timers first,
+    /// then packets — the historical seq-assignment order, which golden
+    /// tests pin.
+    fn apply_ctx(&mut self, node: NodeId, out: &mut Vec<Packet>, timers: &mut Vec<(SimTime, u64)>) {
+        for (at, token) in timers.drain(..) {
+            self.push_timer(at.max(self.now), node, token);
         }
-        for mut pkt in ctx.out {
+        for mut pkt in out.drain(..) {
             pkt.sent_at = self.now;
             self.route_packet(node, pkt);
         }
@@ -380,8 +526,16 @@ impl Simulator {
     /// Process all events up to and including `deadline`, then set the clock
     /// to `deadline`. Events after the deadline stay queued.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at > deadline {
+        loop {
+            let packet_t = self.events.peek().map(|&Reverse(e)| e.at);
+            let timer_t = self.timers.peek_key().map(|(at, _)| at);
+            let next = match (packet_t, timer_t) {
+                (None, None) => break,
+                (Some(p), None) => p,
+                (None, Some(t)) => t,
+                (Some(p), Some(t)) => p.min(t),
+            };
+            if next > deadline {
                 break;
             }
             self.step();
@@ -398,9 +552,37 @@ impl Simulator {
         self.now
     }
 
+    /// Run until no events remain or `max_events` further events have been
+    /// processed, whichever comes first. A drained queue returns `Ok`; an
+    /// exhausted budget with events still pending returns the
+    /// [`BudgetExceeded`] error so runaway scenarios (routing loops,
+    /// self-rearming timers) fail loudly instead of spinning forever.
+    pub fn run_with_budget(&mut self, max_events: u64) -> Result<SimTime, BudgetExceeded> {
+        let limit = self.processed_events.saturating_add(max_events);
+        while self.processed_events < limit {
+            if !self.step() {
+                return Ok(self.now);
+            }
+        }
+        if self.events.is_empty() && self.timers.is_empty() {
+            Ok(self.now)
+        } else {
+            Err(BudgetExceeded {
+                processed_events: self.processed_events,
+                at: self.now,
+            })
+        }
+    }
+
     /// Time of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.events.peek().map(|Reverse(e)| e.at)
+        let packet_t = self.events.peek().map(|&Reverse(e)| e.at);
+        let timer_t = self.timers.next_time();
+        match (packet_t, timer_t) {
+            (None, t) => t,
+            (p, None) => p,
+            (Some(p), Some(t)) => Some(p.min(t)),
+        }
     }
 }
 
@@ -636,6 +818,39 @@ mod tests {
         assert_eq!(timers.borrow().len(), 1);
         sim.run_to_completion();
         assert_eq!(timers.borrow().len(), 2);
+    }
+
+    #[test]
+    fn run_with_budget_flags_pending_work() {
+        let (mut sim, _a, b, _, _) = two_node_sim(10.0, SimDuration::from_millis(1));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { arrivals, timers }));
+        for token in 0..10 {
+            sim.start_timer(b, SimTime::from_millis(token + 1), token);
+        }
+
+        let err = sim.run_with_budget(4).unwrap_err();
+        assert_eq!(err.processed_events, 4);
+        assert_eq!(err.at, SimTime::from_millis(4));
+        assert_eq!(sim.processed_events(), 4);
+
+        // The remaining six fit; a drained queue is Ok even at exact budget.
+        let t = sim.run_with_budget(6).unwrap();
+        assert_eq!(t, SimTime::from_millis(10));
+        assert!(sim.run_with_budget(0).is_ok());
+    }
+
+    #[test]
+    fn next_event_time_sees_timers_and_packets() {
+        let (mut sim, a, b, _, _) = two_node_sim(12.0, SimDuration::from_millis(5));
+        assert_eq!(sim.next_event_time(), None);
+        sim.start_timer(b, SimTime::from_millis(50), 1);
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_millis(50)));
+        let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq: 0 }).with_size(1500);
+        sim.inject(a, pkt);
+        // The LinkTxDone at 1 ms now precedes the timer.
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_millis(1)));
     }
 
     #[test]

@@ -43,11 +43,12 @@ pub mod monitor;
 pub mod packet;
 pub mod queue;
 pub mod time;
+mod timerwheel;
 pub mod topology;
 pub mod trace;
 pub mod units;
 
-pub use engine::{Endpoint, FlowStats, NodeCtx, Simulator};
+pub use engine::{BudgetExceeded, Endpoint, FlowStats, NodeCtx, Simulator};
 pub use link::{Link, LinkConfig};
 pub use monitor::QueueMonitor;
 pub use packet::{FlowId, LinkId, NodeId, Packet, Payload};

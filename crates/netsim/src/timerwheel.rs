@@ -1,0 +1,381 @@
+//! A hierarchical timer wheel for endpoint timers.
+//!
+//! Pacing and retransmission timers dominate the event load of a packet-level
+//! run: every paced sender re-arms a release timer per packet, so the event
+//! queue churns through millions of short-lived timers. Keeping them in the
+//! global `BinaryHeap` costs `O(log n)` per insert/pop against the whole
+//! event population. This wheel gives amortized `O(1)` insert and pop for the
+//! common case (timers a few ticks out) while preserving the engine's exact
+//! `(at, seq)` dispatch order.
+//!
+//! Layout: 4 levels of 64 slots over 4096 ns ticks, covering ~68.7 s ahead of
+//! the cursor; a per-level occupancy bitmap finds the next non-empty slot in
+//! a few instructions. Three escape hatches keep ordering exact:
+//!
+//! - `imminent`: a small heap holding entries at or behind the cursor tick
+//!   (same-tick timers and inserts that land behind an eagerly-advanced
+//!   cursor). Its minimum is always the wheel's global minimum because every
+//!   slotted entry is strictly beyond the cursor tick.
+//! - `overflow`: entries beyond the top-level revolution, migrated into the
+//!   slots once the cursor's revolution catches up.
+//! - cursor jumps: when the structure empties, the cursor teleports to the
+//!   next insert's tick instead of crawling slot by slot.
+//!
+//! `peek_key`/`pop` take `&mut self` because finding the next entry advances
+//! the cursor (cascading upper-level slots downward). [`TimerWheel::next_time`]
+//! stays `&self` with a full scan for the rare caller that cannot mutate.
+
+use crate::packet::NodeId;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::mem;
+
+/// Nanoseconds per tick, as a shift: 4096 ns ≈ 4 µs resolution buckets.
+/// (Resolution of *storage*, not of firing: exact times order the heap.)
+const TICK_SHIFT: u32 = 12;
+/// log2(slots per level).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Wheel levels. 4096 ns × 64⁴ ≈ 68.7 s of horizon.
+const LEVELS: usize = 4;
+
+#[inline]
+fn tick_of(at: SimTime) -> u64 {
+    at.as_nanos() >> TICK_SHIFT
+}
+
+/// One armed timer: fire `token` at `node` at time `at`. `seq` is the
+/// engine's global insertion sequence; ordering is by `(at, seq)` exactly as
+/// in the main event heap, so merging the two sources is deterministic.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TimerEntry {
+    pub at: SimTime,
+    pub seq: u64,
+    pub node: NodeId,
+    pub token: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+pub(crate) struct TimerWheel {
+    /// The cursor: every slotted entry has `tick > base_tick`.
+    base_tick: u64,
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    /// `LEVELS × SLOTS` buckets; drained vectors keep their capacity.
+    slots: Vec<Vec<TimerEntry>>,
+    /// Entries at or behind the cursor tick, ready to fire in `(at, seq)`
+    /// order.
+    imminent: BinaryHeap<Reverse<TimerEntry>>,
+    /// Entries beyond the top-level revolution.
+    overflow: BinaryHeap<Reverse<TimerEntry>>,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new() -> Self {
+        TimerWheel {
+            base_tick: 0,
+            occupied: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            imminent: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arm a timer. `seq` must come from the engine's global event sequence.
+    pub fn insert(&mut self, at: SimTime, seq: u64, node: NodeId, token: u64) {
+        if self.len == 0 {
+            // Empty structure: teleport the cursor so a lone far-future timer
+            // does not force a slot-by-slot crawl. Never move it backwards —
+            // `place` handles behind-cursor inserts via `imminent`.
+            self.base_tick = self.base_tick.max(tick_of(at));
+        }
+        self.place(TimerEntry {
+            at,
+            seq,
+            node,
+            token,
+        });
+        self.len += 1;
+    }
+
+    /// File an entry into imminent / a slot / overflow relative to the
+    /// current cursor.
+    fn place(&mut self, e: TimerEntry) {
+        let at_tick = tick_of(e.at);
+        if at_tick <= self.base_tick {
+            self.imminent.push(Reverse(e));
+            return;
+        }
+        let differing = at_tick ^ self.base_tick;
+        if differing >> (LEVEL_BITS * LEVELS as u32) != 0 {
+            // Different top-level revolution: park beyond the horizon.
+            self.overflow.push(Reverse(e));
+            return;
+        }
+        // Highest differing bit group picks the level; the slot is the
+        // entry's index at that level (revolution-aligned placement).
+        let level = ((63 - differing.leading_zeros()) / LEVEL_BITS) as usize;
+        let slot = ((at_tick >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(e);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// `(at, seq)` of the earliest armed timer; advances the cursor.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.imminent.is_empty() {
+            self.advance();
+        }
+        self.imminent.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// Remove and return the earliest armed timer.
+    pub fn pop(&mut self) -> Option<TimerEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.imminent.is_empty() {
+            self.advance();
+        }
+        let e = self.imminent.pop().map(|Reverse(e)| e);
+        if e.is_some() {
+            self.len -= 1;
+        }
+        e
+    }
+
+    /// Move the cursor to the next non-empty tick, cascading upper-level
+    /// slots downward, until `imminent` holds the global minimum.
+    fn advance(&mut self) {
+        debug_assert!(self.len > 0, "advance on empty wheel");
+        while self.imminent.is_empty() {
+            // Pull overflow entries whose revolution the cursor has reached.
+            while let Some(&Reverse(e)) = self.overflow.peek() {
+                if (tick_of(e.at) ^ self.base_tick) >> (LEVEL_BITS * LEVELS as u32) == 0 {
+                    self.overflow.pop();
+                    self.place(e);
+                } else {
+                    break;
+                }
+            }
+            let mut progressed = false;
+            for level in 0..LEVELS {
+                let shift = LEVEL_BITS * level as u32;
+                let idx = ((self.base_tick >> shift) & (SLOTS as u64 - 1)) as u32;
+                // Slots strictly ahead of the cursor within this level's
+                // current revolution.
+                let ahead = (!0u64).checked_shl(idx + 1).unwrap_or(0);
+                let mask = self.occupied[level] & ahead;
+                if mask == 0 {
+                    continue;
+                }
+                let slot = mask.trailing_zeros() as usize;
+                self.occupied[level] &= !(1u64 << slot);
+                let revolution = self.base_tick >> (shift + LEVEL_BITS);
+                // Move the cursor to the slot's first tick.
+                self.base_tick = ((revolution << LEVEL_BITS) | slot as u64) << shift;
+                let mut entries = mem::take(&mut self.slots[level * SLOTS + slot]);
+                if level == 0 {
+                    // A level-0 slot is a single tick: everything fires now.
+                    for e in entries.drain(..) {
+                        self.imminent.push(Reverse(e));
+                    }
+                } else {
+                    // Cascade: redistribute into strictly lower levels.
+                    for e in entries.drain(..) {
+                        self.place(e);
+                    }
+                }
+                self.slots[level * SLOTS + slot] = entries;
+                progressed = true;
+                break;
+            }
+            if !progressed {
+                // All slots empty: jump to the overflow's revolution.
+                if let Some(&Reverse(e)) = self.overflow.peek() {
+                    self.base_tick = tick_of(e.at);
+                } else {
+                    debug_assert!(false, "len > 0 but no entries anywhere");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Earliest armed time without advancing the cursor (full scan; for the
+    /// rare `&self` caller).
+    pub fn next_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<SimTime> = None;
+        let mut consider = |at: SimTime| {
+            if best.is_none_or(|b| at < b) {
+                best = Some(at);
+            }
+        };
+        if let Some(&Reverse(e)) = self.imminent.peek() {
+            consider(e.at);
+        }
+        if let Some(&Reverse(e)) = self.overflow.peek() {
+            consider(e.at);
+        }
+        for bucket in &self.slots {
+            for e in bucket {
+                consider(e.at);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so the tests need no external RNG.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    fn drain_wheel(w: &mut TimerWheel) -> Vec<(SimTime, u64, usize, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = w.pop() {
+            out.push((e.at, e.seq, e.node.0, e.token));
+        }
+        out
+    }
+
+    /// The wheel must reproduce a binary heap's `(at, seq)` order exactly,
+    /// across tick boundaries, level boundaries, and the overflow horizon.
+    #[test]
+    fn matches_heap_order_bulk() {
+        let mut rng = Lcg(2023);
+        let mut wheel = TimerWheel::new();
+        let mut model = BinaryHeap::new();
+        for seq in 0..5000u64 {
+            // Mix of scales: same-tick, level 0..3, and overflow (> 68.7 s).
+            let at = match seq % 5 {
+                0 => rng.next() % 4_096,           // inside one tick
+                1 => rng.next() % 200_000,         // level 0/1
+                2 => rng.next() % 50_000_000,      // level 2
+                3 => rng.next() % 60_000_000_000,  // level 3
+                _ => rng.next() % 200_000_000_000, // incl. overflow
+            };
+            let at = SimTime::from_nanos(at);
+            let node = NodeId((seq % 7) as usize);
+            let token = rng.next();
+            wheel.insert(at, seq, node, token);
+            model.push(Reverse((at, seq, node.0, token)));
+        }
+        let got = drain_wheel(&mut wheel);
+        let mut want = Vec::new();
+        while let Some(Reverse(x)) = model.pop() {
+            want.push(x);
+        }
+        assert_eq!(got, want);
+        assert!(wheel.is_empty());
+    }
+
+    /// Interleaved insert/pop with inserts landing behind the advanced
+    /// cursor (the engine does this constantly: pop a timer at t, arm a new
+    /// one at t + epsilon while the cursor already sits at t's tick).
+    #[test]
+    fn interleaved_matches_heap() {
+        let mut rng = Lcg(7);
+        let mut wheel = TimerWheel::new();
+        let mut model: BinaryHeap<Reverse<(SimTime, u64, usize, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for round in 0..3000 {
+            if round % 3 != 2 || model.is_empty() {
+                // Arm relative to the current virtual clock, pacing-style.
+                let at = SimTime::from_nanos(now + rng.next() % 3_000_000);
+                let token = rng.next() % 100;
+                wheel.insert(at, seq, NodeId(0), token);
+                model.push(Reverse((at, seq, 0, token)));
+                seq += 1;
+            } else {
+                let got = wheel.pop().map(|e| (e.at, e.seq, e.node.0, e.token));
+                let want = model.pop().map(|Reverse(x)| x);
+                assert_eq!(got, want);
+                if let Some((at, ..)) = got {
+                    now = at.as_nanos();
+                }
+            }
+        }
+        assert_eq!(drain_wheel(&mut wheel), {
+            let mut want = Vec::new();
+            while let Some(Reverse(x)) = model.pop() {
+                want.push(x);
+            }
+            want
+        });
+    }
+
+    /// peek_key must agree with the following pop and not lose entries.
+    #[test]
+    fn peek_matches_pop() {
+        let mut wheel = TimerWheel::new();
+        for (i, ns) in [5u64, 5, 4096, 70_000_000_000, 12, 4095].iter().enumerate() {
+            wheel.insert(SimTime::from_nanos(*ns), i as u64, NodeId(1), 0);
+        }
+        let mut n = 0;
+        while let Some(key) = wheel.peek_key() {
+            let e = wheel.pop().unwrap();
+            assert_eq!(key, (e.at, e.seq));
+            n += 1;
+        }
+        assert_eq!(n, 6);
+    }
+
+    /// next_time is exact and non-mutating.
+    #[test]
+    fn next_time_scan() {
+        let mut wheel = TimerWheel::new();
+        assert_eq!(wheel.next_time(), None);
+        wheel.insert(SimTime::from_millis(80), 0, NodeId(0), 0);
+        wheel.insert(SimTime::from_secs(90), 1, NodeId(0), 0); // overflow
+        wheel.insert(SimTime::from_millis(3), 2, NodeId(0), 0);
+        assert_eq!(wheel.next_time(), Some(SimTime::from_millis(3)));
+        wheel.pop();
+        assert_eq!(wheel.next_time(), Some(SimTime::from_millis(80)));
+    }
+}

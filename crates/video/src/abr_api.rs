@@ -7,7 +7,7 @@
 
 use crate::history::{ChunkMeasurement, ThroughputHistory};
 use crate::ladder::Ladder;
-use crate::title::ChunkSpec;
+use crate::title::Lookahead;
 use netsim::{Rate, SimDuration, SimTime};
 
 /// Which phase the player is in (§4: the initial phase is before playback
@@ -33,7 +33,7 @@ pub struct AbrContext<'a> {
     /// The title's ladder.
     pub ladder: &'a Ladder,
     /// Upcoming chunks starting with the one being selected (lookahead).
-    pub upcoming: &'a [ChunkSpec],
+    pub upcoming: Lookahead<'a>,
     /// Throughput measurements observed this session.
     pub history: &'a ThroughputHistory,
     /// Rung of the previously selected chunk, if any.

@@ -7,7 +7,9 @@
 //!   standing in for VMAF (the experiments only consume per-rung scores).
 //! - [`Ladder`] / [`Rung`]: encoding ladders, including the paper's lab
 //!   ladder with a 3.3 Mbps top bitrate (§6).
-//! - [`Title`] / [`ChunkSpec`]: chunked titles with seeded VBR size wobble.
+//! - [`Title`] / [`Chunk`] / [`Lookahead`]: chunked titles with seeded VBR
+//!   size wobble, stored flat with per-rung prefix sums for O(1) lookahead
+//!   byte-sums.
 //! - [`PlaybackBuffer`]: the client buffer obeying the update equation of
 //!   Appendix A.
 //! - [`CmcdRequest`]: the CMCD (CTA-5004) request payload carrying the
@@ -45,5 +47,5 @@ pub use ladder::{Ladder, Rung};
 pub use netclient::VideoClientEndpoint;
 pub use player::{ChunkRequest, Player, PlayerConfig, PlayerState};
 pub use qoe::{QoeAccumulator, QoeSummary, INITIAL_VMAF_WINDOW};
-pub use title::{ChunkSpec, Title, TitleConfig};
+pub use title::{Chunk, Lookahead, Title, TitleConfig};
 pub use vmaf::VmafModel;

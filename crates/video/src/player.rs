@@ -184,14 +184,14 @@ impl Player {
         {
             return None;
         }
-        let chunk_dur = self.title.chunks[self.next_index].duration;
+        let chunk_dur = self.title.chunk_duration();
         if !self.buffer.has_room_for(chunk_dur) {
             return None;
         }
         let decision = self.select(now);
-        let spec = &self.title.chunks[self.next_index];
+        let spec = self.title.chunk(self.next_index);
         let req = ChunkRequest {
-            index: spec.index,
+            index: spec.index(),
             rung: decision.rung,
             bytes: spec.size(decision.rung),
             pace: decision.pace,
@@ -237,10 +237,10 @@ impl Player {
         self.history.record(m);
         self.abr.on_chunk_downloaded(&m);
 
-        let spec = &self.title.chunks[req.index];
-        self.buffer.add_chunk(spec.duration);
+        let spec = self.title.chunk(req.index);
+        self.buffer.add_chunk(spec.duration());
         self.qoe.on_chunk(
-            spec.duration,
+            spec.duration(),
             spec.vmaf(req.rung),
             spec.actual_bitrate(req.rung),
         );
@@ -282,12 +282,12 @@ impl Player {
     pub fn next_deadline(&self, now: SimTime) -> Option<SimTime> {
         match self.state {
             PlayerState::Playing => {
-                let mut deadlines = vec![now + self.buffer.time_to_empty()];
+                let mut deadline = now + self.buffer.time_to_empty();
                 if self.in_flight.is_none() && self.next_index < self.title.len() {
-                    let dur = self.title.chunks[self.next_index].duration;
-                    deadlines.push(now + self.buffer.time_until_room(dur));
+                    let dur = self.title.chunk_duration();
+                    deadline = deadline.min(now + self.buffer.time_until_room(dur));
                 }
-                deadlines.into_iter().min()
+                Some(deadline)
             }
             _ => None,
         }

@@ -4,52 +4,134 @@
 //! every rung of a ladder. Chunk sizes vary around `bitrate × duration`
 //! because encoders are variable-bitrate; the variation is seeded and
 //! deterministic per title.
+//!
+//! Storage is flat: per-chunk/per-rung sizes and VMAFs live in two dense
+//! arrays (chunk-major), plus a per-rung prefix-sum table of sizes. ABR
+//! algorithms see chunks through the zero-copy [`Chunk`] view and lookahead
+//! windows through [`Lookahead`], so selecting a chunk allocates nothing and
+//! horizon byte-sums are O(1) via [`Lookahead::prefix_bytes`].
 
 use crate::ladder::Ladder;
 use netsim::{Rate, SimDuration};
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// One chunk of a title: its duration, per-rung encoded sizes, and
-/// per-rung perceptual quality.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ChunkSpec {
-    /// Position of this chunk in the title.
-    pub index: usize,
-    /// Playback duration.
-    pub duration: SimDuration,
-    /// Encoded size in bytes, one entry per ladder rung.
-    pub sizes: Vec<u64>,
-    /// Per-chunk VMAF at each rung: the rung's nominal score plus a small
-    /// scene-dependent offset (encoders hold quality only approximately
-    /// constant across scenes).
-    pub vmafs: Vec<f64>,
-}
-
-impl ChunkSpec {
-    /// Encoded size of this chunk at `rung`.
-    pub fn size(&self, rung: usize) -> u64 {
-        self.sizes[rung]
-    }
-
-    /// VMAF of this chunk at `rung`.
-    pub fn vmaf(&self, rung: usize) -> f64 {
-        self.vmafs[rung]
-    }
-
-    /// Actual encoding bitrate of this chunk at `rung` (size / duration).
-    pub fn actual_bitrate(&self, rung: usize) -> Rate {
-        Rate::from_bps(self.sizes[rung] as f64 * 8.0 / self.duration.as_secs_f64())
-    }
-}
-
-/// A title: a ladder plus its chunk list.
+/// A title: a ladder plus its chunk data in flattened chunk-major layout.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Title {
     /// The encoding ladder.
     pub ladder: Ladder,
-    /// All chunks in playback order.
-    pub chunks: Vec<ChunkSpec>,
+    /// Uniform playback duration of every chunk.
+    chunk_duration: SimDuration,
+    /// Encoded size in bytes at `[chunk * rungs + rung]`.
+    sizes: Vec<u64>,
+    /// Per-chunk VMAF at `[chunk * rungs + rung]`: the rung's nominal score
+    /// plus a small scene-dependent offset (encoders hold quality only
+    /// approximately constant across scenes).
+    vmafs: Vec<f64>,
+    /// Inclusive prefix sums of `sizes` along chunks, rung-major:
+    /// `[rung * chunks + chunk]`. Backs O(1) horizon byte-sums.
+    cum_sizes: Vec<u64>,
+}
+
+/// A zero-copy view of one chunk of a title.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunk<'a> {
+    title: &'a Title,
+    index: usize,
+}
+
+impl<'a> Chunk<'a> {
+    /// Position of this chunk in the title.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Playback duration.
+    pub fn duration(&self) -> SimDuration {
+        self.title.chunk_duration
+    }
+
+    /// Encoded size of this chunk at `rung`.
+    pub fn size(&self, rung: usize) -> u64 {
+        self.sizes()[rung]
+    }
+
+    /// VMAF of this chunk at `rung`.
+    pub fn vmaf(&self, rung: usize) -> f64 {
+        self.vmafs()[rung]
+    }
+
+    /// Actual encoding bitrate of this chunk at `rung` (size / duration).
+    pub fn actual_bitrate(&self, rung: usize) -> Rate {
+        Rate::from_bps(self.size(rung) as f64 * 8.0 / self.duration().as_secs_f64())
+    }
+
+    /// Encoded sizes, one entry per ladder rung.
+    pub fn sizes(&self) -> &'a [u64] {
+        let r = self.title.rungs();
+        &self.title.sizes[self.index * r..(self.index + 1) * r]
+    }
+
+    /// Per-rung VMAF scores.
+    pub fn vmafs(&self) -> &'a [f64] {
+        let r = self.title.rungs();
+        &self.title.vmafs[self.index * r..(self.index + 1) * r]
+    }
+}
+
+/// A lookahead window over a title's remaining chunks, handed to ABR
+/// algorithms. Copyable and allocation-free; indexing is relative to the
+/// window start.
+#[derive(Debug, Clone, Copy)]
+pub struct Lookahead<'a> {
+    title: &'a Title,
+    from: usize,
+}
+
+impl<'a> Lookahead<'a> {
+    /// Number of chunks in the window.
+    pub fn len(&self) -> usize {
+        self.title.len() - self.from
+    }
+
+    /// True when no chunks remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th upcoming chunk (0 = the chunk being selected).
+    ///
+    /// # Panics
+    /// Panics past the end of the window.
+    pub fn chunk(&self, i: usize) -> Chunk<'a> {
+        assert!(i < self.len(), "lookahead index out of range");
+        Chunk {
+            title: self.title,
+            index: self.from + i,
+        }
+    }
+
+    /// Total encoded bytes of the first `k` upcoming chunks at `rung`, in
+    /// O(1) via the title's prefix-sum table.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the window.
+    pub fn prefix_bytes(&self, rung: usize, k: usize) -> u64 {
+        assert!(k <= self.len(), "prefix past end of window");
+        if k == 0 {
+            return 0;
+        }
+        let n = self.title.len();
+        let base = rung * n;
+        let hi = self.title.cum_sizes[base + self.from + k - 1];
+        let lo = if self.from == 0 {
+            0
+        } else {
+            self.title.cum_sizes[base + self.from - 1]
+        };
+        hi - lo
+    }
 }
 
 /// Parameters for generating a synthetic title.
@@ -98,61 +180,82 @@ impl Title {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = (cfg.duration.as_nanos() / cfg.chunk_duration.as_nanos()) as usize;
         let chunk_secs = cfg.chunk_duration.as_secs_f64();
-        let chunks = (0..n)
-            .map(|index| {
-                // One multiplier per chunk, shared across rungs: scene
-                // complexity moves all encodings together.
-                let mult = lognormal_around_one(&mut rng, cfg.size_cv);
-                let sizes: Vec<u64> = ladder
-                    .rungs()
-                    .iter()
-                    .map(|r| {
-                        let ideal = r.bitrate.bps() * chunk_secs / 8.0;
-                        ((ideal * mult) as u64).max(1)
-                    })
-                    .collect();
-                // Scene-dependent quality offset, shared across rungs and
-                // shrinking toward the top of the scale (scores saturate).
-                let offset = gaussian(&mut rng) * cfg.vmaf_sd;
-                let vmafs = ladder
-                    .rungs()
-                    .iter()
-                    .map(|r| {
-                        let headroom = (100.0 - r.vmaf) / 100.0;
-                        (r.vmaf + offset * (0.5 + headroom)).clamp(0.0, 100.0)
-                    })
-                    .collect();
-                ChunkSpec {
-                    index,
-                    duration: cfg.chunk_duration,
-                    sizes,
-                    vmafs,
-                }
-            })
-            .collect();
-        Title { ladder, chunks }
+        let rungs = ladder.rungs().len();
+        let mut sizes = Vec::with_capacity(n * rungs);
+        let mut vmafs = Vec::with_capacity(n * rungs);
+        for _ in 0..n {
+            // One multiplier per chunk, shared across rungs: scene
+            // complexity moves all encodings together.
+            let mult = lognormal_around_one(&mut rng, cfg.size_cv);
+            for r in ladder.rungs() {
+                let ideal = r.bitrate.bps() * chunk_secs / 8.0;
+                sizes.push(((ideal * mult) as u64).max(1));
+            }
+            // Scene-dependent quality offset, shared across rungs and
+            // shrinking toward the top of the scale (scores saturate).
+            let offset = gaussian(&mut rng) * cfg.vmaf_sd;
+            for r in ladder.rungs() {
+                let headroom = (100.0 - r.vmaf) / 100.0;
+                vmafs.push((r.vmaf + offset * (0.5 + headroom)).clamp(0.0, 100.0));
+            }
+        }
+        let mut cum_sizes = vec![0u64; n * rungs];
+        for rung in 0..rungs {
+            let mut acc = 0u64;
+            for chunk in 0..n {
+                acc += sizes[chunk * rungs + rung];
+                cum_sizes[rung * n + chunk] = acc;
+            }
+        }
+        Title {
+            ladder,
+            chunk_duration: cfg.chunk_duration,
+            sizes,
+            vmafs,
+            cum_sizes,
+        }
+    }
+
+    /// Number of rungs (row stride of the flattened arrays).
+    fn rungs(&self) -> usize {
+        self.ladder.rungs().len()
     }
 
     /// Number of chunks.
     pub fn len(&self) -> usize {
-        self.chunks.len()
+        self.sizes.len() / self.rungs()
     }
 
     /// True if the title has no chunks (never produced by `generate`).
     pub fn is_empty(&self) -> bool {
-        self.chunks.is_empty()
+        self.sizes.is_empty()
+    }
+
+    /// Uniform per-chunk playback duration.
+    pub fn chunk_duration(&self) -> SimDuration {
+        self.chunk_duration
     }
 
     /// Total playback duration.
     pub fn duration(&self) -> SimDuration {
-        self.chunks
-            .iter()
-            .fold(SimDuration::ZERO, |acc, c| acc + c.duration)
+        self.chunk_duration * self.len() as u64
+    }
+
+    /// View of the chunk at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn chunk(&self, index: usize) -> Chunk<'_> {
+        assert!(index < self.len(), "chunk index out of range");
+        Chunk { title: self, index }
     }
 
     /// Chunks from `from` (inclusive), for ABR lookahead.
-    pub fn upcoming(&self, from: usize) -> &[ChunkSpec] {
-        &self.chunks[from.min(self.chunks.len())..]
+    pub fn upcoming(&self, from: usize) -> Lookahead<'_> {
+        Lookahead {
+            title: self,
+            from: from.min(self.len()),
+        }
     }
 }
 
@@ -195,12 +298,13 @@ mod tests {
         let t = title(0, 0.15);
         assert_eq!(t.len(), 300); // 20 min / 4 s
         assert_eq!(t.duration(), SimDuration::from_secs(1200));
+        assert_eq!(t.chunk_duration(), SimDuration::from_secs(4));
     }
 
     #[test]
     fn cbr_sizes_exact() {
         let t = title(0, 0.0);
-        let c = &t.chunks[7];
+        let c = t.chunk(7);
         // 1.05 Mbps rung, 4 s chunk: 525 kB.
         assert_eq!(c.size(4), 525_000);
         assert!((c.actual_bitrate(4).bps() - 1_050e3).abs() < 1.0);
@@ -210,8 +314,10 @@ mod tests {
     fn vbr_sizes_average_near_bitrate() {
         let t = title(3, 0.15);
         let rung = 6; // 3 Mbps
-        let mean_size: f64 =
-            t.chunks.iter().map(|c| c.size(rung) as f64).sum::<f64>() / t.len() as f64;
+        let mean_size: f64 = (0..t.len())
+            .map(|i| t.chunk(i).size(rung) as f64)
+            .sum::<f64>()
+            / t.len() as f64;
         let ideal = 3_000e3 * 4.0 / 8.0;
         assert!(
             (mean_size - ideal).abs() / ideal < 0.05,
@@ -222,8 +328,8 @@ mod tests {
     #[test]
     fn sizes_ascend_with_rung() {
         let t = title(1, 0.15);
-        for c in &t.chunks {
-            for w in c.sizes.windows(2) {
+        for i in 0..t.len() {
+            for w in t.chunk(i).sizes().windows(2) {
                 assert!(w[0] < w[1]);
             }
         }
@@ -233,16 +339,17 @@ mod tests {
     fn per_chunk_vmaf_varies_and_stays_ordered() {
         let t = title(2, 0.1);
         // Wobble exists...
-        let v: Vec<f64> = t.chunks.iter().map(|c| c.vmaf(4)).collect();
+        let v: Vec<f64> = (0..t.len()).map(|i| t.chunk(i).vmaf(4)).collect();
         let spread = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - v.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.5, "vmaf spread {spread}");
         // ...but rung ordering holds within every chunk.
-        for c in &t.chunks {
-            for w in c.vmafs.windows(2) {
-                assert!(w[1] > w[0], "vmaf ordering broken: {:?}", c.vmafs);
+        for i in 0..t.len() {
+            let c = t.chunk(i);
+            for w in c.vmafs().windows(2) {
+                assert!(w[1] > w[0], "vmaf ordering broken: {:?}", c.vmafs());
             }
-            for &x in &c.vmafs {
+            for &x in c.vmafs() {
                 assert!((0.0..=100.0).contains(&x));
             }
         }
@@ -258,9 +365,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        for c in &t.chunks {
-            for (i, r) in t.ladder.rungs().iter().enumerate() {
-                assert_eq!(c.vmaf(i), r.vmaf);
+        for i in 0..t.len() {
+            for (r, rung) in t.ladder.rungs().iter().enumerate() {
+                assert_eq!(t.chunk(i).vmaf(r), rung.vmaf);
             }
         }
     }
@@ -270,8 +377,8 @@ mod tests {
         let a = title(42, 0.15);
         let b = title(42, 0.15);
         let c = title(43, 0.15);
-        assert_eq!(a.chunks[5].sizes, b.chunks[5].sizes);
-        assert_ne!(a.chunks[5].sizes, c.chunks[5].sizes);
+        assert_eq!(a.chunk(5).sizes(), b.chunk(5).sizes());
+        assert_ne!(a.chunk(5).sizes(), c.chunk(5).sizes());
     }
 
     #[test]
@@ -281,5 +388,28 @@ mod tests {
         assert_eq!(t.upcoming(300).len(), 0);
         assert_eq!(t.upcoming(10_000).len(), 0);
         assert_eq!(t.upcoming(0).len(), 300);
+    }
+
+    #[test]
+    fn lookahead_views_match_title() {
+        let t = title(4, 0.15);
+        let w = t.upcoming(100);
+        assert_eq!(w.chunk(0).index(), 100);
+        assert_eq!(w.chunk(3).size(2), t.chunk(103).size(2));
+        assert_eq!(w.chunk(3).vmaf(2), t.chunk(103).vmaf(2));
+    }
+
+    #[test]
+    fn prefix_bytes_matches_naive_sum() {
+        let t = title(5, 0.15);
+        for from in [0usize, 1, 137, 295, 300] {
+            let w = t.upcoming(from);
+            for rung in [0usize, 3, t.ladder.rungs().len() - 1] {
+                for k in 0..=w.len().min(6) {
+                    let naive: u64 = (0..k).map(|i| w.chunk(i).size(rung)).sum();
+                    assert_eq!(w.prefix_bytes(rung, k), naive, "from={from} k={k}");
+                }
+            }
+        }
     }
 }

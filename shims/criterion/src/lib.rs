@@ -19,6 +19,15 @@ fn measure_budget() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// Whether the harness was invoked with `--test` (as in
+/// `cargo bench -- --test`): run every benchmark exactly once as a smoke
+/// test instead of measuring. Mirrors criterion's test mode; CI uses it to
+/// prove the benches still run without paying for measurement.
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 /// Prevent the optimizer from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -34,10 +43,15 @@ impl Bencher {
     /// Time `f`, choosing an iteration count that fills the measurement
     /// budget, and record the mean time per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Calibration pass.
+        // Calibration pass (doubles as the single smoke-test iteration).
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
+        if test_mode() {
+            self.mean = once;
+            self.iters = 1;
+            return;
+        }
         let budget = measure_budget();
         let n = (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
         let t1 = Instant::now();

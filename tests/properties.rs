@@ -152,4 +152,183 @@ proptest! {
         let headroom = PaceSelector::default().validate_against_threshold(beta, 20.0, max_buf);
         prop_assert!(headroom >= 1.0, "headroom {headroom} at beta {beta}");
     }
+
+    /// The engine's dense Vec-indexed routing tables behave exactly like a
+    /// `HashMap<(node, dst), link>` reference model on random tree
+    /// topologies: every injected packet follows the modelled path and is
+    /// delivered (queues are oversized, so the model predicts zero drops),
+    /// with per-flow stats matching the model's packet and byte counts in
+    /// both the dense (< 4096) and overflow flow-id regimes.
+    #[test]
+    fn vec_routing_matches_hashmap_model(n in 2usize..8, seed in 1u64..1_000_000) {
+        use sammy_repro::netsim::{FlowId, LinkConfig, Packet, Payload, Rate, Simulator};
+        use std::collections::HashMap;
+
+        let mut lcg = seed;
+        let mut draw = move |m: u64| {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 33) % m
+        };
+
+        let mut sim = Simulator::new();
+        let nodes: Vec<_> = (0..n).map(|_| sim.add_node()).collect();
+
+        // Random spanning tree; duplex links with varying rates/delays and
+        // queues far larger than the injected traffic.
+        let mut adj = vec![Vec::new(); n]; // (neighbor, link out of this node)
+        for i in 1..n {
+            let p = draw(i as u64) as usize;
+            let cfg = LinkConfig {
+                rate: Rate::from_mbps(10.0 + draw(50) as f64),
+                delay: SimDuration::from_millis(1 + draw(20)),
+                queue_bytes: 10_000_000,
+            };
+            let (ab, ba) = sim.add_duplex_link(nodes[p], nodes[i], cfg);
+            adj[p].push((i, ab));
+            adj[i].push((p, ba));
+        }
+
+        // Reference model: next-hop link for every ordered pair, via BFS.
+        let mut model = HashMap::new();
+        for src in 0..n {
+            let mut prev = vec![usize::MAX; n];
+            let mut queue = std::collections::VecDeque::from([src]);
+            prev[src] = src;
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in &adj[u] {
+                    if prev[v] == usize::MAX {
+                        prev[v] = u;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                // Walk back from dst to find the first hop out of src.
+                let mut hop = dst;
+                while prev[hop] != src {
+                    hop = prev[hop];
+                }
+                let link = adj[src].iter().find(|&&(v, _)| v == hop).unwrap().1;
+                model.insert((src, dst), link);
+                sim.add_route(nodes[src], nodes[dst], link);
+            }
+        }
+
+        // Model self-check: walking the table reaches the destination.
+        for (&(src, dst), &first) in &model {
+            let mut at = src;
+            let mut via = first;
+            for _ in 0..n {
+                at = sim.link(via).dst.0;
+                if at == dst {
+                    break;
+                }
+                via = model[&(at, dst)];
+            }
+            prop_assert_eq!(at, dst, "model walk stranded {} -> {}", src, dst);
+        }
+
+        // Inject traffic on random pairs, mixing dense and overflow flow
+        // ids, and tally what the model says each flow must deliver.
+        let mut expect: HashMap<u64, (u64, u64)> = HashMap::new(); // id -> (pkts, bytes)
+        for _ in 0..(1 + draw(12)) {
+            let src = draw(n as u64) as usize;
+            let dst = (src + 1 + draw(n as u64 - 1) as usize) % n;
+            let flow = if draw(2) == 0 { draw(16) } else { 4096 + draw(16) };
+            let bytes = 200 + draw(1300);
+            let e = expect.entry(flow).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += bytes;
+            sim.inject(
+                nodes[src],
+                Packet::new(nodes[src], nodes[dst], FlowId(flow), Payload::Datagram { seq: 0 })
+                    .with_size(bytes),
+            );
+        }
+        sim.run_to_completion();
+        for (&flow, &(pkts, bytes)) in &expect {
+            let st = sim.flow_stats(FlowId(flow));
+            prop_assert_eq!(st.delivered_packets, pkts, "flow {} packets", flow);
+            prop_assert_eq!(st.delivered_bytes, bytes, "flow {} bytes", flow);
+            prop_assert_eq!(st.dropped_packets, 0u64, "flow {} drops", flow);
+        }
+    }
+
+    /// MPC's closed-form (prefix-sum + upper-envelope) rebuffer term and
+    /// rung choice agree with a naive per-chunk buffer walk over the same
+    /// horizon, across random titles, lookahead offsets, and conditions.
+    #[test]
+    fn mpc_envelope_matches_naive_walk(
+        title_seed in 0u64..5_000,
+        from in 0usize..300,
+        buffer_s in 0u64..120,
+        tput_mbps in 0.3f64..60.0,
+        last in 0usize..10,
+    ) {
+        use sammy_repro::video::{Abr, AbrContext, ChunkMeasurement, PlayerPhase, ThroughputHistory};
+        use sammy_repro::netsim::SimTime;
+
+        let title = Title::generate(
+            Ladder::hd(&VmafModel::standard()),
+            &TitleConfig { seed: title_seed, ..Default::default() },
+        );
+        let mut h = ThroughputHistory::new();
+        for i in 0..5 {
+            h.record(ChunkMeasurement {
+                index: i,
+                rung: 0,
+                bytes: (tput_mbps * 1e6 / 8.0) as u64,
+                download_time: SimDuration::from_secs(1),
+                completed_at: SimTime::ZERO,
+            });
+        }
+        let last_rung = if last >= title.ladder.len() { None } else { Some(last) };
+        let ctx = AbrContext {
+            now: SimTime::ZERO,
+            phase: PlayerPhase::Playing,
+            buffer: SimDuration::from_secs(buffer_s),
+            max_buffer: SimDuration::from_secs(240),
+            ladder: &title.ladder,
+            upcoming: title.upcoming(from),
+            history: &h,
+            last_rung,
+        };
+        let got = abr::Mpc::default().select(&ctx).rung;
+
+        // Naive reference: simulate the buffer chunk by chunk (horizon 5,
+        // the default) and take the same argmax with upward tie-breaks.
+        let predicted = tput_mbps * 1e6 / 1.25; // window harmonic mean / (1 + margin)
+        let horizon = 5usize.min(ctx.upcoming.len());
+        let mut best = 0;
+        let mut best_u = f64::NEG_INFINITY;
+        for rung in 0..ctx.ladder.len() {
+            let mut buf = buffer_s as f64;
+            let mut rebuf = 0.0;
+            let mut quality = 0.0;
+            for i in 0..horizon {
+                let c = ctx.upcoming.chunk(i);
+                let dl = c.size(rung) as f64 * 8.0 / predicted;
+                if dl > buf {
+                    rebuf += dl - buf;
+                    buf = 0.0;
+                } else {
+                    buf -= dl;
+                }
+                buf += c.duration().as_secs_f64();
+                quality += ctx.ladder.rung(rung).vmaf * c.duration().as_secs_f64();
+            }
+            let switch = last_rung.map_or(0.0, |p| {
+                (ctx.ladder.rung(p).vmaf - ctx.ladder.rung(rung).vmaf).abs()
+            });
+            let u = quality - 1.0 * switch - 500.0 * rebuf;
+            if u >= best_u {
+                best_u = u;
+                best = rung;
+            }
+        }
+        prop_assert_eq!(got, best, "envelope chose {}, naive walk chose {}", got, best);
+    }
 }
