@@ -36,15 +36,30 @@ pub fn mean(values: &[f64]) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
 }
 
-/// Percentile `q ∈ [0,1]` of a slice (NaN if empty).
+/// Percentile `q ∈ [0,1]` of a slice, by linear interpolation between the
+/// two nearest order statistics (the "type 7" / numpy-default definition,
+/// which the bootstrap CIs rely on).
+///
+/// Non-finite samples are ignored. Returns NaN for an empty slice or a NaN
+/// `q`; `q` outside `[0,1]` clamps to the extremes, so `q = 1.0` is exactly
+/// the maximum on slices of any length.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if q.is_nan() {
+        return f64::NAN;
+    }
     let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
     if v.is_empty() {
         return f64::NAN;
     }
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let idx = (q.clamp(0.0, 1.0) * (v.len() - 1) as f64).round() as usize;
-    v[idx]
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+    }
 }
 
 /// How an arm-level statistic is computed from per-session values.
@@ -431,6 +446,36 @@ mod tests {
         assert_eq!(percentile(&v, 0.5), 50.0);
         assert_eq!(percentile(&v, 0.95), 95.0);
         assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    /// Locks the linear-interpolation ("type 7") definition the bootstrap
+    /// CIs use. Pre-fix, percentile rounded to the nearest rank: q = 0.6 on
+    /// `[0, 10]` returned 10 instead of 6, and a NaN q silently returned
+    /// the minimum.
+    #[test]
+    fn percentile_interpolates_linearly() {
+        assert_eq!(percentile(&[0.0, 10.0], 0.6), 6.0);
+        assert_eq!(percentile(&[0.0, 10.0], 0.25), 2.5);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.5);
+        // Unsorted input and non-finite samples are handled.
+        assert_eq!(percentile(&[10.0, f64::NAN, 0.0], 0.6), 6.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty slice (and all-non-finite, which filters to empty) → NaN.
+        assert!(percentile(&[], 0.5).is_nan());
+        assert!(percentile(&[f64::NAN, f64::INFINITY], 0.5).is_nan());
+        // NaN q → NaN, never a silent minimum.
+        assert!(percentile(&[1.0, 2.0], f64::NAN).is_nan());
+        // q outside [0,1] clamps to the extremes.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], -0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 1.5), 3.0);
+        // q = 1.0 on short slices is exactly the max (no index overshoot).
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+        assert_eq!(percentile(&[7.0, 9.0], 1.0), 9.0);
+        // q = 0.975 on a 2-element slice interpolates toward the max.
+        assert_eq!(percentile(&[0.0, 40.0], 0.975), 39.0);
     }
 
     #[test]

@@ -426,6 +426,189 @@ fn run_burst_experiment(burst: Option<u32>, cfg: &LabConfig) -> f64 {
     server.sender().stats().retransmit_fraction()
 }
 
+// ---------------------------------------------------------------------------
+// Chaos driver: seeded random fluid-vs-packet differential profiles.
+//
+// The differential oracle (tests/fluid_vs_packet.rs) runs every profile
+// through both simulators and asserts the calibrated agreement envelopes;
+// under `--features validate` the same sweep doubles as an invariant
+// stress: every packet run executes with all runtime checks armed.
+// ---------------------------------------------------------------------------
+
+use fluidsim::{download_chunk, FluidConfig, NetworkProfile};
+use netsim::{Packet, Payload};
+use rand::prelude::*;
+use transport::ReceiverEndpoint;
+
+/// Cross traffic sharing a chaos profile's bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrossTraffic {
+    /// The transfer is alone on the link.
+    None,
+    /// A constant-bit-rate UDP flow at the given rate.
+    Udp {
+        /// CBR rate in Mbps.
+        mbps: f64,
+    },
+}
+
+/// One randomized differential-oracle profile (drawn by [`chaos_profile`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosProfile {
+    /// The seed this profile was drawn from.
+    pub seed: u64,
+    /// Bottleneck capacity (Mbps).
+    pub capacity_mbps: f64,
+    /// Path round-trip time (ms).
+    pub rtt_ms: u64,
+    /// Transfer size (bytes).
+    pub chunk_bytes: u64,
+    /// Application pace (Mbps); `None` = unpaced.
+    pub pace_mbps: Option<f64>,
+    /// Cross traffic on the bottleneck.
+    pub cross: CrossTraffic,
+}
+
+impl ChaosProfile {
+    /// Capacity left for the transfer after cross traffic.
+    pub fn available_mbps(&self) -> f64 {
+        match self.cross {
+            CrossTraffic::None => self.capacity_mbps,
+            CrossTraffic::Udp { mbps } => self.capacity_mbps - mbps,
+        }
+    }
+}
+
+/// Draw profile number `seed` of the chaos sweep: capacity 5–100 Mbps,
+/// RTT 2–50 ms, 0.3–4 MB transfers, ~35% of profiles with CBR cross
+/// traffic, ~60% paced. Paced profiles pace clearly below the available
+/// capacity — the regime Sammy operates in (§5.6) and the one the fluid
+/// model is calibrated tightly for; unpaced profiles self-congest.
+pub fn chaos_profile(seed: u64) -> ChaosProfile {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xc4a0_5ca7);
+    let capacity_mbps = rng.gen_range(5.0..100.0);
+    let rtt_ms = rng.gen_range(2..50u64);
+    let chunk_bytes = rng.gen_range(300_000..4_000_000u64);
+    let cross = if rng.gen::<f64>() < 0.35 {
+        CrossTraffic::Udp {
+            mbps: rng.gen_range(0.05..0.35) * capacity_mbps,
+        }
+    } else {
+        CrossTraffic::None
+    };
+    let avail = match cross {
+        CrossTraffic::None => capacity_mbps,
+        CrossTraffic::Udp { mbps } => capacity_mbps - mbps,
+    };
+    let pace_mbps = if rng.gen::<f64>() < 0.6 {
+        Some(rng.gen_range(0.15..0.6) * avail)
+    } else {
+        None
+    };
+    ChaosProfile {
+        seed,
+        capacity_mbps,
+        rtt_ms,
+        chunk_bytes,
+        pace_mbps,
+        cross,
+    }
+}
+
+/// Run a chaos profile's transfer on the packet simulator. Returns the
+/// download time in seconds (request injection to last byte delivered).
+pub fn chaos_packet_download(p: &ChaosProfile) -> f64 {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(
+        &mut sim,
+        DumbbellConfig {
+            pairs: 2,
+            bottleneck_rate: Rate::from_mbps(p.capacity_mbps),
+            rtt: SimDuration::from_millis(p.rtt_ms),
+            ..Default::default()
+        },
+    );
+    let flow = FlowId(1);
+    sim.set_endpoint(
+        db.left[0],
+        Box::new(SenderEndpoint::new(
+            db.left[0],
+            db.right[0],
+            flow,
+            TcpConfig::default(),
+        )),
+    );
+    sim.set_endpoint(
+        db.right[0],
+        Box::new(ReceiverEndpoint::new(db.right[0], db.left[0], flow)),
+    );
+    let limit = SimTime::from_secs(300);
+    if let CrossTraffic::Udp { mbps } = p.cross {
+        let udp_flow = FlowId(50);
+        UdpCbrSource::new(
+            db.left[1],
+            db.right[1],
+            udp_flow,
+            Rate::from_mbps(mbps),
+            1200,
+            SimTime::ZERO,
+            limit,
+        )
+        .install(&mut sim);
+        sim.set_endpoint(db.right[1], Box::new(UdpSink::new(udp_flow)));
+    }
+    let req = Packet::new(
+        db.right[0],
+        db.left[0],
+        flow,
+        Payload::Request {
+            id: 0,
+            size: p.chunk_bytes,
+            pace_bps: p.pace_mbps.map(|m| m * 1e6),
+        },
+    );
+    sim.inject(db.right[0], req);
+    // Step in 1 s slices so cross-traffic events stop as soon as the
+    // transfer finishes, instead of simulating the CBR source to `limit`.
+    let mut horizon = SimTime::from_secs(1);
+    loop {
+        sim.run_until(horizon);
+        let server: &mut SenderEndpoint = sim.endpoint_mut(db.left[0]).expect("server endpoint");
+        if let Some(t) = server.completed.first() {
+            return t.completed_at.saturating_since(SimTime::ZERO).as_secs_f64();
+        }
+        assert!(horizon < limit, "chaos transfer did not complete: {p:?}");
+        horizon += SimDuration::from_secs(1);
+    }
+}
+
+/// The fluid model's closed-form prediction for the same transfer. Cross
+/// traffic maps to reduced available capacity — the contract the oracle
+/// checks is that this reduction is the *only* correction the chunk model
+/// needs in the CBR case.
+pub fn chaos_fluid_download(p: &ChaosProfile) -> f64 {
+    let profile = NetworkProfile {
+        capacity: Rate::from_mbps(p.available_mbps()),
+        base_rtt: SimDuration::from_millis(p.rtt_ms),
+        bufferbloat: SimDuration::from_millis(10),
+        ambient_loss: 0.0,
+        self_loss: 0.0,
+        jitter_cv: 0.0,
+        fade_prob: 0.0,
+        fade_depth: 0.1,
+    };
+    download_chunk(
+        &profile,
+        &FluidConfig::default(),
+        p.chunk_bytes,
+        p.pace_mbps.map(Rate::from_mbps),
+        true,
+        1.0,
+    )
+    .download_time
+    .as_secs_f64()
+}
+
 /// A top-rung ABR with a fixed pace rate (the §5.6 experiment holds the
 /// bitrate and pace constant and varies only the burst size).
 struct FixedPaceAbr {

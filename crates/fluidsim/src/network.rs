@@ -134,12 +134,26 @@ pub fn download_chunk(
         }
     }
     t += remaining * 8.0 / target;
-    ChunkOutcome {
+    let outcome = ChunkOutcome {
         download_time: SimDuration::from_secs_f64(t),
         congested,
         rtt,
         loss: loss.clamp(0.0, 1.0),
-    }
+    };
+    netsim::invariant!(
+        "fluid-chunk-sane",
+        t.is_finite() && t > 0.0,
+        "download time {t} not finite positive (bytes {bytes}, target {target})"
+    );
+    netsim::invariant!(
+        "fluid-chunk-sane",
+        (0.0..=1.0).contains(&outcome.loss) && outcome.rtt >= profile.base_rtt,
+        "loss {} outside [0, 1] or rtt {:?} below base {:?}",
+        outcome.loss,
+        outcome.rtt,
+        profile.base_rtt
+    );
+    outcome
 }
 
 /// Draw a per-chunk capacity multiplier for `profile`: log-normal jitter

@@ -190,6 +190,14 @@ pub struct Simulator {
     /// after every callback, so capacity is reused run-long.
     scratch_out: Vec<Packet>,
     scratch_timers: Vec<(SimTime, u64)>,
+    /// `(at, seq)` of the most recently dispatched event (validate feature):
+    /// dispatch keys must be strictly increasing across the heap/wheel merge.
+    #[cfg(feature = "validate")]
+    last_dispatch: Option<(SimTime, u64)>,
+    /// Occupancy mirror of the arrival slab (validate feature): catches
+    /// double allocation and double free of slots.
+    #[cfg(feature = "validate")]
+    arrival_occupied: Vec<bool>,
 }
 
 impl Default for Simulator {
@@ -216,6 +224,10 @@ impl Simulator {
             processed_events: 0,
             scratch_out: Vec::new(),
             scratch_timers: Vec::new(),
+            #[cfg(feature = "validate")]
+            last_dispatch: None,
+            #[cfg(feature = "validate")]
+            arrival_occupied: Vec::new(),
         }
     }
 
@@ -425,12 +437,14 @@ impl Simulator {
         if take_timer {
             let e = self.timers.pop().expect("peeked entry vanished");
             debug_assert!(e.at >= self.now, "time went backwards");
+            self.check_dispatch(e.at, e.seq);
             self.now = e.at;
             self.processed_events += 1;
             self.dispatch_timer(e.node, e.token);
         } else {
             let Reverse(ev) = self.events.pop().expect("peeked event vanished");
             debug_assert!(ev.at >= self.now, "time went backwards");
+            self.check_dispatch(ev.at, ev.seq);
             self.now = ev.at;
             self.processed_events += 1;
             match ev.kind {
@@ -443,27 +457,126 @@ impl Simulator {
                         link.finish_transmission(&pkt);
                         (link.delay, link.dst)
                     };
-                    let slot = match self.arrival_free.pop() {
-                        Some(s) => {
-                            self.arrivals[s as usize] = pkt;
-                            s
-                        }
-                        None => {
-                            self.arrivals.push(pkt);
-                            (self.arrivals.len() - 1) as u32
-                        }
-                    };
+                    let slot = self.alloc_arrival_slot(pkt);
                     self.push_event(self.now + delay, EventKind::PacketArrive(dst, slot));
                     self.kick_link(id);
                 }
                 EventKind::PacketArrive(node, slot) => {
-                    let pkt = self.arrivals[slot as usize];
-                    self.arrival_free.push(slot);
+                    let pkt = self.free_arrival_slot(slot);
                     self.deliver(node, pkt);
                 }
             }
         }
         true
+    }
+
+    /// Allocate an arrival-slab slot for `pkt`, reusing the free list.
+    fn alloc_arrival_slot(&mut self, pkt: Packet) -> u32 {
+        let slot = match self.arrival_free.pop() {
+            Some(s) => {
+                self.arrivals[s as usize] = pkt;
+                s
+            }
+            None => {
+                self.arrivals.push(pkt);
+                (self.arrivals.len() - 1) as u32
+            }
+        };
+        #[cfg(feature = "validate")]
+        {
+            if self.arrival_occupied.len() < self.arrivals.len() {
+                self.arrival_occupied.resize(self.arrivals.len(), false);
+            }
+            crate::invariant!(
+                "arrival-slab",
+                !self.arrival_occupied[slot as usize],
+                "slot {} allocated while still occupied",
+                slot
+            );
+            self.arrival_occupied[slot as usize] = true;
+        }
+        slot
+    }
+
+    /// Take a slot's packet and return the slot to the free list.
+    fn free_arrival_slot(&mut self, slot: u32) -> Packet {
+        #[cfg(feature = "validate")]
+        {
+            crate::invariant!(
+                "arrival-slab",
+                self.arrival_occupied
+                    .get(slot as usize)
+                    .copied()
+                    .unwrap_or(false),
+                "slot {} freed while already free (double free)",
+                slot
+            );
+            self.arrival_occupied[slot as usize] = false;
+        }
+        self.arrival_free.push(slot);
+        self.arrivals[slot as usize]
+    }
+
+    /// Dispatch-order invariant: the clock never runs backwards and the
+    /// merged heap/wheel stream dispatches in strictly increasing
+    /// `(time, seq)` — the global event order every golden test pins.
+    #[cfg(feature = "validate")]
+    fn check_dispatch(&mut self, at: SimTime, seq: u64) {
+        crate::invariant!(
+            "dispatch-order",
+            at >= self.now,
+            "event at {:?} behind clock {:?}",
+            at,
+            self.now
+        );
+        if let Some((pt, ps)) = self.last_dispatch {
+            crate::invariant!(
+                "dispatch-order",
+                (at, seq) > (pt, ps),
+                "dispatch key ({:?}, {}) not after ({:?}, {})",
+                at,
+                seq,
+                pt,
+                ps
+            );
+        }
+        self.last_dispatch = Some((at, seq));
+    }
+
+    #[cfg(not(feature = "validate"))]
+    #[inline(always)]
+    fn check_dispatch(&mut self, _at: SimTime, _seq: u64) {}
+
+    /// Mutant mode: jump the clock a minute forward without dispatching
+    /// anything, so the next pending event — ACK clock, pacing release, or
+    /// at minimum the armed RTO — appears to fire in the past (a reordered
+    /// tick). Must trip `dispatch-order` on the next [`step`](Self::step).
+    #[cfg(feature = "validate")]
+    pub fn mutant_reorder_tick(&mut self) {
+        self.now += crate::time::SimDuration::from_secs(60);
+    }
+
+    /// Mutant mode: free an arrival slot that is already on the free list,
+    /// as a buggy dealloc path would. Must trip `arrival-slab`.
+    ///
+    /// # Panics
+    /// Panics (as intended) via the invariant; also panics if no slot has
+    /// ever cycled through the free list (drive some traffic first).
+    #[cfg(feature = "validate")]
+    pub fn mutant_slab_double_free(&mut self) {
+        let slot = *self
+            .arrival_free
+            .last()
+            .expect("slab mutant needs prior packet traffic");
+        self.free_arrival_slot(slot);
+    }
+
+    /// Mutant mode: leak bytes in the first link's queue accounting.
+    /// Must trip `queue-byte-conservation`.
+    #[cfg(feature = "validate")]
+    pub fn mutant_queue_byte_leak(&mut self) {
+        let link = self.links.first_mut().expect("no links in topology");
+        link.queue.mutant_leak_dropped_bytes(1_500);
     }
 
     fn deliver(&mut self, node: NodeId, pkt: Packet) {

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod invariants;
 pub mod link;
 pub mod monitor;
 pub mod packet;

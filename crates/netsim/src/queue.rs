@@ -27,6 +27,12 @@ pub struct DropTailQueue {
     pub dropped_bytes: u64,
     /// High-water mark of queue occupancy in bytes.
     pub max_occupied_bytes: u64,
+    /// Total bytes ever accepted into the queue (validate feature).
+    #[cfg(feature = "validate")]
+    enqueued_bytes: u64,
+    /// Total bytes ever dequeued from the queue (validate feature).
+    #[cfg(feature = "validate")]
+    dequeued_bytes: u64,
 }
 
 impl DropTailQueue {
@@ -44,12 +50,20 @@ impl DropTailQueue {
             drops: 0,
             dropped_bytes: 0,
             max_occupied_bytes: 0,
+            #[cfg(feature = "validate")]
+            enqueued_bytes: 0,
+            #[cfg(feature = "validate")]
+            dequeued_bytes: 0,
         }
     }
 
     /// Offer a packet. Drop-tail: reject if it would exceed capacity.
     pub fn enqueue(&mut self, pkt: Packet) -> EnqueueResult {
-        if self.occupied_bytes + pkt.size > self.capacity_bytes {
+        #[cfg(feature = "validate")]
+        {
+            self.enqueued_bytes += pkt.size;
+        }
+        let result = if self.occupied_bytes + pkt.size > self.capacity_bytes {
             self.drops += 1;
             self.dropped_bytes += pkt.size;
             EnqueueResult::Dropped
@@ -58,14 +72,51 @@ impl DropTailQueue {
             self.max_occupied_bytes = self.max_occupied_bytes.max(self.occupied_bytes);
             self.packets.push_back(pkt);
             EnqueueResult::Accepted
-        }
+        };
+        self.check_conservation();
+        result
     }
 
     /// Remove and return the packet at the head, if any.
     pub fn dequeue(&mut self) -> Option<Packet> {
         let pkt = self.packets.pop_front()?;
         self.occupied_bytes -= pkt.size;
+        #[cfg(feature = "validate")]
+        {
+            self.dequeued_bytes += pkt.size;
+        }
+        self.check_conservation();
         Some(pkt)
+    }
+
+    /// Byte conservation: every byte offered to the queue is either still
+    /// queued, was dequeued, or was dropped. A leak on any path (e.g. a
+    /// drop that forgets to account its bytes) breaks the ledger.
+    #[cfg(feature = "validate")]
+    #[inline]
+    fn check_conservation(&self) {
+        crate::invariant!(
+            "queue-byte-conservation",
+            self.enqueued_bytes == self.dequeued_bytes + self.dropped_bytes + self.occupied_bytes,
+            "enqueued {} != dequeued {} + dropped {} + occupied {}",
+            self.enqueued_bytes,
+            self.dequeued_bytes,
+            self.dropped_bytes,
+            self.occupied_bytes
+        );
+    }
+
+    #[cfg(not(feature = "validate"))]
+    #[inline(always)]
+    fn check_conservation(&self) {}
+
+    /// Mutant mode: pretend `bytes` entered the queue and then vanished —
+    /// the classic dropped-byte leak where a rejection path forgets to
+    /// credit `dropped_bytes`. Must trip `queue-byte-conservation`.
+    #[cfg(feature = "validate")]
+    pub fn mutant_leak_dropped_bytes(&mut self, bytes: u64) {
+        self.enqueued_bytes += bytes;
+        self.check_conservation();
     }
 
     /// Current occupancy in bytes.

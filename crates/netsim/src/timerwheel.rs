@@ -179,15 +179,19 @@ impl TimerWheel {
         debug_assert!(self.len > 0, "advance on empty wheel");
         while self.imminent.is_empty() {
             // Pull overflow entries whose revolution the cursor has reached.
+            // Migration is progress: after a cursor teleport to an overflow
+            // entry's tick, the entry re-cascades into `imminent` or a slot
+            // here, and the level scan below may legitimately find nothing.
+            let mut progressed = false;
             while let Some(&Reverse(e)) = self.overflow.peek() {
                 if (tick_of(e.at) ^ self.base_tick) >> (LEVEL_BITS * LEVELS as u32) == 0 {
                     self.overflow.pop();
                     self.place(e);
+                    progressed = true;
                 } else {
                     break;
                 }
             }
-            let mut progressed = false;
             for level in 0..LEVELS {
                 let shift = LEVEL_BITS * level as u32;
                 let idx = ((self.base_tick >> shift) & (SLOTS as u64 - 1)) as u32;
@@ -364,6 +368,74 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 6);
+    }
+
+    /// The far-future regression distilled: drain everything near the
+    /// cursor so only an overflow entry remains, then keep popping. The
+    /// cursor must teleport to the overflow revolution and re-cascade the
+    /// entry rather than losing it (pre-fix this tripped the "no entries
+    /// anywhere" debug assertion and returned `None` with `len > 0`).
+    #[test]
+    fn overflow_only_survivor_recascades() {
+        let mut wheel = TimerWheel::new();
+        wheel.insert(SimTime::from_nanos(100), 0, NodeId(0), 0);
+        // Two revolutions past the 2^36 ns horizon.
+        wheel.insert(SimTime::from_secs(150), 1, NodeId(0), 1);
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
+        assert_eq!(wheel.peek_key(), Some((SimTime::from_secs(150), 1)));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(1));
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop().map(|e| e.seq), None);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(48))]
+        /// Cross-check against a plain BinaryHeap: random mixes of
+        /// timescales — same-tick collisions, each wheel level, the exact
+        /// 2^36 ns horizon edge, and deep overflow — interleaved with pops,
+        /// must drain in exactly the heap's `(at, seq)` order.
+        #[test]
+        fn wheel_equals_heap(raw in proptest::collection::vec(0u64..u64::MAX, 1..400usize)) {
+            let mut wheel = TimerWheel::new();
+            let mut model: BinaryHeap<Reverse<(SimTime, u64, usize, u64)>> = BinaryHeap::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for r in raw {
+                if r % 4 == 3 && !model.is_empty() {
+                    let got = wheel.pop().map(|e| (e.at, e.seq, e.node.0, e.token));
+                    let want = model.pop().map(|Reverse(x)| x);
+                    proptest::prop_assert_eq!(got, want);
+                    if let Some((at, ..)) = got {
+                        now = now.max(at.as_nanos());
+                    }
+                } else {
+                    let span = match (r >> 3) % 6 {
+                        0 => 4_096,                  // same-tick collisions
+                        1 => 200_000,                // level 0/1
+                        2 => 50_000_000,             // level 2
+                        3 => 60_000_000_000,         // level 3
+                        4 => (1u64 << 36) + 8_192,   // straddles the horizon
+                        _ => 300_000_000_000,        // deep overflow
+                    };
+                    let at = SimTime::from_nanos(now + (r >> 13) % span);
+                    let node = NodeId((seq % 5) as usize);
+                    wheel.insert(at, seq, node, r);
+                    model.push(Reverse((at, seq, node.0, r)));
+                    seq += 1;
+                }
+            }
+            loop {
+                let key = wheel.peek_key();
+                let got = wheel.pop().map(|e| (e.at, e.seq, e.node.0, e.token));
+                proptest::prop_assert_eq!(key, got.map(|(at, s, _, _)| (at, s)));
+                let want = model.pop().map(|Reverse(x)| x);
+                proptest::prop_assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+            }
+            proptest::prop_assert!(wheel.is_empty());
+        }
     }
 
     /// next_time is exact and non-mutating.

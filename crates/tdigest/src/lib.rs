@@ -128,9 +128,14 @@ impl TDigest {
         }
     }
 
-    /// Add a sample with an integer weight (e.g. a pre-aggregated bucket).
+    /// Add a sample with a positive weight (e.g. a pre-aggregated bucket).
+    ///
+    /// Like [`TDigest::add`], non-finite inputs are ignored — including an
+    /// infinite *weight*, which would otherwise poison `count` and every
+    /// later quantile. NaN and non-positive weights are ignored too, so a
+    /// digest can never hold a poisoned centroid by construction.
     pub fn add_weighted(&mut self, value: f64, weight: f64) {
-        if !value.is_finite() || weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        if !value.is_finite() || !weight.is_finite() || weight <= 0.0 {
             return;
         }
         self.flush_buffer();
@@ -164,8 +169,12 @@ impl TDigest {
 
     /// Estimate the value at quantile `q` in `[0, 1]`.
     ///
-    /// Returns NaN for an empty digest. `q` outside `[0,1]` is clamped.
+    /// Returns NaN for an empty digest or a NaN `q`. `q` outside `[0,1]` is
+    /// clamped.
     pub fn quantile(&self, q: f64) -> f64 {
+        if q.is_nan() {
+            return f64::NAN;
+        }
         let mut snapshot = self.clone();
         snapshot.flush_buffer();
         snapshot.quantile_inner(q.clamp(0.0, 1.0))
@@ -422,6 +431,35 @@ mod tests {
         d.add(1.0);
         assert_eq!(d.count(), 1);
         assert_eq!(d.median(), 1.0);
+    }
+
+    /// Regression: `add_weighted` with an infinite weight used to pass the
+    /// `weight > 0` check, setting `count = inf` and making every subsequent
+    /// quantile garbage. All non-finite or non-positive weights (and NaN
+    /// values) must be ignored, keeping the digest unpoisoned.
+    #[test]
+    fn weighted_non_finite_inputs_cannot_poison() {
+        let mut d = TDigest::default();
+        d.add_weighted(1.0, f64::INFINITY);
+        d.add_weighted(1.0, f64::NAN);
+        d.add_weighted(1.0, -3.0);
+        d.add_weighted(1.0, 0.0);
+        d.add_weighted(f64::NAN, 1.0);
+        d.add_weighted(f64::INFINITY, 1.0);
+        assert!(d.is_empty());
+        assert!(d.quantile(0.5).is_nan());
+
+        d.add_weighted(10.0, 3.0);
+        d.add_weighted(20.0, 1.0);
+        assert_eq!(d.count(), 4);
+        assert_eq!(d.quantile(0.0), 10.0);
+        assert_eq!(d.quantile(1.0), 20.0);
+        // A later poisoned insert must leave the healthy digest untouched.
+        d.add_weighted(5.0, f64::INFINITY);
+        assert_eq!(d.count(), 4);
+        assert!(d.median().is_finite());
+        // NaN q reports NaN instead of an arbitrary centroid.
+        assert!(d.quantile(f64::NAN).is_nan());
     }
 
     #[test]

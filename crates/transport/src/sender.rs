@@ -439,7 +439,50 @@ impl TcpSender {
                 self.arm_rto(now);
             }
         }
+        self.check_invariants();
     }
+
+    /// Sender sanity (validate feature): sequence-space ordering, in-flight
+    /// bounded by the send buffer, cwnd never below one MSS, and the pace
+    /// (when set) finite, positive, and under a 1 Tbps sanity cap. Checked
+    /// at the end of [`pump`](Self::pump), which every ACK/timer/app path
+    /// funnels through.
+    #[cfg(feature = "validate")]
+    fn check_invariants(&self) {
+        netsim::invariant!(
+            "tcp-sender-sanity",
+            self.snd_una <= self.snd_nxt && self.snd_nxt <= self.stream_end,
+            "sequence space out of order: una {} nxt {} end {}",
+            self.snd_una,
+            self.snd_nxt,
+            self.stream_end
+        );
+        netsim::invariant!(
+            "tcp-sender-sanity",
+            self.bytes_in_flight() <= self.cfg.send_buffer,
+            "inflight {} exceeds send buffer {}",
+            self.bytes_in_flight(),
+            self.cfg.send_buffer
+        );
+        netsim::invariant!(
+            "tcp-sender-sanity",
+            self.cc.cwnd() >= MSS_BYTES,
+            "cwnd {} below one MSS",
+            self.cc.cwnd()
+        );
+        if let Some(rate) = self.pacer.rate() {
+            netsim::invariant!(
+                "pacing-rate-bounds",
+                rate.bps().is_finite() && rate.bps() > 0.0 && rate.bps() <= 1e12,
+                "pace {} bps outside (0, 1e12]",
+                rate.bps()
+            );
+        }
+    }
+
+    #[cfg(not(feature = "validate"))]
+    #[inline(always)]
+    fn check_invariants(&self) {}
 
     /// Can a new (non-retransmitted) segment be sent under cwnd and data
     /// availability?
@@ -561,6 +604,27 @@ mod tests {
             } => (offset, offset + len as u64, retx),
             _ => panic!("not a data packet"),
         }
+    }
+
+    /// A non-physical pace must trip `pacing-rate-bounds` (and nothing
+    /// else) the first time the send path runs with it. `Rate::ZERO` gets
+    /// past `Rate`'s constructor (it is a legitimate rate elsewhere) but a
+    /// zero pace can never release a byte.
+    #[cfg(feature = "validate")]
+    #[test]
+    fn zero_pace_trips_pacing_invariant() {
+        let err = std::panic::catch_unwind(|| {
+            let mut s = sender();
+            let mut out = Vec::new();
+            s.start_transfer(SimTime::ZERO, 100_000, Some(Rate::ZERO));
+            s.pump(SimTime::ZERO, &mut out);
+        })
+        .expect_err("invalid pace must trip the invariant");
+        let msg = netsim::invariants::panic_message(&*err);
+        assert!(
+            msg.starts_with(&netsim::invariants::violation_tag("pacing-rate-bounds")),
+            "wrong invariant: {msg}"
+        );
     }
 
     #[test]

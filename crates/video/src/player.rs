@@ -88,6 +88,13 @@ pub struct Player {
 
     history: ThroughputHistory,
     qoe: QoeAccumulator,
+    /// Total content committed to the buffer (validate feature): conserved
+    /// as played + buffered.
+    #[cfg(feature = "validate")]
+    committed: SimDuration,
+    /// Total content drained from the buffer (validate feature).
+    #[cfg(feature = "validate")]
+    played_total: SimDuration,
 }
 
 impl Player {
@@ -108,6 +115,10 @@ impl Player {
             last_advance: now,
             history: ThroughputHistory::new(),
             qoe: QoeAccumulator::new(now),
+            #[cfg(feature = "validate")]
+            committed: SimDuration::ZERO,
+            #[cfg(feature = "validate")]
+            played_total: SimDuration::ZERO,
         }
     }
 
@@ -140,15 +151,25 @@ impl Player {
     }
 
     /// QoE summary so far (call after [`Player::state`] is `Ended` for the
-    /// full-session summary).
+    /// full-session summary). If a stall is still open — the driver stopped
+    /// the trace mid-rebuffer without [`Player::abandon`] — its duration up
+    /// to the last [`Player::advance_to`] is included in `rebuffer_time`.
     pub fn qoe(&self) -> QoeSummary {
-        self.qoe.summary()
+        self.qoe.summary_at(self.last_advance)
     }
 
     /// Advance playback to `now`: drain the buffer, detect rebuffers and
     /// session end. Must be called with nondecreasing `now`; drivers call it
     /// before any interaction.
     pub fn advance_to(&mut self, now: SimTime) {
+        netsim::invariant!(
+            "player-buffer-conservation",
+            now >= self.last_advance,
+            "player clock ran backwards: {:?} before {:?}",
+            now,
+            self.last_advance
+        );
+        self.check_conservation();
         let elapsed = now.saturating_since(self.last_advance);
         self.last_advance = now;
         if elapsed.is_zero() {
@@ -157,6 +178,10 @@ impl Player {
         match self.state {
             PlayerState::Playing => {
                 let played = self.buffer.drain(elapsed);
+                #[cfg(feature = "validate")]
+                {
+                    self.played_total += played;
+                }
                 self.qoe.on_played(played);
                 if self.all_content_played() {
                     self.state = PlayerState::Ended;
@@ -239,6 +264,11 @@ impl Player {
 
         let spec = self.title.chunk(req.index);
         self.buffer.add_chunk(spec.duration());
+        #[cfg(feature = "validate")]
+        {
+            self.committed += spec.duration();
+        }
+        self.check_conservation();
         self.qoe.on_chunk(
             spec.duration(),
             spec.vmaf(req.rung),
@@ -295,6 +325,34 @@ impl Player {
 
     fn all_content_played(&self) -> bool {
         self.next_index >= self.title.len() && self.buffer.is_empty()
+    }
+
+    /// Buffer conservation (validate feature): every second of content
+    /// committed to the playback buffer is either still buffered or was
+    /// played. A drain that skips accounting (the "negative buffer" class
+    /// of bug — more played than was ever downloaded) breaks the ledger.
+    #[cfg(feature = "validate")]
+    fn check_conservation(&self) {
+        netsim::invariant!(
+            "player-buffer-conservation",
+            self.committed == self.played_total + self.buffer.level(),
+            "committed {:?} != played {:?} + buffered {:?}",
+            self.committed,
+            self.played_total,
+            self.buffer.level()
+        );
+    }
+
+    #[cfg(not(feature = "validate"))]
+    #[inline(always)]
+    fn check_conservation(&self) {}
+
+    /// Mutant mode: drain a second of content without crediting playback —
+    /// the buffer under-runs relative to its ledger. Must trip
+    /// `player-buffer-conservation` on the next interaction.
+    #[cfg(feature = "validate")]
+    pub fn mutant_negative_buffer(&mut self) {
+        let _ = self.buffer.drain(SimDuration::from_secs(1));
     }
 
     /// End the session early (user abandons). Finalizes QoE accounting.
@@ -436,6 +494,58 @@ mod tests {
         }
         // 15 chunks * 4 s: playback ends roughly 60 s after start.
         assert!(now.as_secs_f64() >= 60.0 && now.as_secs_f64() < 62.0);
+    }
+
+    /// Regression: stop a trace mid-stall (no `abandon`) and ask for QoE.
+    /// The open stall must be counted up to the last `advance_to`, not
+    /// dropped. Pre-fix this reported `rebuffer_time == 0`.
+    #[test]
+    fn open_stall_at_trace_end_counted() {
+        let mut p = player(PlayerConfig::default());
+        let mut now = SimTime::ZERO;
+        // Download exactly enough to start playback (4 s threshold = 1 chunk).
+        let _ = p.poll_request(now).expect("first request");
+        now += SimDuration::from_millis(10);
+        p.on_chunk_complete(now, SimDuration::from_millis(10));
+        p.advance_to(now + SimDuration::from_millis(1));
+        assert_eq!(p.state(), PlayerState::Playing);
+        // Let the 4 s buffer run dry and keep stalling for 6 more seconds.
+        p.advance_to(now + SimDuration::from_secs(10));
+        assert_eq!(p.state(), PlayerState::Rebuffering);
+        let q = p.qoe();
+        assert_eq!(q.rebuffer_count, 1);
+        let stalled = q.rebuffer_time.as_secs_f64();
+        assert!(
+            (stalled - 6.0).abs() < 0.1,
+            "open stall must count to trace end, got {stalled}s"
+        );
+        // Closing the session does not double-count the same interval.
+        p.abandon(now + SimDuration::from_secs(10));
+        assert_eq!(p.qoe().rebuffer_time, q.rebuffer_time);
+    }
+
+    /// The negative-buffer mutant must trip `player-buffer-conservation`
+    /// (and nothing else) on the next player interaction.
+    #[cfg(feature = "validate")]
+    #[test]
+    fn negative_buffer_mutant_trips_conservation() {
+        let err = std::panic::catch_unwind(|| {
+            let mut p = player(PlayerConfig::default());
+            let mut now = SimTime::ZERO;
+            let _ = p.poll_request(now).expect("first request");
+            now += SimDuration::from_millis(10);
+            p.on_chunk_complete(now, SimDuration::from_millis(10));
+            p.mutant_negative_buffer();
+            p.advance_to(now + SimDuration::from_millis(1));
+        })
+        .expect_err("mutant must trip the invariant");
+        let msg = netsim::invariants::panic_message(&*err);
+        assert!(
+            msg.starts_with(&netsim::invariants::violation_tag(
+                "player-buffer-conservation"
+            )),
+            "wrong invariant: {msg}"
+        );
     }
 
     #[test]

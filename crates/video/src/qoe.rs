@@ -90,7 +90,21 @@ impl QoeAccumulator {
         self.ended = Some(now);
     }
 
-    /// Produce the session summary.
+    /// Produce the session summary as of `now`: a stall still open at `now`
+    /// (the trace ended mid-rebuffer, without [`QoeAccumulator::on_end`])
+    /// is counted up to `now` instead of being silently dropped — dropping
+    /// it biases the A/B rebuffer metric downward exactly when a session
+    /// stalls hardest.
+    pub fn summary_at(&self, now: SimTime) -> QoeSummary {
+        let mut s = self.summary();
+        if let Some(start) = self.rebuffer_started {
+            s.rebuffer_time += now.saturating_since(start);
+        }
+        s
+    }
+
+    /// Produce the session summary, counting only closed stalls (prefer
+    /// [`QoeAccumulator::summary_at`] when the session may still be open).
     pub fn summary(&self) -> QoeSummary {
         let play_delay = self
             .playback_started
@@ -204,6 +218,28 @@ mod tests {
         assert_eq!(s.rebuffer_time, SimDuration::from_secs(3));
         assert!(s.had_rebuffer());
         assert!((s.rebuffers_per_hour() - 1.0).abs() < 1e-9);
+    }
+
+    /// Regression: a stall still open when the trace ends used to vanish
+    /// from `rebuffer_time` entirely (only `on_end` closed it). The
+    /// as-of-`now` summary must count the open interval to session end.
+    #[test]
+    fn open_stall_counted_to_session_end() {
+        let mut q = QoeAccumulator::new(SimTime::ZERO);
+        q.on_playback_start(SimTime::from_secs(1));
+        q.on_rebuffer_start(SimTime::from_secs(5));
+        // No on_rebuffer_end / on_end: the driver just stopped at t = 9.
+        let s = q.summary_at(SimTime::from_secs(9));
+        assert_eq!(s.rebuffer_count, 1);
+        assert_eq!(s.rebuffer_time, SimDuration::from_secs(4));
+        // The accumulator itself is unchanged: a later close still works.
+        q.on_rebuffer_end(SimTime::from_secs(11));
+        assert_eq!(q.summary().rebuffer_time, SimDuration::from_secs(6));
+        // And with no open stall, summary_at adds nothing.
+        assert_eq!(
+            q.summary_at(SimTime::from_secs(50)).rebuffer_time,
+            SimDuration::from_secs(6)
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@ struct Outcome {
     mean_bitrate_mbps: f64,
     switches: u64,
     played_secs: f64,
+    /// Rung of each completed chunk, in request order.
+    rungs: Vec<usize>,
 }
 
 /// Stream a 4-minute title while the bottleneck drops from 40 Mbps to
@@ -89,6 +91,11 @@ fn run_with_dip(abr: Box<dyn Abr>, dip_mbps: f64) -> Outcome {
         mean_bitrate_mbps: q.mean_bitrate.map(|r| r.mbps()).unwrap_or(0.0),
         switches: q.quality_switches,
         played_secs: q.played.as_secs_f64(),
+        rungs: client
+            .completed_chunks
+            .iter()
+            .map(|(req, _)| req.rung)
+            .collect(),
     }
 }
 
@@ -133,6 +140,46 @@ fn severe_dip_recovers_after_restoration() {
         assert_eq!(o.played_secs, 240.0);
         // Stalls are allowed, but bounded by roughly the dip length.
         assert!(o.rebuffer_secs < 70.0, "stalled {}s", o.rebuffer_secs);
+    }
+}
+
+#[test]
+fn abr_recovers_to_pre_dip_quality_after_restoration() {
+    // Not just "rebuffers stay bounded during the dip": once capacity
+    // returns to 40 Mbps at t = 120 s, the ABR must climb back to within
+    // one ladder rung of its pre-dip quality by the end of the title.
+    for name in ["production", "sammy"] {
+        for dip_mbps in [2.0, 0.4] {
+            let o = run_with_dip(abr_by_name(name), dip_mbps);
+            assert_eq!(o.state, PlayerState::Ended, "{name} dip {dip_mbps}");
+            // Pre-dip steady state: the best rung reached in the first ten
+            // chunks (all requested well before the 60 s dip).
+            let pre_dip = *o.rungs[..10].iter().max().expect("pre-dip chunks");
+            // The dip forced a downshift — otherwise this test is vacuous.
+            let during_min = *o.rungs.iter().min().unwrap();
+            assert!(
+                during_min < pre_dip,
+                "{name} dip {dip_mbps}: no downshift observed (rungs {:?})",
+                o.rungs
+            );
+            // Recovery: every one of the final five chunks is back within
+            // one rung of the pre-dip level.
+            let tail = &o.rungs[o.rungs.len() - 5..];
+            for (i, &r) in tail.iter().enumerate() {
+                assert!(
+                    r + 1 >= pre_dip,
+                    "{name} dip {dip_mbps}: tail chunk {i} at rung {r}, \
+                     pre-dip {pre_dip} (tail {tail:?})"
+                );
+            }
+        }
+    }
+}
+
+fn abr_by_name(name: &str) -> Box<dyn Abr> {
+    match name {
+        "production" => production(),
+        _ => sammy(),
     }
 }
 
