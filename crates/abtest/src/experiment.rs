@@ -9,7 +9,7 @@
 //! that also establishes each user's pre-experiment p95 chunk throughput
 //! for the Fig 3 bucketing.
 
-use crate::population::{bucket_of, UserProfile};
+use crate::population::{bucket_of, draw_population, PopulationConfig, UserProfile};
 use crate::stats::{
     compare_paired, paired_delta, percentile, Aggregate, PairedDelta, PercentChange,
 };
@@ -17,8 +17,8 @@ use abr::{
     initial_rung_for, shared_history, HistoryPolicy, InitialSelectorConfig, Mpc, ProductionAbr,
     SharedHistory,
 };
-use fluidsim::{run_session, FluidConfig, SessionOutcome, SessionParams, StartPolicy};
-use netsim::SimDuration;
+use fluidsim::{FluidConfig, SessionBuilder, SessionOutcome};
+use netsim::{SimDuration, SimError};
 use sammy_core::{NaivePacedAbr, PaceSelector, Sammy, SammyConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -130,6 +130,26 @@ impl ExperimentConfig {
                 .unwrap_or(1)
         }
     }
+
+    /// Reject configurations that cannot produce a meaningful experiment.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let invalid = |field: &'static str, reason: &str| {
+            Err(SimError::InvalidConfig {
+                field,
+                reason: reason.to_string(),
+            })
+        };
+        if self.users_per_arm == 0 {
+            return invalid("users_per_arm", "must be at least 1");
+        }
+        if self.sessions_per_user == 0 {
+            return invalid("sessions_per_user", "must be at least 1");
+        }
+        if self.bootstrap_reps == 0 {
+            return invalid("bootstrap_reps", "must be at least 1");
+        }
+        Ok(())
+    }
 }
 
 /// Per-session record kept by the harness.
@@ -231,6 +251,7 @@ pub fn run_user(user: &UserProfile, arm: Arm, cfg: &ExperimentConfig) -> Vec<Ses
                 (cfg.pre_sessions + s) as u64,
                 cfg.seed,
             );
+            obs::counter!("abtest.sessions", 1);
             SessionRecord {
                 user: user.id,
                 pre_p95_mbps: pre_p95,
@@ -253,75 +274,226 @@ fn run_one(
     let estimate = history.discounted_estimate();
     let predicted_rung = initial_rung_for(estimate, &title.ladder, init_cfg);
     let abr = arm.build_abr(history.clone());
-    let outcome = run_session(SessionParams {
-        profile: &user.network,
-        title,
-        abr,
-        start: StartPolicy::default(),
-        history_estimate: estimate,
-        predicted_initial_rung: predicted_rung,
-        max_wall_clock: user.title_duration * 3 + SimDuration::from_secs(120),
-        seed: user
-            .seed
-            .wrapping_add(session_idx.wrapping_mul(0xA24B_AED4_963E_E407))
-            .wrapping_add(seed),
-        fluid: *fluid,
-        max_buffer: SimDuration::from_secs(240),
-        startup_latency: user.startup_latency,
-    });
+    let outcome = SessionBuilder::new(&user.network, title, abr)
+        .history_estimate(estimate)
+        .predicted_initial_rung(predicted_rung)
+        .max_wall_clock(user.title_duration * 3 + SimDuration::from_secs(120))
+        .seed(
+            user.seed
+                .wrapping_add(session_idx.wrapping_mul(0xA24B_AED4_963E_E407))
+                .wrapping_add(seed),
+        )
+        .fluid(*fluid)
+        .startup_latency(user.startup_latency)
+        .run();
     // Fold this session's samples into the device's historical store.
     history.end_session();
     outcome
 }
 
-/// Run a full two-arm experiment over a pre-drawn population, as a
-/// *paired* design: every user runs both arms with identical titles,
-/// seeds, and pre-experiment history.
+/// The single entry point for running experiments.
 ///
-/// A production A/B test must randomize users between arms and rely on
-/// scale to wash out population imbalance (the paper's tests cover
-/// thousands of user-years). A simulator can do better: it can run the
-/// exact counterfactual. Pairing removes all between-user variance from
-/// the comparison; CIs come from a cluster bootstrap over users
-/// ([`compare_paired`]).
+/// Replaces the `run_experiment` / `run_experiment_serial` /
+/// `run_experiment_detailed` trio: one builder, one `run()`, one result
+/// type. See [`ExperimentBuilder`] for the options.
 ///
-/// This is the sharded runner: the population is distributed over
-/// `cfg.threads` workers (0 = all cores), each running complete paired
-/// user sessions. Every session's randomness derives only from the user's
-/// seed and the session index, and per-user results are merged back in
-/// population order, so the output is **bit-identical** to
-/// [`run_experiment_serial`] for every thread count and scheduling.
+/// ```ignore
+/// let run = Experiment::builder()
+///     .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+///     .threads(8)
+///     .detailed(true)
+///     .run()?;
+/// println!("{}", run.report(600, 5).render());
+/// ```
+pub struct Experiment;
+
+impl Experiment {
+    /// Start configuring an experiment.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+}
+
+/// Options for [`Experiment::builder`].
 ///
-/// A panicking user session propagates, matching the serial runner; use
-/// [`run_experiment_detailed`] to isolate failures per user instead.
+/// Defaults: production vs. Sammy (§4.3 parameters), the default
+/// [`ExperimentConfig`], a population drawn internally from
+/// [`PopulationConfig::default`], the sharded runner over all cores, and
+/// fail-fast semantics (`detailed(false)`).
+pub struct ExperimentBuilder {
+    cfg: ExperimentConfig,
+    control: Arm,
+    treatment: Arm,
+    population: Option<Vec<UserProfile>>,
+    population_cfg: PopulationConfig,
+    detailed: bool,
+    serial_reference: bool,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        ExperimentBuilder {
+            cfg: ExperimentConfig::default(),
+            control: Arm::Production,
+            treatment: Arm::Sammy { c0: 3.2, c1: 2.8 },
+            population: None,
+            population_cfg: PopulationConfig::default(),
+            detailed: false,
+            serial_reference: false,
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// The control arm (default: [`Arm::Production`]).
+    pub fn control(mut self, arm: Arm) -> Self {
+        self.control = arm;
+        self
+    }
+
+    /// The treatment arm (default: Sammy with production parameters).
+    pub fn treatment(mut self, arm: Arm) -> Self {
+        self.treatment = arm;
+        self
+    }
+
+    /// Run over an explicit pre-drawn population instead of drawing one
+    /// from the population config at `run()`.
+    pub fn population(mut self, population: &[UserProfile]) -> Self {
+        self.population = Some(population.to_vec());
+        self
+    }
+
+    /// The population model used when no explicit population is given.
+    pub fn population_config(mut self, cfg: PopulationConfig) -> Self {
+        self.population_cfg = cfg;
+        self
+    }
+
+    /// Replace the whole [`ExperimentConfig`] at once.
+    pub fn config(mut self, cfg: ExperimentConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Users per arm (ignored when an explicit population is set).
+    pub fn users_per_arm(mut self, n: usize) -> Self {
+        self.cfg.users_per_arm = n;
+        self
+    }
+
+    /// Pre-experiment sessions per user.
+    pub fn pre_sessions(mut self, n: usize) -> Self {
+        self.cfg.pre_sessions = n;
+        self
+    }
+
+    /// Experiment sessions per user.
+    pub fn sessions_per_user(mut self, n: usize) -> Self {
+        self.cfg.sessions_per_user = n;
+        self
+    }
+
+    /// Seed for population and session randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Bootstrap replicates for CIs.
+    pub fn bootstrap_reps(mut self, n: usize) -> Self {
+        self.cfg.bootstrap_reps = n;
+        self
+    }
+
+    /// Worker threads (0 = all cores). Results are bit-identical for every
+    /// value — per-user results (and telemetry registries) merge back in
+    /// population order.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// `true`: isolate per-user panics and report them in
+    /// [`ExperimentRun::failures`]. `false` (default): the first failure
+    /// aborts the run with [`SimError::Experiment`].
+    pub fn detailed(mut self, detailed: bool) -> Self {
+        self.detailed = detailed;
+        self
+    }
+
+    /// Use the reference single-threaded runner instead of the sharded
+    /// pool. Kept (and tested) forever so the sharded runner's
+    /// bit-identical-equivalence guarantee stays falsifiable. Panics
+    /// propagate (the reference has no isolation boundary).
+    pub fn serial_reference(mut self, serial: bool) -> Self {
+        self.serial_reference = serial;
+        self
+    }
+
+    /// Validate the configuration and run the experiment.
+    ///
+    /// The paired design: every user runs both arms with identical titles,
+    /// seeds, and pre-experiment history, removing all between-user
+    /// variance from the comparison (a simulator can run the exact
+    /// counterfactual; production tests need scale instead). CIs come from
+    /// a cluster bootstrap over users ([`compare_paired`]).
+    pub fn run(self) -> Result<ExperimentRun, SimError> {
+        self.cfg.validate()?;
+        let drawn;
+        let population: &[UserProfile] = match &self.population {
+            Some(p) => p,
+            None => {
+                drawn =
+                    draw_population(&self.population_cfg, self.cfg.users_per_arm, self.cfg.seed);
+                &drawn
+            }
+        };
+        let run = if self.serial_reference {
+            run_serial_impl(population, self.control, self.treatment, &self.cfg)
+        } else {
+            run_detailed_impl(population, self.control, self.treatment, &self.cfg)
+        };
+        if !self.detailed {
+            if let Some(f) = run.failures.first() {
+                return Err(SimError::Experiment(format!(
+                    "session for user {} panicked: {}",
+                    f.user, f.message
+                )));
+            }
+        }
+        Ok(run)
+    }
+}
+
+/// Run a full two-arm experiment over a pre-drawn population.
+#[deprecated(since = "0.1.0", note = "use `Experiment::builder()...run()`")]
 pub fn run_experiment(
     population: &[UserProfile],
     control: Arm,
     treatment: Arm,
     cfg: &ExperimentConfig,
 ) -> (ArmResult, ArmResult) {
-    let run = run_experiment_detailed(population, control, treatment, cfg);
+    let run = run_detailed_impl(population, control, treatment, cfg);
     if let Some(f) = run.failures.first() {
         panic!("session for user {} panicked: {}", f.user, f.message);
     }
     (run.control, run.treatment)
 }
 
-/// The reference single-threaded runner. Kept (and tested) forever so the
-/// sharded runner's bit-identical-equivalence guarantee stays falsifiable.
+/// The reference single-threaded runner.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::builder().serial_reference(true)...run()`"
+)]
 pub fn run_experiment_serial(
     population: &[UserProfile],
     control: Arm,
     treatment: Arm,
     cfg: &ExperimentConfig,
 ) -> (ArmResult, ArmResult) {
-    let mut c = ArmResult::default();
-    let mut t = ArmResult::default();
-    for user in population.iter() {
-        c.sessions.extend(run_user(user, control, cfg));
-        t.sessions.extend(run_user(user, treatment, cfg));
-    }
-    (c, t)
+    let run = run_serial_impl(population, control, treatment, cfg);
+    (run.control, run.treatment)
 }
 
 /// A user whose sessions panicked mid-experiment (isolated by the sharded
@@ -336,8 +508,8 @@ pub struct UserFailure {
     pub message: String,
 }
 
-/// Result of [`run_experiment_detailed`]: merged arms plus any per-user
-/// failures.
+/// Result of a run: merged arms plus any per-user failures and the merged
+/// telemetry registry.
 #[derive(Debug, Clone, Default)]
 pub struct ExperimentRun {
     /// Control-arm sessions of every successful user, population order.
@@ -346,10 +518,42 @@ pub struct ExperimentRun {
     pub treatment: ArmResult,
     /// Users whose sessions panicked, population order.
     pub failures: Vec<UserFailure>,
+    /// Telemetry of every successful user, merged in population order.
+    /// Empty unless the `obs` feature is on; its deterministic sink
+    /// ([`obs::Registry::to_jsonl`]) is byte-identical for every thread
+    /// count on a fixed seed.
+    pub metrics: obs::Registry,
+}
+
+impl ExperimentRun {
+    /// The Table 2-style report comparing treatment to control.
+    pub fn report(&self, reps: usize, seed: u64) -> Report {
+        Report::build(&self.control, &self.treatment, reps, seed)
+    }
 }
 
 /// Paired per-user records: (control sessions, treatment sessions).
 type UserSessions = (Vec<SessionRecord>, Vec<SessionRecord>);
+
+/// Run both arms for one user inside a fresh telemetry registry, returning
+/// the registry alongside the records so shards can merge deterministically
+/// at the user granularity. The caller's registry is restored afterwards.
+fn run_user_pair(
+    user: &UserProfile,
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+) -> (UserSessions, obs::Registry) {
+    let outer = obs::install(obs::Registry::new());
+    let pair = {
+        #[cfg(feature = "obs")]
+        let _wall = obs::WallTimer::start("abtest.user_wall");
+        obs::counter!("abtest.users", 1);
+        (run_user(user, control, cfg), run_user(user, treatment, cfg))
+    };
+    let per_user = obs::install(outer);
+    (pair, per_user)
+}
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -362,6 +566,40 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// The sharded runner with per-user panic isolation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::builder().detailed(true)...run()`"
+)]
+pub fn run_experiment_detailed(
+    population: &[UserProfile],
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+) -> ExperimentRun {
+    run_detailed_impl(population, control, treatment, cfg)
+}
+
+/// The reference single-threaded runner behind
+/// [`ExperimentBuilder::serial_reference`]. Performs the identical
+/// per-user registry swap as the sharded runner so telemetry is
+/// byte-identical too.
+fn run_serial_impl(
+    population: &[UserProfile],
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+) -> ExperimentRun {
+    let mut run = ExperimentRun::default();
+    for user in population.iter() {
+        let ((c, t), metrics) = run_user_pair(user, control, treatment, cfg);
+        run.control.sessions.extend(c);
+        run.treatment.sessions.extend(t);
+        run.metrics.merge(&metrics);
+    }
+    run
+}
+
+/// The sharded runner with per-user panic isolation.
 ///
 /// Workers pull user indices from a shared counter (dynamic load balance —
 /// session counts vary wildly between users), run both arms for the user,
@@ -369,8 +607,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// sessions is caught at the user boundary: the worker records the payload
 /// and moves on, the pool keeps draining, and the slot `Mutex`es recover
 /// rather than poison. Slots are merged in population order afterwards, so
-/// successful users' records are bit-identical to the serial runner's.
-pub fn run_experiment_detailed(
+/// successful users' records — and telemetry registries — are
+/// bit-identical to the serial runner's.
+fn run_detailed_impl(
     population: &[UserProfile],
     control: Arm,
     treatment: Arm,
@@ -379,9 +618,11 @@ pub fn run_experiment_detailed(
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    type UserSlot = Result<(UserSessions, obs::Registry), String>;
+
     let threads = cfg.effective_threads().min(population.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<Result<UserSessions, String>>>> = population
+    let slots: Vec<parking_lot::Mutex<Option<UserSlot>>> = population
         .iter()
         .map(|_| parking_lot::Mutex::new(None))
         .collect();
@@ -394,8 +635,12 @@ pub fn run_experiment_detailed(
                     break;
                 }
                 let user = &population[i];
+                // A panic leaves the user's partial registry in the
+                // worker's thread-local; the next run_user_pair replaces
+                // it, so failed users contribute no telemetry (keeping the
+                // merged registry deterministic).
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    (run_user(user, control, cfg), run_user(user, treatment, cfg))
+                    run_user_pair(user, control, treatment, cfg)
                 }))
                 .map_err(panic_message);
                 *slots[i].lock() = Some(result);
@@ -407,9 +652,10 @@ pub fn run_experiment_detailed(
     let mut run = ExperimentRun::default();
     for (i, slot) in slots.into_iter().enumerate() {
         match slot.into_inner().expect("worker pool drained every user") {
-            Ok((c, t)) => {
+            Ok(((c, t), metrics)) => {
                 run.control.sessions.extend(c);
                 run.treatment.sessions.extend(t);
+                run.metrics.merge(&metrics);
             }
             Err(message) => {
                 run.failures.push(UserFailure {
@@ -610,10 +856,13 @@ mod tests {
     #[test]
     fn sammy_reduces_chunk_throughput_maintains_vmaf() {
         let cfg = tiny_cfg();
-        let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
-        let (c, t) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
-        assert!(!c.sessions.is_empty() && !t.sessions.is_empty());
-        let report = Report::build(&c, &t, cfg.bootstrap_reps, 5);
+        let run = Experiment::builder()
+            .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        assert!(!run.control.sessions.is_empty() && !run.treatment.sessions.is_empty());
+        let report = run.report(cfg.bootstrap_reps, 5);
 
         let tput = &report.row("Chunk Throughput").unwrap().change;
         assert!(
@@ -643,8 +892,13 @@ mod tests {
             threads: 0,
         };
         let pop = draw_population(&PopulationConfig::default(), 12, 3);
-        let (c, t) = run_experiment(&pop, Arm::Production, Arm::Production, &cfg);
-        let report = Report::build(&c, &t, 50, 1);
+        let run = Experiment::builder()
+            .population(&pop)
+            .treatment(Arm::Production)
+            .config(cfg)
+            .run()
+            .unwrap();
+        let report = run.report(50, 1);
         let s = report.render();
         assert!(s.contains("Chunk Throughput"));
         assert!(s.contains("Play Delay"));
@@ -657,8 +911,13 @@ mod tests {
         // deterministic, so every metric change is exactly zero.
         let cfg = tiny_cfg();
         let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 21);
-        let (c, t) = run_experiment(&pop, Arm::Production, Arm::Production, &cfg);
-        let report = Report::build(&c, &t, cfg.bootstrap_reps, 9);
+        let run = Experiment::builder()
+            .population(&pop)
+            .treatment(Arm::Production)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let report = run.report(cfg.bootstrap_reps, 9);
         for row in &report.rows {
             assert!(
                 row.change.pct_change == 0.0 || row.change.pct_change.is_nan(),
@@ -668,5 +927,102 @@ mod tests {
             );
             assert!(!row.change.significant(), "A/A {} significant", row.name);
         }
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        let err = Experiment::builder().users_per_arm(0).run().unwrap_err();
+        assert!(err.to_string().contains("users_per_arm"), "{err}");
+        assert!(Experiment::builder().sessions_per_user(0).run().is_err());
+        assert!(Experiment::builder().bootstrap_reps(0).run().is_err());
+    }
+
+    #[test]
+    fn builder_matches_deprecated_entry_points() {
+        let cfg = ExperimentConfig {
+            users_per_arm: 8,
+            pre_sessions: 1,
+            sessions_per_user: 1,
+            seed: 13,
+            bootstrap_reps: 50,
+            threads: 2,
+        };
+        let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
+        let treatment = Arm::Sammy { c0: 3.2, c1: 2.8 };
+        #[allow(deprecated)]
+        let (oc, ot) = run_experiment(&pop, Arm::Production, treatment, &cfg);
+        let new = Experiment::builder()
+            .population(&pop)
+            .treatment(treatment)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        assert_eq!(oc.sessions, new.control.sessions);
+        assert_eq!(ot.sessions, new.treatment.sessions);
+
+        // The serial reference produces the identical records.
+        let serial = Experiment::builder()
+            .population(&pop)
+            .treatment(treatment)
+            .config(cfg)
+            .serial_reference(true)
+            .run()
+            .unwrap();
+        assert_eq!(serial.control.sessions, new.control.sessions);
+        assert_eq!(serial.treatment.sessions, new.treatment.sessions);
+    }
+
+    #[test]
+    fn builder_draws_population_when_none_given() {
+        let cfg = ExperimentConfig {
+            users_per_arm: 5,
+            pre_sessions: 1,
+            sessions_per_user: 1,
+            seed: 17,
+            bootstrap_reps: 50,
+            threads: 2,
+        };
+        let explicit = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
+        let drawn = Experiment::builder()
+            .treatment(Arm::Production)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let given = Experiment::builder()
+            .population(&explicit)
+            .treatment(Arm::Production)
+            .config(cfg)
+            .run()
+            .unwrap();
+        assert_eq!(drawn.control.sessions, given.control.sessions);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn metrics_are_thread_count_invariant() {
+        let pop = draw_population(&PopulationConfig::default(), 6, 23);
+        let jsonl: Vec<String> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let run = Experiment::builder()
+                    .population(&pop)
+                    .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+                    .config(ExperimentConfig {
+                        users_per_arm: 6,
+                        pre_sessions: 1,
+                        sessions_per_user: 1,
+                        seed: 23,
+                        bootstrap_reps: 50,
+                        threads,
+                    })
+                    .run()
+                    .unwrap();
+                run.metrics.to_jsonl()
+            })
+            .collect();
+        assert!(!jsonl[0].is_empty());
+        assert_eq!(jsonl[0], jsonl[1]);
+        assert!(jsonl[0].contains("abtest.sessions"));
+        assert!(jsonl[0].contains("fluidsim.chunks"));
     }
 }

@@ -26,9 +26,11 @@ pub mod population;
 pub mod stats;
 pub mod sweep;
 
+#[allow(deprecated)]
+pub use experiment::{run_experiment, run_experiment_detailed, run_experiment_serial};
 pub use experiment::{
-    run_experiment, run_experiment_detailed, run_experiment_serial, run_user, throughput_by_bucket,
-    Arm, ArmResult, ExperimentConfig, ExperimentRun, MetricRow, Report, SessionRecord, UserFailure,
+    run_user, throughput_by_bucket, Arm, ArmResult, Experiment, ExperimentBuilder,
+    ExperimentConfig, ExperimentRun, MetricRow, Report, SessionRecord, UserFailure,
 };
 pub use longitudinal::{run_cold_start, ColdStartConfig, ColdStartResult};
 pub use optimize::{search, Candidate, QoeGuards, SearchOutcome};

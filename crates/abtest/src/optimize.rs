@@ -11,8 +11,9 @@
 //! Fig 5 to the lowest throughput that still Pareto-improves QoE — without
 //! pretending to reproduce Ax internals.
 
-use crate::experiment::{run_experiment, Arm, ExperimentConfig, Report};
+use crate::experiment::{Arm, Experiment, ExperimentConfig};
 use crate::population::UserProfile;
+use netsim::SimError;
 use serde::{Deserialize, Serialize};
 
 /// Constraints an acceptable arm must satisfy (percent-change bounds vs
@@ -71,13 +72,26 @@ pub struct SearchOutcome {
 ///
 /// `rounds` of evaluation, each refining around the best survivor. The
 /// objective is minimal chunk throughput subject to the QoE guards.
+/// Rejects a zero-round or empty-population setup before any simulation.
 pub fn search(
     population: &[UserProfile],
     cfg: &ExperimentConfig,
     guards: QoeGuards,
     rounds: usize,
-) -> SearchOutcome {
-    assert!(rounds >= 1, "need at least one round");
+) -> Result<SearchOutcome, SimError> {
+    cfg.validate()?;
+    if rounds == 0 {
+        return Err(SimError::InvalidConfig {
+            field: "rounds",
+            reason: "need at least one round".into(),
+        });
+    }
+    if population.is_empty() {
+        return Err(SimError::InvalidConfig {
+            field: "population",
+            reason: "search needs at least one user".into(),
+        });
+    }
     let mut center = (3.0, 3.0);
     let mut spread = 1.6;
     let mut trace: Vec<Candidate> = Vec::new();
@@ -92,7 +106,7 @@ pub fn search(
             {
                 continue;
             }
-            let cand = evaluate(population, cfg, c0, c1, guards);
+            let cand = evaluate(population, cfg, c0, c1, guards)?;
             trace.push(cand);
         }
         if let Some(best) = best_feasible(&trace) {
@@ -112,11 +126,11 @@ pub fn search(
                 .expect("non-empty trace")
                 .clone()
         });
-    SearchOutcome {
+    Ok(SearchOutcome {
         best,
         trace,
         rounds,
-    }
+    })
 }
 
 fn round_grid(center: (f64, f64), spread: f64) -> Vec<(f64, f64)> {
@@ -143,10 +157,14 @@ fn evaluate(
     c0: f64,
     c1: f64,
     guards: QoeGuards,
-) -> Candidate {
-    let (control, treatment) =
-        run_experiment(population, Arm::Production, Arm::Sammy { c0, c1 }, cfg);
-    let report = Report::build(&control, &treatment, cfg.bootstrap_reps, cfg.seed);
+) -> Result<Candidate, SimError> {
+    let run = Experiment::builder()
+        .population(population)
+        .control(Arm::Production)
+        .treatment(Arm::Sammy { c0, c1 })
+        .config(cfg.clone())
+        .run()?;
+    let report = run.report(cfg.bootstrap_reps, cfg.seed);
     let get = |name: &str| {
         report
             .row(name)
@@ -167,7 +185,7 @@ fn evaluate(
     let feasible = vmaf_pct >= guards.min_vmaf_pct
         && play_delay_pct <= guards.max_play_delay_pct
         && rebuffer_pct <= guards.max_rebuffer_pct;
-    Candidate {
+    Ok(Candidate {
         c0,
         c1,
         tput_pct,
@@ -175,7 +193,7 @@ fn evaluate(
         play_delay_pct,
         rebuffer_pct,
         feasible,
-    }
+    })
 }
 
 fn best_feasible(trace: &[Candidate]) -> Option<&Candidate> {
@@ -201,7 +219,7 @@ mod tests {
             threads: 0,
         };
         let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 6);
-        let out = search(&pop, &cfg, QoeGuards::default(), 2);
+        let out = search(&pop, &cfg, QoeGuards::default(), 2).unwrap();
         assert!(out.rounds == 2);
         assert!(!out.trace.is_empty());
         let b = &out.best;
@@ -231,7 +249,7 @@ mod tests {
             min_vmaf_pct: 5.0,
             ..Default::default()
         };
-        let out = search(&pop, &cfg, guards, 1);
+        let out = search(&pop, &cfg, guards, 1).unwrap();
         assert!(!out.best.feasible);
         // Fallback is the most conservative (largest multipliers) candidate.
         let max_sum = out
@@ -240,6 +258,14 @@ mod tests {
             .map(|c| c.c0 + c.c1)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((out.best.c0 + out.best.c1 - max_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_rejects_bad_setups() {
+        let cfg = ExperimentConfig::default();
+        let pop = draw_population(&PopulationConfig::default(), 3, 4);
+        assert!(search(&pop, &cfg, QoeGuards::default(), 0).is_err());
+        assert!(search(&[], &cfg, QoeGuards::default(), 1).is_err());
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! several rounds of A/B tests; the published artifact is the tradeoff
 //! curve itself, which a deterministic sweep reproduces.
 
-use crate::experiment::{run_experiment, Arm, ExperimentConfig, Report};
+use crate::experiment::{Arm, Experiment, ExperimentConfig};
 use crate::population::UserProfile;
+use netsim::SimError;
 use serde::{Deserialize, Serialize};
 
 /// One sweep point: a Sammy parameter setting and its measured changes.
@@ -46,29 +47,56 @@ pub fn default_grid() -> Vec<(f64, f64)> {
 }
 
 /// Run the sweep: one experiment per `(c0, c1)` against a shared control.
+///
+/// Rejects an empty population, an empty grid, or non-positive multipliers
+/// before any simulation runs.
 pub fn run_sweep(
     population: &[UserProfile],
     grid: &[(f64, f64)],
     cfg: &ExperimentConfig,
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, SimError> {
+    cfg.validate()?;
+    if population.is_empty() {
+        return Err(SimError::InvalidConfig {
+            field: "population",
+            reason: "sweep needs at least one user".into(),
+        });
+    }
+    if grid.is_empty() {
+        return Err(SimError::InvalidConfig {
+            field: "grid",
+            reason: "sweep needs at least one (c0, c1) arm".into(),
+        });
+    }
+    if let Some(&(c0, c1)) = grid.iter().find(|(c0, c1)| *c0 <= 0.0 || *c1 <= 0.0) {
+        return Err(SimError::InvalidConfig {
+            field: "grid",
+            reason: format!("pace multipliers must be positive, got ({c0}, {c1})"),
+        });
+    }
     grid.iter()
         .map(|&(c0, c1)| {
-            let (c, t) = run_experiment(population, Arm::Production, Arm::Sammy { c0, c1 }, cfg);
-            let report = Report::build(&c, &t, cfg.bootstrap_reps, cfg.seed);
+            let run = Experiment::builder()
+                .population(population)
+                .control(Arm::Production)
+                .treatment(Arm::Sammy { c0, c1 })
+                .config(cfg.clone())
+                .run()?;
+            let report = run.report(cfg.bootstrap_reps, cfg.seed);
             let get = |name: &str| {
                 report
                     .row(name)
                     .map(|r| r.change.pct_change)
                     .unwrap_or(f64::NAN)
             };
-            SweepPoint {
+            Ok(SweepPoint {
                 c0,
                 c1,
                 tput_pct: get("Chunk Throughput"),
                 vmaf_pct: get("VMAF"),
                 play_delay_pct: get("Play Delay"),
                 rebuffer_pct: get("Rebuffers (/ hr)"),
-            }
+            })
         })
         .collect()
 }
@@ -98,10 +126,25 @@ mod tests {
             threads: 0,
         };
         let pop = draw_population(&PopulationConfig::default(), 50, 4);
-        let pts = run_sweep(&pop, &[(1.6, 1.2), (5.0, 5.0)], &cfg);
+        let pts = run_sweep(&pop, &[(1.6, 1.2), (5.0, 5.0)], &cfg).unwrap();
         assert!(
             pts[0].tput_pct < pts[1].tput_pct,
             "aggressive pacing must cut throughput more: {pts:?}"
         );
+    }
+
+    #[test]
+    fn sweep_rejects_bad_setups() {
+        let cfg = ExperimentConfig::default();
+        let pop = draw_population(&PopulationConfig::default(), 3, 4);
+        assert!(run_sweep(&[], &[(3.2, 2.8)], &cfg).is_err());
+        assert!(run_sweep(&pop, &[], &cfg).is_err());
+        assert!(run_sweep(&pop, &[(0.0, 2.8)], &cfg).is_err());
+        assert!(run_sweep(&pop, &[(3.2, -1.0)], &cfg).is_err());
+        let bad = ExperimentConfig {
+            users_per_arm: 0,
+            ..cfg
+        };
+        assert!(run_sweep(&pop, &[(3.2, 2.8)], &bad).is_err());
     }
 }

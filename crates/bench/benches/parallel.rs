@@ -1,5 +1,5 @@
 //! Scaling benchmark for the sharded experiment runner: the same 1000-user
-//! paired A/B experiment through `run_experiment_serial` and through the
+//! paired A/B experiment through the serial reference and through the
 //! parallel runner at several worker counts. On a ≥4-core machine the
 //! 4-thread run should finish at least ~3× faster than serial; on fewer
 //! cores the parallel runner degrades gracefully to serial speed.
@@ -7,9 +7,7 @@
 //! The equivalence test (`tests/end_to_end.rs`) separately proves the
 //! outputs are bit-identical, so this bench measures pure wall-clock.
 
-use abtest::{
-    draw_population, run_experiment, run_experiment_serial, Arm, ExperimentConfig, PopulationConfig,
-};
+use abtest::{draw_population, Arm, Experiment, ExperimentConfig, PopulationConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const USERS: usize = 1000;
@@ -34,11 +32,26 @@ fn bench_experiment_scaling(c: &mut Criterion) {
     g.throughput(Throughput::Elements(USERS as u64));
 
     g.bench_function("serial", |b| {
-        b.iter(|| run_experiment_serial(&pop, Arm::Production, treatment, &cfg(1)))
+        b.iter(|| {
+            Experiment::builder()
+                .population(&pop)
+                .treatment(treatment)
+                .config(cfg(1))
+                .serial_reference(true)
+                .run()
+                .unwrap()
+        })
     });
     for threads in [1usize, 2, 4, 8] {
         g.bench_function(&format!("parallel_{threads}"), |b| {
-            b.iter(|| run_experiment(&pop, Arm::Production, treatment, &cfg(threads)))
+            b.iter(|| {
+                Experiment::builder()
+                    .population(&pop)
+                    .treatment(treatment)
+                    .config(cfg(threads))
+                    .run()
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -16,6 +16,8 @@
 //! - `--tolerance P` regression threshold in percent (default 10)
 //! - `--no-write`   measure and compare without writing a new file
 //! - `--strict`     exit non-zero if any regression is flagged
+//! - `--metrics PATH` write the battery's telemetry registry as JSON lines
+//!   (needs `--features obs`; '-' renders the pretty table to stdout)
 
 use sammy_bench::json;
 use sammy_bench::perf::{self, BatteryConfig};
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
     let mut tolerance = 10.0f64;
     let mut write = true;
     let mut strict = false;
+    let mut metrics: Option<String> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -42,12 +45,15 @@ fn main() -> ExitCode {
             }
             "--no-write" => write = false,
             "--strict" => strict = true,
+            "--metrics" => metrics = Some(it.next().expect("--metrics needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    // Start from a clean registry so `--metrics` reflects this run only.
+    let _ = obs::take();
 
     let cfg = if quick {
         BatteryConfig::quick()
@@ -112,6 +118,21 @@ fn main() -> ExitCode {
         json::parse(&doc).expect("emitted JSON must parse");
         std::fs::write(&path, doc).expect("write BENCH file");
         println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = metrics {
+        let registry = obs::take();
+        if registry.is_empty() {
+            eprintln!("note: no metrics recorded; rebuild with `--features obs`");
+        }
+        if path == "-" {
+            print!("{}", registry.render_table());
+        } else {
+            registry
+                .write_jsonl(std::path::Path::new(&path))
+                .expect("write metrics file");
+            println!("wrote metrics to {path}");
+        }
     }
 
     if strict && regressions > 0 {

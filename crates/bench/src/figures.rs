@@ -5,9 +5,8 @@
 //! a laptop; the binary accepts a `--scale` factor for larger runs.
 
 use abtest::{
-    bucket_label, default_grid, draw_population, run_cold_start, run_experiment, run_sweep,
-    throughput_by_bucket, Arm, ColdStartConfig, ExperimentConfig, PopulationConfig, Report,
-    SweepPoint,
+    bucket_label, default_grid, draw_population, run_cold_start, run_sweep, throughput_by_bucket,
+    Arm, ColdStartConfig, Experiment, ExperimentConfig, PopulationConfig, Report, SweepPoint,
 };
 use sammy_core::analysis::{fig2a_selection_curve, fig2b_threshold_curve};
 
@@ -32,29 +31,39 @@ pub fn experiment_config(scale: f64, seed: u64, threads: usize) -> ExperimentCon
 pub fn table2(scale: f64, seed: u64, threads: usize) -> Report {
     let cfg = experiment_config(scale, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed);
-    let (c, t) = run_experiment(&pop, Arm::Production, SAMMY_PROD, &cfg);
-    Report::build(&c, &t, cfg.bootstrap_reps, seed)
+    let run = Experiment::builder()
+        .population(&pop)
+        .treatment(SAMMY_PROD)
+        .config(cfg.clone())
+        .run()
+        .expect("table2 setup is valid");
+    run.report(cfg.bootstrap_reps, seed)
 }
 
 /// Table 3: initial-phase changes only (no pacing) vs production.
 pub fn table3(scale: f64, seed: u64, threads: usize) -> Report {
     let cfg = experiment_config(scale, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 1);
-    let (c, t) = run_experiment(&pop, Arm::Production, Arm::InitialOnly, &cfg);
-    Report::build(&c, &t, cfg.bootstrap_reps, seed + 1)
+    let run = Experiment::builder()
+        .population(&pop)
+        .treatment(Arm::InitialOnly)
+        .config(cfg.clone())
+        .run()
+        .expect("table3 setup is valid");
+    run.report(cfg.bootstrap_reps, seed + 1)
 }
 
 /// §5.5: the naive constant-4x baseline vs production.
 pub fn baseline_4x(scale: f64, seed: u64, threads: usize) -> Report {
     let cfg = experiment_config(scale, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 2);
-    let (c, t) = run_experiment(
-        &pop,
-        Arm::Production,
-        Arm::NaivePaced { multiplier: 4.0 },
-        &cfg,
-    );
-    Report::build(&c, &t, cfg.bootstrap_reps, seed + 2)
+    let run = Experiment::builder()
+        .population(&pop)
+        .treatment(Arm::NaivePaced { multiplier: 4.0 })
+        .config(cfg.clone())
+        .run()
+        .expect("baseline setup is valid");
+    run.report(cfg.bootstrap_reps, seed + 2)
 }
 
 /// Fig 3: chunk-throughput change by pre-experiment throughput bucket.
@@ -62,8 +71,13 @@ pub fn baseline_4x(scale: f64, seed: u64, threads: usize) -> Report {
 pub fn fig3(scale: f64, seed: u64, threads: usize) -> Vec<(&'static str, f64, f64, f64)> {
     let cfg = experiment_config(scale * 1.5, seed, threads);
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 3);
-    let (c, t) = run_experiment(&pop, Arm::Production, SAMMY_PROD, &cfg);
-    throughput_by_bucket(&c, &t, cfg.bootstrap_reps, seed + 3)
+    let run = Experiment::builder()
+        .population(&pop)
+        .treatment(SAMMY_PROD)
+        .config(cfg.clone())
+        .run()
+        .expect("fig3 setup is valid");
+    throughput_by_bucket(&run.control, &run.treatment, cfg.bootstrap_reps, seed + 3)
         .into_iter()
         .map(|(b, pc)| (bucket_label(b), pc.pct_change, pc.ci_low, pc.ci_high))
         .collect()
@@ -81,7 +95,7 @@ pub fn fig5(scale: f64, seed: u64, threads: usize) -> Vec<SweepPoint> {
         threads,
     };
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, seed + 4);
-    run_sweep(&pop, &default_grid(), &cfg)
+    run_sweep(&pop, &default_grid(), &cfg).expect("fig5 setup is valid")
 }
 
 /// Fig 6: initial-quality difference over days after a history reset.

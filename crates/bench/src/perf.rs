@@ -13,7 +13,7 @@
 //! the comparison flags only changes beyond a configurable tolerance.
 
 use crate::json::{self, Value};
-use abtest::{draw_population, run_experiment, Arm, ExperimentConfig, PopulationConfig};
+use abtest::{draw_population, Arm, Experiment, ExperimentConfig, PopulationConfig};
 use netsim::prelude::*;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -166,7 +166,7 @@ fn tcp_item(budget: Duration) -> Measurement {
 
 fn fluid_item(budget: Duration) -> Measurement {
     use abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr};
-    use fluidsim::{run_session, FluidConfig, NetworkProfile, SessionParams, StartPolicy};
+    use fluidsim::{NetworkProfile, SessionBuilder};
     use video::{Ladder, Title, TitleConfig, VmafModel};
 
     let title = Arc::new(Title::generate(
@@ -180,19 +180,9 @@ fn fluid_item(budget: Duration) -> Measurement {
             shared_history(),
             HistoryPolicy::AllSamples,
         ));
-        let out = run_session(SessionParams {
-            profile: &profile,
-            title: title.clone(),
-            abr,
-            start: StartPolicy::default(),
-            history_estimate: None,
-            predicted_initial_rung: 2,
-            max_wall_clock: SimDuration::from_secs(3600),
-            seed: 1,
-            fluid: FluidConfig::default(),
-            max_buffer: SimDuration::from_secs(240),
-            startup_latency: SimDuration::ZERO,
-        });
+        let out = SessionBuilder::new(&profile, title.clone(), abr)
+            .seed(1)
+            .run();
         std::hint::black_box(out.chunks);
     });
     Measurement {
@@ -215,9 +205,14 @@ fn table2_item(scale: f64) -> Measurement {
     };
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 2023);
     let t0 = Instant::now();
-    let (c, t) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
+    let run = Experiment::builder()
+        .population(&pop)
+        .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+        .config(cfg)
+        .run()
+        .expect("battery setup is valid");
     let wall = t0.elapsed();
-    std::hint::black_box((c.sessions.len(), t.sessions.len()));
+    std::hint::black_box((run.control.sessions.len(), run.treatment.sessions.len()));
     Measurement {
         name: "table2_small_wall_ms",
         value: wall.as_secs_f64() * 1e3,

@@ -31,4 +31,4 @@ pub use network::{
     capacity_jitter, chunk_capacity_multiplier, download_chunk, ChunkOutcome, FluidConfig,
     NetworkProfile,
 };
-pub use session::{run_session, SessionOutcome, SessionParams, StartPolicy};
+pub use session::{run_session, SessionBuilder, SessionOutcome, SessionParams, StartPolicy};

@@ -123,6 +123,100 @@ pub struct SessionParams<'a> {
     pub startup_latency: SimDuration,
 }
 
+/// Builder for one fluid session: takes the three required inputs (network
+/// profile, title, ABR) and defaults everything else to the lab setup, so
+/// call sites only state what they vary.
+///
+/// ```ignore
+/// let outcome = SessionBuilder::new(&profile, title, abr)
+///     .seed(42)
+///     .start(StartPolicy::Fixed(SimDuration::from_secs(4)))
+///     .run();
+/// ```
+pub struct SessionBuilder<'a> {
+    params: SessionParams<'a>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Start a session on `profile` streaming `title` with `abr`.
+    pub fn new(profile: &'a NetworkProfile, title: Arc<Title>, abr: Box<dyn Abr>) -> Self {
+        SessionBuilder {
+            params: SessionParams {
+                profile,
+                title,
+                abr,
+                start: StartPolicy::default(),
+                history_estimate: None,
+                predicted_initial_rung: 2,
+                max_wall_clock: SimDuration::from_secs(3600),
+                seed: 0,
+                fluid: FluidConfig::default(),
+                max_buffer: SimDuration::from_secs(240),
+                startup_latency: SimDuration::ZERO,
+            },
+        }
+    }
+
+    /// Startup-threshold policy (default: [`StartPolicy::default`]).
+    pub fn start(mut self, start: StartPolicy) -> Self {
+        self.params.start = start;
+        self
+    }
+
+    /// Historical throughput estimate at session start (default: none).
+    pub fn history_estimate(mut self, estimate: Option<Rate>) -> Self {
+        self.params.history_estimate = estimate;
+        self
+    }
+
+    /// Initial-phase rung the ABR will pick (default: 2).
+    pub fn predicted_initial_rung(mut self, rung: usize) -> Self {
+        self.params.predicted_initial_rung = rung;
+        self
+    }
+
+    /// Maximum wall-clock session time before abandonment (default: 1 h).
+    pub fn max_wall_clock(mut self, d: SimDuration) -> Self {
+        self.params.max_wall_clock = d;
+        self
+    }
+
+    /// RNG seed for capacity jitter (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Fluid model tunables (default: [`FluidConfig::default`]).
+    pub fn fluid(mut self, fluid: FluidConfig) -> Self {
+        self.params.fluid = fluid;
+        self
+    }
+
+    /// Player buffer capacity (default: 240 s).
+    pub fn max_buffer(mut self, d: SimDuration) -> Self {
+        self.params.max_buffer = d;
+        self
+    }
+
+    /// Fixed session-setup latency before the first chunk (default: zero).
+    pub fn startup_latency(mut self, d: SimDuration) -> Self {
+        self.params.startup_latency = d;
+        self
+    }
+
+    /// The assembled [`SessionParams`], for drivers that run sessions
+    /// through their own loop.
+    pub fn into_params(self) -> SessionParams<'a> {
+        self.params
+    }
+
+    /// Run the session to completion (or abandonment).
+    pub fn run(self) -> SessionOutcome {
+        run_session(self.params)
+    }
+}
+
 /// Run one session to completion (or abandonment) and report its metrics.
 pub fn run_session(params: SessionParams<'_>) -> SessionOutcome {
     let SessionParams {
@@ -186,6 +280,14 @@ pub fn run_session(params: SessionParams<'_>) -> SessionOutcome {
                 out.rtt.as_millis_f64(),
                 out.download_time.as_secs_f64().max(1e-6),
             );
+            obs::counter!("fluidsim.chunks", 1);
+            obs::span!("fluidsim.chunk_download", out.download_time.as_nanos());
+            obs::trace_event!(
+                ChunkDone,
+                now.as_nanos(),
+                req.index as u64,
+                out.download_time.as_nanos() / 1_000_000
+            );
             total_bytes += req.bytes;
             retx_bytes += req.bytes as f64 * out.loss;
             if out.congested {
@@ -204,6 +306,7 @@ pub fn run_session(params: SessionParams<'_>) -> SessionOutcome {
         }
     }
 
+    obs::counter!("fluidsim.sessions", 1);
     SessionOutcome {
         qoe: player.qoe(),
         avg_chunk_throughput: player.history().weighted_average(),
@@ -336,6 +439,23 @@ mod tests {
         let t = title(4.0);
         let out = run_session(params(&p, t, production(None)));
         assert!(out.qoe.mean_bitrate.unwrap().mbps() < 1.0);
+    }
+
+    #[test]
+    fn builder_matches_explicit_params() {
+        let p = NetworkProfile::fast_cable();
+        let t = title(4.0);
+        let mut prm = params(&p, t.clone(), production(Some(30.0)));
+        prm.start = StartPolicy::default();
+        let explicit = run_session(prm);
+        let built = SessionBuilder::new(&p, t, production(Some(30.0)))
+            .seed(42)
+            .run();
+        assert_eq!(explicit.qoe.mean_vmaf, built.qoe.mean_vmaf);
+        assert_eq!(
+            explicit.chunk_throughputs_mbps,
+            built.chunk_throughputs_mbps
+        );
     }
 
     #[test]

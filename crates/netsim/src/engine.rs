@@ -401,11 +401,17 @@ impl Simulator {
         let link = &mut self.links[via.0];
         match link.enqueue(pkt) {
             EnqueueResult::Accepted => {
+                obs::observe!(
+                    "netsim.link.queue_depth_bytes",
+                    link.queue.occupied_bytes() as f64
+                );
                 if !link.busy {
                     self.kick_link(via);
                 }
             }
             EnqueueResult::Dropped => {
+                obs::counter!("netsim.link.drops", 1);
+                obs::trace_event!(LinkDrop, self.now.as_nanos(), pkt.flow.0, pkt.size);
                 self.flow_stats_mut(pkt.flow).dropped_packets += 1;
             }
         }
@@ -434,6 +440,7 @@ impl Simulator {
             (Some(_), None) => false,
             (Some(p), Some(t)) => t < p,
         };
+        obs::counter!("netsim.engine.events", 1);
         if take_timer {
             let e = self.timers.pop().expect("peeked entry vanished");
             debug_assert!(e.at >= self.now, "time went backwards");

@@ -1,0 +1,109 @@
+//! [`SimError`] — the workspace-wide error type.
+//!
+//! Fallible configuration and setup paths across the workspace (experiment
+//! config validation, ladder parsing, sweep grids) return
+//! `Result<_, SimError>` instead of panicking. Panics remain reserved for
+//! `validate`-tagged invariant violations (see [`crate::invariants`]),
+//! which signal simulator bugs rather than bad caller input.
+
+use crate::engine::BudgetExceeded;
+use std::fmt;
+
+/// Error type shared by every crate in the workspace.
+///
+/// Lives in `netsim` because it is the root of the crate graph; higher
+/// layers (`video`, `fluidsim`, `abtest`, the umbrella crate) re-export it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value failed validation before any simulation ran.
+    InvalidConfig {
+        /// The offending field, e.g. `"users_per_arm"`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// Textual input (CLI flag, ladder spec) could not be parsed.
+    Parse {
+        /// What was being parsed, e.g. `"ladder"`.
+        what: &'static str,
+        /// The input that failed.
+        input: String,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A bounded run exhausted its event budget.
+    Budget(BudgetExceeded),
+    /// An experiment aborted; the message carries the first failure.
+    Experiment(String),
+    /// An I/O failure (metrics sink, figure output).
+    Io(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field}: {reason}")
+            }
+            SimError::Parse {
+                what,
+                input,
+                reason,
+            } => write!(f, "cannot parse {what} from {input:?}: {reason}"),
+            SimError::Budget(b) => write!(
+                f,
+                "event budget exceeded after {} events at {:?}",
+                b.processed_events, b.at
+            ),
+            SimError::Experiment(msg) => write!(f, "experiment failed: {msg}"),
+            SimError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<BudgetExceeded> for SimError {
+    fn from(b: BudgetExceeded) -> Self {
+        SimError::Budget(b)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidConfig {
+            field: "users_per_arm",
+            reason: "must be positive".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid config: users_per_arm: must be positive"
+        );
+
+        let p = SimError::Parse {
+            what: "ladder",
+            input: "1,x,3".into(),
+            reason: "invalid float".into(),
+        };
+        assert!(p.to_string().contains("ladder"));
+        assert!(p.to_string().contains("1,x,3"));
+    }
+
+    #[test]
+    fn io_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SimError = io.into();
+        assert!(matches!(e, SimError::Io(_)));
+    }
+}

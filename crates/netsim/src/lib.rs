@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod invariants;
 pub mod link;
 pub mod monitor;
@@ -50,6 +51,7 @@ pub mod trace;
 pub mod units;
 
 pub use engine::{BudgetExceeded, Endpoint, FlowStats, NodeCtx, Simulator};
+pub use error::SimError;
 pub use link::{Link, LinkConfig};
 pub use monitor::QueueMonitor;
 pub use packet::{FlowId, LinkId, NodeId, Packet, Payload};
@@ -62,6 +64,7 @@ pub use units::{Rate, HEADER_BYTES, MSS_BYTES, MTU_BYTES};
 /// Convenient glob import for simulator users.
 pub mod prelude {
     pub use crate::engine::{Endpoint, NodeCtx, Simulator};
+    pub use crate::error::SimError;
     pub use crate::link::LinkConfig;
     pub use crate::packet::{FlowId, LinkId, NodeId, Packet, Payload};
     pub use crate::time::{SimDuration, SimTime};

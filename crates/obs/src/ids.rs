@@ -1,0 +1,70 @@
+//! Stable structured-trace event ids.
+//!
+//! Every event in the trace ring carries one of these ids. Discriminants
+//! are explicit and **never reused**: external tooling that parses the
+//! JSON-lines sink keys on them, so removing an event retires its number.
+
+/// Stable id of a structured trace event.
+///
+/// Operands `a`/`b` are event-specific (documented per variant); unused
+/// operands are 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u16)]
+#[non_exhaustive]
+pub enum TraceId {
+    /// A link queue dropped a packet. `a` = flow id, `b` = packet bytes.
+    LinkDrop = 1,
+    /// Player entered the rebuffering state. `a` = next chunk index.
+    RebufferStart = 2,
+    /// Player resumed from rebuffering. `a` = stall duration ms.
+    RebufferEnd = 3,
+    /// ABR switched quality rung. `a` = previous rung, `b` = new rung.
+    RungSwitch = 4,
+    /// A chunk download began. `a` = chunk index, `b` = rung.
+    ChunkStart = 5,
+    /// A chunk download finished. `a` = chunk index, `b` = download ms.
+    ChunkDone = 6,
+    /// A playback session began. `a` = user index.
+    SessionStart = 7,
+    /// A playback session finished. `a` = user index, `b` = chunks played.
+    SessionEnd = 8,
+    /// TCP fast-retransmit loss event. `a` = cwnd bytes after reaction.
+    TcpLossEvent = 9,
+    /// TCP retransmission timeout fired. `a` = cwnd bytes after reaction.
+    TcpRto = 10,
+}
+
+impl TraceId {
+    /// Stable human-readable name (used by both sinks).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceId::LinkDrop => "link_drop",
+            TraceId::RebufferStart => "rebuffer_start",
+            TraceId::RebufferEnd => "rebuffer_end",
+            TraceId::RungSwitch => "rung_switch",
+            TraceId::ChunkStart => "chunk_start",
+            TraceId::ChunkDone => "chunk_done",
+            TraceId::SessionStart => "session_start",
+            TraceId::SessionEnd => "session_end",
+            TraceId::TcpLossEvent => "tcp_loss_event",
+            TraceId::TcpRto => "tcp_rto",
+        }
+    }
+
+    /// The stable numeric id.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(TraceId::LinkDrop.code(), 1);
+        assert_eq!(TraceId::TcpRto.code(), 10);
+        assert_eq!(TraceId::RungSwitch.name(), "rung_switch");
+    }
+}

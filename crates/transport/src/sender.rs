@@ -329,6 +329,11 @@ impl TcpSender {
             if let Some(r) = rtt {
                 self.rtt.on_sample(r);
                 self.rtt_digest.add(r.as_millis_f64());
+                obs::observe!(
+                    "transport.srtt_ms",
+                    self.rtt.srtt().unwrap_or(r).as_millis_f64()
+                );
+                obs::gauge!("transport.cwnd_bytes", self.cc.cwnd() as f64);
             }
 
             let mut in_recovery = self.recover.is_some();
@@ -359,6 +364,8 @@ impl TcpSender {
                 // Fast retransmit: enter recovery.
                 self.stats.loss_events += 1;
                 self.cc.on_loss_event(now);
+                obs::counter!("transport.loss_events", 1);
+                obs::trace_event!(TcpLossEvent, now.as_nanos(), self.cc.cwnd(), 0);
                 self.recover = Some(self.snd_nxt);
                 self.retx_next = Some(self.snd_una);
                 self.arm_rto(now);
@@ -374,6 +381,8 @@ impl TcpSender {
                 // Retransmission timeout.
                 self.stats.rtos += 1;
                 self.cc.on_rto(now);
+                obs::counter!("transport.rtos", 1);
+                obs::trace_event!(TcpRto, now.as_nanos(), self.cc.cwnd(), 0);
                 self.rto_backoff = (self.rto_backoff + 1).min(10);
                 self.round += 1;
                 self.dup_acks = 0;
@@ -529,6 +538,7 @@ impl TcpSender {
         if retx {
             self.stats.retx_bytes += len;
             self.stats.retx_packets += 1;
+            obs::counter!("transport.retx_packets", 1);
         }
         self.note_transfer_start(now, offset);
         self.last_send = Some(now);
@@ -553,6 +563,10 @@ impl TcpSender {
             (None, None) => None,
         };
         if self.pacer.rate().map(|r| r.bps()) != rate.map(|r| r.bps()) {
+            // `_new`: referenced only from the obs expansion.
+            if let Some(_new) = rate {
+                obs::observe!("transport.pacing_rate_mbps", _new.bps() / 1e6);
+            }
             self.pacer.set_rate(now, rate);
         }
     }

@@ -5,7 +5,7 @@
 //! per chunk; Sammy's pace-rate selection is keyed off the *highest* rung.
 
 use crate::vmaf::VmafModel;
-use netsim::Rate;
+use netsim::{Rate, SimError};
 use serde::{Deserialize, Serialize};
 
 /// One encoding of a title: a bitrate and its perceptual quality.
@@ -27,14 +27,32 @@ impl Ladder {
     /// Build a ladder from bitrates (bits/sec) and a VMAF model.
     ///
     /// # Panics
-    /// Panics if `bitrates_bps` is empty or not strictly ascending.
+    /// Panics if `bitrates_bps` is empty or not strictly ascending; use
+    /// [`Ladder::try_from_bitrates`] for caller-supplied input.
     pub fn from_bitrates(bitrates_bps: &[f64], vmaf: &VmafModel) -> Self {
-        assert!(!bitrates_bps.is_empty(), "ladder needs at least one rung");
-        assert!(
-            bitrates_bps.windows(2).all(|w| w[0] < w[1]),
-            "ladder bitrates must be strictly ascending"
-        );
-        Ladder {
+        match Ladder::try_from_bitrates(bitrates_bps, vmaf) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Ladder::from_bitrates`]: rejects empty, non-finite,
+    /// non-positive, or non-ascending bitrate lists.
+    pub fn try_from_bitrates(bitrates_bps: &[f64], vmaf: &VmafModel) -> Result<Self, SimError> {
+        let invalid = |reason: String| SimError::InvalidConfig {
+            field: "ladder.bitrates",
+            reason,
+        };
+        if bitrates_bps.is_empty() {
+            return Err(invalid("ladder needs at least one rung".into()));
+        }
+        if let Some(&b) = bitrates_bps.iter().find(|b| !b.is_finite() || **b <= 0.0) {
+            return Err(invalid(format!("bitrate {b} is not positive and finite")));
+        }
+        if !bitrates_bps.windows(2).all(|w| w[0] < w[1]) {
+            return Err(invalid("ladder bitrates must be strictly ascending".into()));
+        }
+        Ok(Ladder {
             rungs: bitrates_bps
                 .iter()
                 .map(|&b| Rung {
@@ -42,7 +60,29 @@ impl Ladder {
                     vmaf: vmaf.score(b),
                 })
                 .collect(),
+        })
+    }
+
+    /// Parse a ladder from a comma-separated list of Mbps values, e.g.
+    /// `"0.235,0.56,1.05,1.75,3.3"` (the CLI `--ladder` format).
+    pub fn parse(spec: &str, vmaf: &VmafModel) -> Result<Self, SimError> {
+        let mut bps = Vec::new();
+        for part in spec.split(',') {
+            let mbps: f64 = part.trim().parse().map_err(|_| SimError::Parse {
+                what: "ladder",
+                input: spec.to_string(),
+                reason: format!("{:?} is not a number", part.trim()),
+            })?;
+            bps.push(mbps * 1e6);
         }
+        Ladder::try_from_bitrates(&bps, vmaf).map_err(|e| match e {
+            SimError::InvalidConfig { reason, .. } => SimError::Parse {
+                what: "ladder",
+                input: spec.to_string(),
+                reason,
+            },
+            other => other,
+        })
     }
 
     /// A ladder similar to published streaming ladders for HD content:
@@ -166,5 +206,28 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_panics() {
         Ladder::from_bitrates(&[], &VmafModel::standard());
+    }
+
+    #[test]
+    fn try_from_bitrates_rejects_bad_input() {
+        let v = VmafModel::standard();
+        assert!(Ladder::try_from_bitrates(&[], &v).is_err());
+        assert!(Ladder::try_from_bitrates(&[1e6, 1e6], &v).is_err());
+        assert!(Ladder::try_from_bitrates(&[-1e6, 1e6], &v).is_err());
+        assert!(Ladder::try_from_bitrates(&[f64::NAN], &v).is_err());
+        let ok = Ladder::try_from_bitrates(&[1e6, 2e6], &v).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn parse_accepts_cli_spec() {
+        let v = VmafModel::standard();
+        let l = Ladder::parse("0.235, 0.56, 1.05, 1.75, 3.3", &v).unwrap();
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.top_bitrate(), Rate::from_mbps(3.3));
+        assert!(Ladder::parse("1,x,3", &v).is_err());
+        assert!(Ladder::parse("", &v).is_err());
+        let err = Ladder::parse("3,2,1", &v).unwrap_err();
+        assert!(err.to_string().contains("ascending"), "{err}");
     }
 }

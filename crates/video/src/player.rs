@@ -95,6 +95,12 @@ pub struct Player {
     /// Total content drained from the buffer (validate feature).
     #[cfg(feature = "validate")]
     played_total: SimDuration,
+    /// Session start (obs feature): anchors the play-delay span.
+    #[cfg(feature = "obs")]
+    obs_session_start: SimTime,
+    /// Open stall start (obs feature): anchors the rebuffer span.
+    #[cfg(feature = "obs")]
+    obs_rebuffer_started: Option<SimTime>,
 }
 
 impl Player {
@@ -119,6 +125,10 @@ impl Player {
             committed: SimDuration::ZERO,
             #[cfg(feature = "validate")]
             played_total: SimDuration::ZERO,
+            #[cfg(feature = "obs")]
+            obs_session_start: now,
+            #[cfg(feature = "obs")]
+            obs_rebuffer_started: None,
         }
     }
 
@@ -192,6 +202,17 @@ impl Player {
                     let stall_start = now - (elapsed - played);
                     self.state = PlayerState::Rebuffering;
                     self.qoe.on_rebuffer_start(stall_start);
+                    obs::counter!("video.rebuffers", 1);
+                    obs::trace_event!(
+                        RebufferStart,
+                        stall_start.as_nanos(),
+                        self.next_index as u64,
+                        0
+                    );
+                    #[cfg(feature = "obs")]
+                    {
+                        self.obs_rebuffer_started = Some(stall_start);
+                    }
                 }
             }
             PlayerState::Startup | PlayerState::Rebuffering | PlayerState::Ended => {}
@@ -274,9 +295,12 @@ impl Player {
             spec.vmaf(req.rung),
             spec.actual_bitrate(req.rung),
         );
+        obs::observe!("video.buffer_level_s", self.buffer.level().as_secs_f64());
         if let Some(prev) = self.last_rung {
             if prev != req.rung {
                 self.qoe.on_quality_switch();
+                obs::counter!("video.rung_switches", 1);
+                obs::trace_event!(RungSwitch, now.as_nanos(), prev as u64, req.rung as u64);
             }
         }
         self.last_rung = Some(req.rung);
@@ -291,6 +315,11 @@ impl Player {
                 {
                     self.state = PlayerState::Playing;
                     self.qoe.on_playback_start(now);
+                    #[cfg(feature = "obs")]
+                    {
+                        let delay = now.saturating_since(self.obs_session_start);
+                        obs::span!("video.play_delay", delay.as_nanos());
+                    }
                 }
             }
             PlayerState::Rebuffering => {
@@ -299,6 +328,17 @@ impl Player {
                 {
                     self.state = PlayerState::Playing;
                     self.qoe.on_rebuffer_end(now);
+                    #[cfg(feature = "obs")]
+                    if let Some(start) = self.obs_rebuffer_started.take() {
+                        let stall = now.saturating_since(start);
+                        obs::span!("video.rebuffer", stall.as_nanos());
+                        obs::trace_event!(
+                            RebufferEnd,
+                            now.as_nanos(),
+                            stall.as_nanos() / 1_000_000,
+                            0
+                        );
+                    }
                 }
             }
             PlayerState::Playing | PlayerState::Ended => {}

@@ -5,24 +5,21 @@
 //! cargo run --example ab_experiment --release
 //! cargo run --example ab_experiment --release -- 500   # users per arm
 //! cargo run --example ab_experiment --release -- 500 8 # ... on 8 threads
+//! cargo run --example ab_experiment --release --features obs -- --metrics out.jsonl
 //! ```
 
-use sammy_repro::abtest::{
-    draw_population, run_experiment, throughput_by_bucket, Arm, ExperimentConfig, PopulationConfig,
-    Report,
-};
+use sammy_repro::abtest::{bucket_label, throughput_by_bucket};
+use sammy_repro::prelude::*;
 
 fn main() {
-    let users_per_arm: usize = std::env::args()
-        .nth(1)
+    let (positional, metrics) = split_args();
+    let users_per_arm: usize = positional
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(150);
     // Worker threads for the sharded runner (0 = all cores). The report is
     // bit-identical for every value.
-    let threads: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let threads: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
 
     let cfg = ExperimentConfig {
         users_per_arm,
@@ -37,18 +34,22 @@ fn main() {
         cfg.users_per_arm, cfg.sessions_per_user
     );
 
-    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
-    let (control, treatment) =
-        run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
+    let run = Experiment::builder()
+        .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+        .config(cfg.clone())
+        .run()
+        .expect("valid experiment setup");
 
-    let report = Report::build(&control, &treatment, cfg.bootstrap_reps, cfg.seed);
+    let report = run.report(cfg.bootstrap_reps, cfg.seed);
     println!("{}", report.render());
 
     println!("Chunk-throughput change by pre-experiment throughput bucket (Fig 3):");
-    for (bucket, pc) in throughput_by_bucket(&control, &treatment, cfg.bootstrap_reps, cfg.seed) {
+    for (bucket, pc) in
+        throughput_by_bucket(&run.control, &run.treatment, cfg.bootstrap_reps, cfg.seed)
+    {
         println!(
             "  {:>12}: {:>7.1}%  [{:.1}, {:.1}]",
-            sammy_repro::abtest::bucket_label(bucket),
+            bucket_label(bucket),
             pc.pct_change,
             pc.ci_low,
             pc.ci_high
@@ -56,4 +57,37 @@ fn main() {
     }
     println!("\nPaper reference (Table 2): tput -61%, retx -35.5%, RTT -13.7%,");
     println!("initial VMAF +0.14%, VMAF +0.04%, play delay -1.29%, rebuffers n.s.");
+
+    emit_metrics(metrics, &run.metrics);
+}
+
+/// Split argv into positional args and an optional `--metrics <path>`.
+fn split_args() -> (Vec<String>, Option<String>) {
+    let mut positional = Vec::new();
+    let mut metrics = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--metrics" {
+            metrics = Some(it.next().expect("--metrics needs a path"));
+        } else {
+            positional.push(a);
+        }
+    }
+    (positional, metrics)
+}
+
+/// Write the run's telemetry to `--metrics` (JSON lines; '-' = table).
+fn emit_metrics(path: Option<String>, metrics: &Registry) {
+    let Some(path) = path else { return };
+    if metrics.is_empty() {
+        eprintln!("note: no metrics recorded; rebuild with `--features obs`");
+    }
+    if path == "-" {
+        print!("{}", metrics.render_table());
+    } else {
+        metrics
+            .write_jsonl(std::path::Path::new(&path))
+            .expect("write metrics");
+        eprintln!("wrote metrics to {path}");
+    }
 }

@@ -7,7 +7,8 @@
 //! cargo run --example cold_start --release -- 100   # users
 //! ```
 
-use sammy_repro::abtest::{draw_population, run_cold_start, ColdStartConfig, PopulationConfig};
+use sammy_repro::abtest::{run_cold_start, ColdStartConfig};
+use sammy_repro::prelude::*;
 
 fn main() {
     let users: usize = std::env::args()

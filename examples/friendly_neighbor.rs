@@ -7,7 +7,7 @@
 //! cargo run --example friendly_neighbor --release
 //! ```
 
-use sammy_repro::netsim::SimDuration;
+use sammy_repro::prelude::*;
 use sammy_repro::sammy_bench::lab::{self, LabArm, LabConfig};
 
 fn main() {

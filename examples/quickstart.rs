@@ -4,17 +4,15 @@
 //!
 //! ```text
 //! cargo run --example quickstart --release
+//! cargo run --example quickstart --release --features obs -- --metrics -
 //! ```
 
 use sammy_repro::abr::{shared_history, HistoryPolicy, Mpc, ProductionAbr};
-use sammy_repro::netsim::{
-    Dumbbell, DumbbellConfig, FlowId, Rate, SimDuration, SimTime, Simulator,
-};
+use sammy_repro::netsim::{Dumbbell, DumbbellConfig, FlowId, Simulator};
+use sammy_repro::prelude::*;
 use sammy_repro::sammy_core::{Sammy, SammyConfig};
 use sammy_repro::transport::{SenderEndpoint, TcpConfig};
-use sammy_repro::video::{
-    Abr, Ladder, Player, PlayerConfig, Title, TitleConfig, VideoClientEndpoint, VmafModel,
-};
+use sammy_repro::video::{Abr, Player, PlayerConfig, VideoClientEndpoint};
 use std::sync::Arc;
 
 fn main() {
@@ -32,6 +30,26 @@ fn main() {
     }
     println!("Sammy sends the same video at a fraction of the throughput —");
     println!("same quality, same start time, empty bottleneck queue.");
+
+    // `--metrics <path>` writes the sessions' telemetry (JSON lines; '-'
+    // renders the pretty table).
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--metrics" {
+            let path = it.next().expect("--metrics needs a path");
+            let reg = sammy_repro::obs::take();
+            if reg.is_empty() {
+                eprintln!("note: no metrics recorded; rebuild with `--features obs`");
+            }
+            if path == "-" {
+                print!("{}", reg.render_table());
+            } else {
+                reg.write_jsonl(std::path::Path::new(&path))
+                    .expect("write metrics");
+                eprintln!("wrote metrics to {path}");
+            }
+        }
+    }
 }
 
 /// Run one 2-minute session; returns (chunk tput Mbps, median RTT ms,

@@ -5,13 +5,18 @@
 //! sammy-sim neighbors   [--secs 60]
 //! sammy-sim abtest      [--users 150] [--c0 3.2] [--c1 2.8] [--threads 0]
 //! sammy-sim tune        [--users 40] [--rounds 2]
+//! sammy-sim quickstart  [--users 20]
 //! ```
+//!
+//! Every subcommand accepts `--metrics <path>`: with the `obs` feature
+//! enabled, the run's telemetry registry is written to `<path>` as JSON
+//! lines (`-` renders the pretty table to stdout instead).
 
 use sammy_repro::abtest::{
-    draw_population, run_experiment, search, Arm, ExperimentConfig, PopulationConfig, QoeGuards,
-    Report,
+    draw_population, search, Arm, Experiment, ExperimentConfig, PopulationConfig, QoeGuards,
 };
 use sammy_repro::netsim::{DumbbellConfig, Rate, SimDuration};
+use sammy_repro::obs;
 use sammy_repro::sammy_bench::lab::{self, LabArm, LabConfig};
 
 fn main() {
@@ -21,21 +26,30 @@ fn main() {
         return;
     };
     let opts = parse_flags(&args[1..]);
+    // Start from a clean registry so `--metrics` reflects this run only.
+    let _ = obs::take();
     match cmd.as_str() {
         "single-flow" => single_flow(&opts),
         "neighbors" => neighbors(&opts),
         "abtest" => abtest(&opts),
         "tune" => tune(&opts),
-        _ => usage(),
+        "quickstart" => quickstart(&opts),
+        _ => {
+            usage();
+            return;
+        }
     }
+    emit_metrics(&opts, obs::take());
 }
 
 fn usage() {
-    eprintln!("usage: sammy-sim <single-flow|neighbors|abtest|tune> [flags]");
+    eprintln!("usage: sammy-sim <single-flow|neighbors|abtest|tune|quickstart> [flags]");
     eprintln!("  single-flow  [--sammy] [--rate-mbps N] [--rtt-ms N] [--secs N]");
     eprintln!("  neighbors    [--secs N]");
     eprintln!("  abtest       [--users N] [--c0 X] [--c1 X] [--seed N] [--threads N]");
     eprintln!("  tune         [--users N] [--rounds N] [--seed N] [--threads N]");
+    eprintln!("  quickstart   [--users N] [--seed N]");
+    eprintln!("  all commands: [--metrics PATH]  (JSON lines; '-' = table on stdout)");
 }
 
 struct Opts(Vec<(String, String)>);
@@ -49,6 +63,13 @@ impl Opts {
             .unwrap_or(default)
     }
 
+    fn get_str(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn flag(&self, key: &str) -> bool {
         self.0.iter().any(|(k, _)| k == key)
     }
@@ -60,13 +81,43 @@ fn parse_flags(args: &[String]) -> Opts {
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
             let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                Some(v) if *v == "-" || !v.starts_with("--") => it.next().unwrap().clone(),
                 _ => String::new(),
             };
             out.push((key.to_string(), value));
         }
     }
     Opts(out)
+}
+
+/// Write the accumulated telemetry to the `--metrics` sink, if requested.
+fn emit_metrics(opts: &Opts, registry: obs::Registry) {
+    let Some(path) = opts.get_str("metrics") else {
+        return;
+    };
+    if path.is_empty() {
+        eprintln!("--metrics needs a path (or '-' for a table on stdout)");
+        std::process::exit(2);
+    }
+    if registry.is_empty() {
+        eprintln!(
+            "note: no metrics were recorded; rebuild with `--features obs` to enable telemetry"
+        );
+        if path == "-" {
+            return;
+        }
+    }
+    if path == "-" {
+        print!("{}", registry.render_table());
+    } else if let Err(e) = registry.write_jsonl(std::path::Path::new(path)) {
+        eprintln!("failed to write metrics to {path}: {e}");
+        std::process::exit(1);
+    } else {
+        eprintln!(
+            "wrote {} metric series to {path}",
+            registry.metric_names().len()
+        );
+    }
 }
 
 fn single_flow(opts: &Opts) {
@@ -134,14 +185,26 @@ fn abtest(opts: &Opts) {
     };
     let c0 = opts.get("c0", 3.2);
     let c1 = opts.get("c1", 2.8);
-    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
-    let (control, treatment) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0, c1 }, &cfg);
-    let report = Report::build(&control, &treatment, cfg.bootstrap_reps, cfg.seed);
+    let run = match Experiment::builder()
+        .treatment(Arm::Sammy { c0, c1 })
+        .config(cfg.clone())
+        .run()
+    {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("abtest setup rejected: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = run.report(cfg.bootstrap_reps, cfg.seed);
     println!(
         "Paired A/B: production vs Sammy(c0={c0}, c1={c1}), {} users\n",
         cfg.users_per_arm
     );
     print!("{}", report.render());
+    // Fold the experiment's per-user telemetry into this process's registry
+    // so `--metrics` sees it.
+    obs::with(|r| r.merge(&run.metrics));
 }
 
 fn tune(opts: &Opts) {
@@ -159,7 +222,13 @@ fn tune(opts: &Opts) {
         "Searching (c0, c1) over {rounds} rounds, {} users...\n",
         cfg.users_per_arm
     );
-    let out = search(&pop, &cfg, QoeGuards::default(), rounds);
+    let out = match search(&pop, &cfg, QoeGuards::default(), rounds) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("tune setup rejected: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "{:>6} {:>6} {:>10} {:>9} {:>10} {:>9}",
         "c0", "c1", "tput %", "vmaf %", "delay %", "feasible"
@@ -176,4 +245,47 @@ fn tune(opts: &Opts) {
         b.c0, b.c1, b.tput_pct, b.vmaf_pct, b.play_delay_pct
     );
     println!("(the paper's production choice was c0=3.2, c1=2.8 at -61% throughput)");
+}
+
+/// A small end-to-end tour that exercises every instrumented layer: one
+/// packet-level lab session (engine + transport + player telemetry) and a
+/// small fluid A/B experiment (fluidsim + abtest telemetry).
+fn quickstart(opts: &Opts) {
+    let lab_cfg = LabConfig {
+        run_for: SimDuration::from_secs(opts.get("secs", 30)),
+        ..Default::default()
+    };
+    println!("[1/2] packet-level lab session (Sammy arm)...");
+    let r = lab::single_flow(LabArm::Sammy, &lab_cfg);
+    println!(
+        "      chunk throughput {:.1} Mbps, median RTT {:.2} ms, {} rebuffers",
+        r.chunk_throughput_mbps, r.median_rtt_ms, r.rebuffers
+    );
+
+    let cfg = ExperimentConfig {
+        users_per_arm: opts.get("users", 20),
+        pre_sessions: 2,
+        sessions_per_user: 2,
+        seed: opts.get("seed", 2023),
+        bootstrap_reps: 200,
+        threads: opts.get("threads", 0),
+    };
+    println!(
+        "[2/2] fluid A/B experiment ({} users per arm)...",
+        cfg.users_per_arm
+    );
+    let run = match Experiment::builder()
+        .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+        .config(cfg.clone())
+        .run()
+    {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("quickstart setup rejected: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = run.report(cfg.bootstrap_reps, cfg.seed);
+    print!("{}", report.render());
+    obs::with(|r| r.merge(&run.metrics));
 }

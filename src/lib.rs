@@ -1,15 +1,36 @@
 //! Umbrella crate for the Sammy reproduction.
 //!
 //! Re-exports the public surface of every crate in the workspace so that the
-//! examples and integration tests can use a single import root.
+//! examples and integration tests can use a single import root. Most programs
+//! want [`prelude`] instead of the per-crate roots.
 
 pub use abr;
 pub use abtest;
 pub use fluidsim;
 pub use netsim;
+pub use obs;
 pub use sammy_bench;
 pub use sammy_core;
 pub use tdigest;
 pub use traffic;
 pub use transport;
 pub use video;
+
+/// The types most programs need, under one import.
+///
+/// ```
+/// use sammy_repro::prelude::*;
+///
+/// let run = Experiment::builder().users_per_arm(4).run().unwrap();
+/// assert_eq!(run.control.sessions.len(), run.treatment.sessions.len());
+/// ```
+pub mod prelude {
+    pub use abtest::{
+        draw_population, Arm, Experiment, ExperimentBuilder, ExperimentConfig, ExperimentRun,
+        PopulationConfig, Report, UserProfile,
+    };
+    pub use fluidsim::{FluidConfig, NetworkProfile, SessionBuilder, SessionOutcome};
+    pub use netsim::{Rate, SimDuration, SimError, SimTime};
+    pub use obs::Registry;
+    pub use video::{Ladder, Title, TitleConfig, VmafModel};
+}

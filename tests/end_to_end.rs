@@ -206,8 +206,7 @@ fn deterministic_replay() {
 #[test]
 fn parallel_experiment_bit_identical_to_serial() {
     use sammy_repro::abtest::{
-        draw_population, run_experiment, run_experiment_serial, Arm, ExperimentConfig,
-        PopulationConfig, Report,
+        draw_population, Arm, Experiment, ExperimentConfig, PopulationConfig,
     };
 
     let base = ExperimentConfig {
@@ -221,28 +220,39 @@ fn parallel_experiment_bit_identical_to_serial() {
     let treatment = Arm::Sammy { c0: 3.2, c1: 2.8 };
     let pop = draw_population(&PopulationConfig::default(), base.users_per_arm, base.seed);
 
-    let (sc, st) = run_experiment_serial(&pop, Arm::Production, treatment, &base);
-    let serial_report = Report::build(&sc, &st, base.bootstrap_reps, base.seed);
-    assert!(!sc.sessions.is_empty());
+    let serial = Experiment::builder()
+        .population(&pop)
+        .treatment(treatment)
+        .config(base.clone())
+        .serial_reference(true)
+        .run()
+        .unwrap();
+    let serial_report = serial.report(base.bootstrap_reps, base.seed);
+    assert!(!serial.control.sessions.is_empty());
 
     for threads in [1usize, 2, 8] {
         let cfg = ExperimentConfig {
             threads,
             ..base.clone()
         };
-        let (c, t) = run_experiment(&pop, Arm::Production, treatment, &cfg);
+        let run = Experiment::builder()
+            .population(&pop)
+            .treatment(treatment)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
         // Every session record — QoE, throughputs, RTT digests — must be
         // bit-identical to the serial runner's, in the same order.
         assert!(
-            c.sessions == sc.sessions,
+            run.control.sessions == serial.control.sessions,
             "control records diverged at {threads} threads"
         );
         assert!(
-            t.sessions == st.sessions,
+            run.treatment.sessions == serial.treatment.sessions,
             "treatment records diverged at {threads} threads"
         );
         // And so must the derived report (same bootstrap draws, same rows).
-        let report = Report::build(&c, &t, cfg.bootstrap_reps, cfg.seed);
+        let report = run.report(cfg.bootstrap_reps, cfg.seed);
         assert!(
             report == serial_report,
             "report diverged at {threads} threads"

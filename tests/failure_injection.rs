@@ -186,9 +186,9 @@ fn abr_by_name(name: &str) -> Box<dyn Abr> {
 #[test]
 fn worker_panic_is_isolated_and_reported() {
     use sammy_repro::abtest::{
-        draw_population, run_experiment_detailed, run_experiment_serial, Arm, ExperimentConfig,
-        PopulationConfig,
+        draw_population, Arm, Experiment, ExperimentConfig, PopulationConfig,
     };
+    use sammy_repro::netsim::SimError;
 
     let cfg = ExperimentConfig {
         users_per_arm: 10,
@@ -204,7 +204,13 @@ fn worker_panic_is_isolated_and_reported() {
     // trips `Title::generate`'s assertion inside that user's worker.
     pop[4].title_duration = SimDuration::from_secs(1);
 
-    let run = run_experiment_detailed(&pop, Arm::Production, treatment, &cfg);
+    let run = Experiment::builder()
+        .population(&pop)
+        .treatment(treatment)
+        .config(cfg.clone())
+        .detailed(true)
+        .run()
+        .unwrap();
 
     // Exactly the sabotaged user failed, with the panic payload captured.
     assert_eq!(run.failures.len(), 1, "failures: {:?}", run.failures);
@@ -224,18 +230,38 @@ fn worker_panic_is_isolated_and_reported() {
         .filter(|(i, _)| *i != 4)
         .map(|(_, u)| u.clone())
         .collect();
-    let (hc, ht) = run_experiment_serial(&healthy, Arm::Production, treatment, &cfg);
+    let clean = Experiment::builder()
+        .population(&healthy)
+        .treatment(treatment)
+        .config(cfg.clone())
+        .serial_reference(true)
+        .run()
+        .unwrap();
     assert!(
-        run.control.sessions == hc.sessions,
+        run.control.sessions == clean.control.sessions,
         "surviving control records diverged"
     );
     assert!(
-        run.treatment.sessions == ht.sessions,
+        run.treatment.sessions == clean.treatment.sessions,
         "surviving treatment records diverged"
     );
 
-    // The strict runner propagates the same failure instead of returning a
-    // silently incomplete experiment.
+    // The strict (non-detailed) builder surfaces the same failure as an
+    // error instead of returning a silently incomplete experiment.
+    let err = Experiment::builder()
+        .population(&pop)
+        .treatment(treatment)
+        .config(cfg.clone())
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::Experiment(ref m) if m.contains("chunk")),
+        "unexpected error: {err}"
+    );
+
+    // The deprecated panicking shim still propagates user panics for
+    // callers that have not migrated yet.
+    #[allow(deprecated)]
     let strict = std::panic::catch_unwind(|| {
         sammy_repro::abtest::run_experiment(&pop, Arm::Production, treatment, &cfg)
     });

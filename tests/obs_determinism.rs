@@ -1,0 +1,102 @@
+//! Telemetry determinism and zero-overhead guarantees.
+//!
+//! With the `obs` feature on, the experiment runner's merged registry must
+//! be byte-identical for every worker count (and for the serial reference
+//! runner), and every instrumented layer must actually show up in the
+//! output. With the feature off, the same instrumented code paths must
+//! record nothing at all — the macros compile to nothing.
+
+use sammy_repro::prelude::*;
+use sammy_repro::sammy_bench::lab::{self, LabArm, LabConfig};
+
+fn experiment_jsonl(threads: usize, serial: bool) -> String {
+    let cfg = ExperimentConfig {
+        users_per_arm: 8,
+        pre_sessions: 1,
+        sessions_per_user: 2,
+        seed: 2023,
+        bootstrap_reps: 50,
+        threads,
+    };
+    let run = Experiment::builder()
+        .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+        .config(cfg)
+        .serial_reference(serial)
+        .run()
+        .unwrap();
+    run.metrics.to_jsonl()
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn metrics_are_shard_count_invariant() {
+    let serial = experiment_jsonl(1, true);
+    let one = experiment_jsonl(1, false);
+    let eight = experiment_jsonl(8, false);
+    assert!(!serial.is_empty(), "obs build must record telemetry");
+    assert_eq!(serial, one, "1-thread sharded run diverged from serial");
+    assert_eq!(serial, eight, "8-thread sharded run diverged from serial");
+
+    // Same seed, same output — byte for byte.
+    assert_eq!(eight, experiment_jsonl(8, false));
+
+    // The fluid experiment layers are all present.
+    for name in [
+        "abtest.users",
+        "abtest.sessions",
+        "fluidsim.sessions",
+        "fluidsim.chunks",
+        "fluidsim.chunk_download",
+    ] {
+        assert!(serial.contains(name), "missing {name} in:\n{serial}");
+    }
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn packet_level_layers_are_instrumented() {
+    let _ = sammy_repro::obs::take();
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(30),
+        ..Default::default()
+    };
+    let _ = lab::single_flow(LabArm::Sammy, &cfg);
+    let reg = sammy_repro::obs::take();
+    let names = reg.metric_names();
+    for name in [
+        "netsim.engine.events",
+        "netsim.link.queue_depth_bytes",
+        "transport.srtt_ms",
+        "transport.cwnd_bytes",
+        "transport.pacing_rate_mbps",
+        "video.buffer_level_s",
+        "video.play_delay",
+    ] {
+        assert!(
+            names.iter().any(|(n, _)| *n == name),
+            "missing {name}; instrumented layers: {names:?}"
+        );
+    }
+    // The same run replayed yields the same telemetry bytes (the JSONL sink
+    // excludes wall-clock spans for exactly this reason).
+    let first = reg.to_jsonl();
+    let _ = lab::single_flow(LabArm::Sammy, &cfg);
+    assert_eq!(first, sammy_repro::obs::take().to_jsonl());
+}
+
+#[cfg(not(feature = "obs"))]
+#[test]
+fn disabled_feature_records_nothing() {
+    let _ = sammy_repro::obs::take();
+    // Exercise both instrumented stacks: the packet-level lab session and
+    // the fluid experiment runner.
+    let cfg = LabConfig {
+        run_for: SimDuration::from_secs(10),
+        ..Default::default()
+    };
+    let _ = lab::single_flow(LabArm::Sammy, &cfg);
+    let jsonl = experiment_jsonl(2, false);
+    assert!(jsonl.is_empty(), "metrics recorded without obs: {jsonl}");
+    let reg = sammy_repro::obs::take();
+    assert!(reg.is_empty(), "registry non-empty without obs");
+}

@@ -6,9 +6,7 @@
 //! changed observable behavior — event order, per-flow accounting, or the
 //! A/B record stream — and must be treated as a bug, not re-baselined.
 
-use sammy_repro::abtest::{
-    draw_population, run_experiment, Arm, ExperimentConfig, PopulationConfig,
-};
+use sammy_repro::abtest::{draw_population, Arm, Experiment, ExperimentConfig, PopulationConfig};
 use sammy_repro::netsim::{Dumbbell, DumbbellConfig, FlowId, Packet, Payload, SimTime, Simulator};
 use sammy_repro::transport::{ReceiverEndpoint, SenderEndpoint, TcpConfig};
 
@@ -87,9 +85,14 @@ fn table2_fingerprint() -> u64 {
         threads: 0,
     };
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 2023);
-    let (c, t) = run_experiment(&pop, Arm::Production, Arm::Sammy { c0: 3.2, c1: 2.8 }, &cfg);
+    let run = Experiment::builder()
+        .population(&pop)
+        .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+        .config(cfg)
+        .run()
+        .unwrap();
     let mut h = Fnv::new();
-    for arm in [&c, &t] {
+    for arm in [&run.control, &run.treatment] {
         for r in &arm.sessions {
             h.u64(r.user);
             h.f64(r.pre_p95_mbps);
