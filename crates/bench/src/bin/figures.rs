@@ -16,6 +16,7 @@ use netsim::SimDuration;
 use sammy_bench::ablation;
 use sammy_bench::figures;
 use sammy_bench::lab::{self, LabArm, LabConfig};
+use sammy_bench::shared::{self, SharedLabConfig};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -47,8 +48,24 @@ fn main() {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![
-            "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "baseline", "fig6", "fig7",
-            "fig8a", "fig8b", "fig8c", "fig8d", "spiral", "ablation",
+            "fig1",
+            "fig2",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table3",
+            "baseline",
+            "fig6",
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+            "fig8d",
+            "spiral",
+            "ablation",
+            "fig_fairness",
+            "fig_occupancy",
         ]
         .into_iter()
         .map(String::from)
@@ -74,6 +91,8 @@ fn main() {
             "fig8d" => fig8d(),
             "spiral" => spiral(),
             "ablation" => ablations(),
+            "fig_fairness" => fig_fairness(threads),
+            "fig_occupancy" => fig_occupancy(threads),
             other => eprintln!("unknown target: {other}"),
         }
     }
@@ -533,6 +552,54 @@ fn ablations() {
         "strategy,solo_tput_mbps,solo_rtt_ms,neighbor_tcp_mbps",
         &csv,
     );
+}
+
+fn fig_fairness(threads: usize) {
+    banner("Shared bottleneck: Jain's fairness, N Sammy vs N greedy sessions");
+    let base = SharedLabConfig::default();
+    let points = shared::fairness_curve(&[2, 4, 8], &base, threads);
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>14}",
+        "N", "greedy jain", "sammy jain", "greedy Mbps", "sammy Mbps"
+    );
+    for p in &points {
+        println!(
+            "{:>4} {:>12.4} {:>12.4} {:>14.2} {:>14.2}",
+            p.n, p.greedy_jain, p.sammy_jain, p.greedy_mean_mbps, p.sammy_mean_mbps
+        );
+    }
+    save_csv(
+        "fig_fairness.csv",
+        shared::FAIRNESS_CSV_HEADER,
+        &shared::fairness_csv_rows(&points),
+    );
+}
+
+fn fig_occupancy(threads: usize) {
+    banner("Shared bottleneck: core queue occupancy, N Sammy vs N greedy sessions");
+    let base = SharedLabConfig::default();
+    let (greedy, sammy) = shared::shared_occupancy(&base, threads);
+    println!(
+        "greedy: peak {:.1} kB, {} drops; sammy: peak {:.1} kB, {} drops (N={})",
+        greedy.core_peak_queue_bytes as f64 / 1e3,
+        greedy.core_drops,
+        sammy.core_peak_queue_bytes as f64 / 1e3,
+        sammy.core_drops,
+        base.sessions
+    );
+    let blank = (f64::NAN, f64::NAN);
+    let n = greedy
+        .core_occupancy_kb
+        .len()
+        .max(sammy.core_occupancy_kb.len());
+    let rows: Vec<String> = (0..n)
+        .map(|i| {
+            let (t, g) = *greedy.core_occupancy_kb.get(i).unwrap_or(&blank);
+            let (_, s) = *sammy.core_occupancy_kb.get(i).unwrap_or(&blank);
+            format!("{t:.1},{g:.3},{s:.3}")
+        })
+        .collect();
+    save_csv("fig_shared_occupancy.csv", "t_s,greedy_kb,sammy_kb", &rows);
 }
 
 fn spiral() {

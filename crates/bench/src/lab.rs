@@ -107,7 +107,7 @@ pub fn lab_title(secs: u64, seed: u64) -> Arc<Title> {
 
 /// Build the arm's ABR with a warmed history (lab devices have seen this
 /// network before; estimate near link rate with full confidence).
-fn lab_abr(arm: LabArm) -> Box<dyn Abr> {
+pub(crate) fn lab_abr(arm: LabArm) -> Box<dyn Abr> {
     let history: SharedHistory = shared_history();
     for _ in 0..30 {
         history.update(Rate::from_mbps(38.0));
@@ -193,7 +193,7 @@ pub fn single_flow(arm: LabArm, cfg: &LabConfig) -> SingleFlowResult {
     sim.link_mut(db.forward).queue.reset_max_occupancy();
     sim.run_until(SimTime::ZERO + cfg.run_for);
 
-    let max_queue_bytes = sim.link(db.forward).queue.max_occupied_bytes;
+    let max_queue_bytes = sim.link(db.forward).queue.stats().max_occupied_bytes;
     // Sender-side stats.
     let server: &mut SenderEndpoint = sim.endpoint_mut(db.left[0]).expect("server endpoint");
     let stats = server.sender().stats().clone();

@@ -16,6 +16,11 @@
 //! mechanisms (Table 1 rows as burst profiles), Reno-vs-CUBIC substrate
 //! sensitivity, and the scavenger-vs-Sammy contrast of §2.2.
 //!
+//! [`shared`] scales the lab out: N concurrent sessions served from one
+//! CDN origin over a shared ISP-core bottleneck (with pluggable AQM/FQ
+//! disciplines), backing the shared-queue-occupancy and Jain's-fairness
+//! figures.
+//!
 //! The `figures` binary (`cargo run -p sammy-bench --bin figures --release`)
 //! regenerates all of them as aligned text tables and CSV files.
 //!
@@ -31,3 +36,4 @@ pub mod figures;
 pub mod json;
 pub mod lab;
 pub mod perf;
+pub mod shared;

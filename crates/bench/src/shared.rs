@@ -1,0 +1,383 @@
+//! Shared-bottleneck multi-session experiments.
+//!
+//! N video sessions served from one CDN origin contend on the ISP core
+//! queue of a [`SharedTopology`] (origin → core → access → clients). The
+//! two figures this module backs compare N Sammy sessions against N greedy
+//! (production-control) sessions:
+//!
+//! - **Shared-queue occupancy**: the core queue's depth over time. Greedy
+//!   sessions keep the shared queue standing; Sammy sessions pace near
+//!   3x the top bitrate and the queue stays shallow.
+//! - **Jain's-fairness curves**: Jain's index over per-session mean chunk
+//!   throughput as N grows, per arm and per core queue discipline.
+//!
+//! The core link is provisioned *per session* (default 12 Mbps each), so
+//! the aggregate Sammy pace (~10.5 Mbps per session) fits underneath while
+//! greedy sessions saturate it — the regime of the paper's §6 neighbor
+//! experiments, scaled out.
+//!
+//! Experiment cells (one `(N, arm)` pair each) run on a worker pool;
+//! results are merged in cell order, so every figure is bit-identical for
+//! every `--threads` setting — the shared-determinism golden test pins the
+//! N=8 fairness CSV across thread counts.
+
+use crate::lab::{lab_abr, lab_title, LabArm};
+use netsim::{
+    Discipline, FlowId, LinkConfig, QueueMonitor, Rate, SharedTopology, SharedTopologyConfig,
+    SimDuration, SimTime, Simulator,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use transport::{MultiSenderEndpoint, TcpConfig};
+use video::{Player, PlayerConfig, VideoClientEndpoint};
+
+/// Configuration for a shared-bottleneck multi-session run.
+#[derive(Debug, Clone)]
+pub struct SharedLabConfig {
+    /// Number of concurrent video sessions.
+    pub sessions: usize,
+    /// Length of the simulated run.
+    pub run_for: SimDuration,
+    /// Title length (longer than the run keeps sessions active).
+    pub title_secs: u64,
+    /// Base seed; session `i` uses `seed + i` for its title wobble.
+    pub seed: u64,
+    /// Core-link capacity per session (Mbps); the core runs at
+    /// `sessions x` this rate.
+    pub core_mbps_per_session: f64,
+    /// Queue discipline on the shared core queue.
+    pub discipline: Discipline,
+    /// Client buffer capacity. Deep by default so sessions keep
+    /// downloading for the whole window (the Fig 8 regime).
+    pub max_buffer: SimDuration,
+    /// Pacer burst size for the video senders.
+    pub burst_packets: u32,
+    /// Startup transient to exclude from the peak-queue and drop counts:
+    /// both arms saturate the core during the (unpaced) initial phase, so
+    /// the queue comparison targets steady state, as in the single-flow
+    /// lab.
+    pub startup: SimDuration,
+}
+
+impl Default for SharedLabConfig {
+    fn default() -> Self {
+        SharedLabConfig {
+            sessions: 4,
+            run_for: SimDuration::from_secs(30),
+            title_secs: 20 * 60,
+            seed: 1,
+            core_mbps_per_session: 12.0,
+            discipline: Discipline::DropTail,
+            max_buffer: SimDuration::from_secs(3600),
+            burst_packets: 4,
+            startup: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl SharedLabConfig {
+    /// The topology this configuration describes: the default CDN/access
+    /// tiers with the core scaled to `sessions x core_mbps_per_session`
+    /// and carrying the configured discipline.
+    pub fn topology(&self) -> SharedTopologyConfig {
+        let rate = Rate::from_mbps(self.core_mbps_per_session * self.sessions as f64);
+        SharedTopologyConfig {
+            sessions: self.sessions,
+            core: LinkConfig::with_bdp_queue(
+                rate,
+                SimDuration::from_micros(2500),
+                SimDuration::from_millis(5),
+                4.0,
+            )
+            .with_discipline(self.discipline),
+            ..Default::default()
+        }
+    }
+}
+
+/// Jain's fairness index of an allocation: `(sum x)^2 / (n * sum x^2)`.
+/// 1.0 is perfectly fair; `1/n` is a single flow hogging everything.
+/// Empty or all-zero allocations count as fair.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 == 0.0 {
+        1.0
+    } else {
+        s * s / (n * s2)
+    }
+}
+
+/// Results of one N-session shared-bottleneck run.
+#[derive(Debug, Clone)]
+pub struct SharedRunResult {
+    /// Mean chunk throughput per session (Mbps), session order.
+    pub per_session_mbps: Vec<f64>,
+    /// Jain's index over `per_session_mbps`.
+    pub jain: f64,
+    /// Core queue occupancy over time: `(s, kB)` at 100 ms cadence,
+    /// covering the full run including the startup transient.
+    pub core_occupancy_kb: Vec<(f64, f64)>,
+    /// Peak core queue occupancy after the startup transient (bytes).
+    pub core_peak_queue_bytes: u64,
+    /// Packets dropped at the core queue after the startup transient.
+    pub core_drops: u64,
+}
+
+/// Run N concurrent sessions of `arm` over the shared topology.
+pub fn shared_sessions(arm: LabArm, cfg: &SharedLabConfig) -> SharedRunResult {
+    let mut sim = Simulator::new();
+    let topo = SharedTopology::build(&mut sim, cfg.topology());
+
+    let mut server = MultiSenderEndpoint::new();
+    for i in 0..cfg.sessions {
+        let flow = FlowId(1 + i as u64);
+        let tcp = TcpConfig {
+            max_burst_packets: cfg.burst_packets,
+            ..Default::default()
+        };
+        server.add_flow(topo.origin, topo.clients[i], flow, tcp);
+        let title = lab_title(cfg.title_secs, cfg.seed + i as u64);
+        let player = Player::new(
+            title,
+            lab_abr(arm),
+            PlayerConfig {
+                start_threshold: SimDuration::from_secs(8),
+                resume_threshold: SimDuration::from_secs(8),
+                max_buffer: cfg.max_buffer,
+            },
+            SimTime::ZERO,
+        );
+        VideoClientEndpoint::new(topo.clients[i], topo.origin, flow, player)
+            .install(&mut sim, SimTime::ZERO);
+    }
+    sim.set_endpoint(topo.origin, Box::new(server));
+
+    let mut mon = QueueMonitor::new(topo.core_down, SimDuration::from_millis(100));
+    // Sample through the startup transient, then reset the high-water
+    // mark (and note the drop count) so peak/drops reflect steady state.
+    let startup = (SimTime::ZERO + cfg.startup).min(SimTime::ZERO + cfg.run_for);
+    mon.run_sampled(&mut sim, startup);
+    let startup_drops = sim.link(topo.core_down).queue.stats().drops;
+    sim.link_mut(topo.core_down).queue.reset_max_occupancy();
+    mon.run_sampled(&mut sim, SimTime::ZERO + cfg.run_for);
+
+    let qstats = sim.link(topo.core_down).queue.stats();
+    let core_peak_queue_bytes = qstats.max_occupied_bytes;
+    let core_drops = qstats.drops - startup_drops;
+
+    let server: &mut MultiSenderEndpoint = sim.endpoint_mut(topo.origin).expect("origin endpoint");
+    let per_session_mbps: Vec<f64> = (0..cfg.sessions)
+        .map(|slot| {
+            let done = server.completed(slot);
+            if done.is_empty() {
+                0.0
+            } else {
+                done.iter().map(|t| t.throughput().mbps()).sum::<f64>() / done.len() as f64
+            }
+        })
+        .collect();
+
+    SharedRunResult {
+        jain: jain_index(&per_session_mbps),
+        per_session_mbps,
+        core_occupancy_kb: mon.series_kb(),
+        core_peak_queue_bytes,
+        core_drops,
+    }
+}
+
+/// One N on the fairness curve: both arms at the same session count.
+#[derive(Debug, Clone)]
+pub struct FairnessPoint {
+    /// Session count.
+    pub n: usize,
+    /// Jain's index over the greedy (control) sessions.
+    pub greedy_jain: f64,
+    /// Jain's index over the Sammy sessions.
+    pub sammy_jain: f64,
+    /// Mean per-session chunk throughput, greedy arm (Mbps).
+    pub greedy_mean_mbps: f64,
+    /// Mean per-session chunk throughput, Sammy arm (Mbps).
+    pub sammy_mean_mbps: f64,
+    /// Peak shared-queue occupancy, greedy arm (kB).
+    pub greedy_peak_queue_kb: f64,
+    /// Peak shared-queue occupancy, Sammy arm (kB).
+    pub sammy_peak_queue_kb: f64,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Compute the N-Sammy-vs-N-greedy fairness curve over `ns` session
+/// counts. `threads` sizes the worker pool (0 = all cores); the result is
+/// identical for every thread count.
+pub fn fairness_curve(ns: &[usize], base: &SharedLabConfig, threads: usize) -> Vec<FairnessPoint> {
+    let cells: Vec<(usize, LabArm)> = ns
+        .iter()
+        .flat_map(|&n| [(n, LabArm::Control), (n, LabArm::Sammy)])
+        .collect();
+    let results = run_cells(&cells, threads, |&(n, arm)| {
+        let cfg = SharedLabConfig {
+            sessions: n,
+            ..base.clone()
+        };
+        shared_sessions(arm, &cfg)
+    });
+    ns.iter()
+        .zip(results.chunks_exact(2))
+        .map(|(&n, pair)| {
+            let (greedy, sammy) = (&pair[0], &pair[1]);
+            FairnessPoint {
+                n,
+                greedy_jain: greedy.jain,
+                sammy_jain: sammy.jain,
+                greedy_mean_mbps: mean(&greedy.per_session_mbps),
+                sammy_mean_mbps: mean(&sammy.per_session_mbps),
+                greedy_peak_queue_kb: greedy.core_peak_queue_bytes as f64 / 1e3,
+                sammy_peak_queue_kb: sammy.core_peak_queue_bytes as f64 / 1e3,
+            }
+        })
+        .collect()
+}
+
+/// CSV rows for the fairness figure (one per N), matching the header
+/// `n,greedy_jain,sammy_jain,greedy_mean_mbps,sammy_mean_mbps,greedy_peak_kb,sammy_peak_kb`.
+/// This exact formatting is pinned by the shared-determinism golden test.
+pub fn fairness_csv_rows(points: &[FairnessPoint]) -> Vec<String> {
+    points
+        .iter()
+        .map(|p| {
+            format!(
+                "{},{:.6},{:.6},{:.4},{:.4},{:.2},{:.2}",
+                p.n,
+                p.greedy_jain,
+                p.sammy_jain,
+                p.greedy_mean_mbps,
+                p.sammy_mean_mbps,
+                p.greedy_peak_queue_kb,
+                p.sammy_peak_queue_kb
+            )
+        })
+        .collect()
+}
+
+/// Header for [`fairness_csv_rows`].
+pub const FAIRNESS_CSV_HEADER: &str =
+    "n,greedy_jain,sammy_jain,greedy_mean_mbps,sammy_mean_mbps,greedy_peak_kb,sammy_peak_kb";
+
+/// Shared-queue occupancy traces for N sessions: `(greedy, sammy)` runs at
+/// the same N. Both cells run on the worker pool.
+pub fn shared_occupancy(
+    base: &SharedLabConfig,
+    threads: usize,
+) -> (SharedRunResult, SharedRunResult) {
+    let cells = [LabArm::Control, LabArm::Sammy];
+    let mut results = run_cells(&cells, threads, |&arm| shared_sessions(arm, base));
+    let sammy = results.pop().expect("two cells");
+    let greedy = results.pop().expect("two cells");
+    (greedy, sammy)
+}
+
+/// Run every cell through a worker pool and return results in cell order.
+///
+/// Workers pull cell indices from a shared counter and deposit results
+/// into per-cell slots, which are drained in index order afterwards — the
+/// same discipline as the A/B sharded runner, so output never depends on
+/// scheduling.
+fn run_cells<C: Sync, T: Send>(cells: &[C], threads: usize, f: impl Fn(&C) -> T + Sync) -> Vec<T> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = cells
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(f(&cells[i]));
+            });
+        }
+    })
+    .expect("shared lab worker pool");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker pool drained every cell"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One hog among n flows: index = 1/n.
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        let mixed = jain_index(&[4.0, 1.0]);
+        assert!(mixed > 0.5 && mixed < 1.0, "jain {mixed}");
+    }
+
+    fn quick_cfg(sessions: usize) -> SharedLabConfig {
+        SharedLabConfig {
+            sessions,
+            run_for: SimDuration::from_secs(20),
+            ..Default::default()
+        }
+    }
+
+    /// N greedy sessions keep the shared core queue deep; N Sammy sessions
+    /// pace under the per-session provisioning and keep it shallow.
+    #[test]
+    fn sammy_keeps_shared_queue_shallow() {
+        let cfg = quick_cfg(3);
+        let greedy = shared_sessions(LabArm::Control, &cfg);
+        let sammy = shared_sessions(LabArm::Sammy, &cfg);
+        for r in [&greedy, &sammy] {
+            assert_eq!(r.per_session_mbps.len(), 3);
+            assert!(
+                r.per_session_mbps.iter().all(|&m| m > 1.0),
+                "all sessions make progress: {:?}",
+                r.per_session_mbps
+            );
+        }
+        assert!(
+            greedy.core_peak_queue_bytes > 2 * sammy.core_peak_queue_bytes,
+            "greedy peak {} vs sammy {}",
+            greedy.core_peak_queue_bytes,
+            sammy.core_peak_queue_bytes
+        );
+        // Paced sessions don't overflow the shared queue.
+        assert_eq!(sammy.core_drops, 0, "sammy dropped at the core");
+    }
+
+    /// The fairness curve is bit-identical across worker-pool sizes.
+    #[test]
+    fn fairness_curve_thread_invariant() {
+        let base = quick_cfg(0); // sessions overridden per point
+        let a = fairness_curve(&[2], &base, 1);
+        let b = fairness_curve(&[2], &base, 4);
+        assert_eq!(fairness_csv_rows(&a), fairness_csv_rows(&b));
+        assert_eq!(a[0].n, 2);
+        // Homogeneous sessions: both arms land in a sane fairness range.
+        assert!(a[0].sammy_jain > 0.8, "sammy jain {}", a[0].sammy_jain);
+        assert!(a[0].greedy_jain > 0.5, "greedy jain {}", a[0].greedy_jain);
+    }
+}

@@ -24,9 +24,10 @@
 //! counter, so the merged dispatch order is exactly the historical single-
 //! heap `(at, seq)` order.
 
-use crate::link::{Link, LinkConfig};
+use crate::link::{Link, LinkConfig, TxStart};
 use crate::packet::{FlowId, LinkId, NodeId, Packet};
 use crate::queue::EnqueueResult;
+use crate::time::SimDuration;
 use crate::time::SimTime;
 use crate::timerwheel::TimerWheel;
 use std::cmp::Reverse;
@@ -81,6 +82,10 @@ impl NodeCtx<'_> {
 enum EventKind {
     /// The link finished serializing its in-flight packet.
     LinkTxDone(LinkId),
+    /// A non-work-conserving queue (token-bucket shaper) asked to be
+    /// re-polled at this time: enough tokens will have accrued to release
+    /// the head-of-line packet.
+    LinkWake(LinkId),
     /// A packet reached the node at the far end of its last link. The
     /// packet itself is parked in the simulator's arrival slab (second
     /// field is the slot) so heap sifts move 32-byte events, not the
@@ -134,6 +139,13 @@ pub struct FlowStats {
     pub delivered_packets: u64,
     /// Packets of this flow dropped at any queue.
     pub dropped_packets: u64,
+    /// Bytes of this flow dropped at any queue.
+    pub dropped_bytes: u64,
+    /// Packets this flow's sources handed to the network (first hop only;
+    /// forwarding at intermediate nodes does not re-count).
+    pub injected_packets: u64,
+    /// Bytes this flow's sources handed to the network.
+    pub injected_bytes: u64,
 }
 
 /// Flow ids below this index live in the dense stats table; anything larger
@@ -190,6 +202,8 @@ pub struct Simulator {
     /// after every callback, so capacity is reused run-long.
     scratch_out: Vec<Packet>,
     scratch_timers: Vec<(SimTime, u64)>,
+    /// Scratch buffer for AQM head-drops surfaced by `Queue::dequeue`.
+    scratch_dropped: Vec<Packet>,
     /// `(at, seq)` of the most recently dispatched event (validate feature):
     /// dispatch keys must be strictly increasing across the heap/wheel merge.
     #[cfg(feature = "validate")]
@@ -224,6 +238,7 @@ impl Simulator {
             processed_events: 0,
             scratch_out: Vec::new(),
             scratch_timers: Vec::new(),
+            scratch_dropped: Vec::new(),
             #[cfg(feature = "validate")]
             last_dispatch: None,
             #[cfg(feature = "validate")]
@@ -366,6 +381,9 @@ impl Simulator {
     /// if an endpoint at that node had sent it.
     pub fn inject(&mut self, from: NodeId, mut pkt: Packet) {
         pkt.sent_at = self.now;
+        let st = self.flow_stats_mut(pkt.flow);
+        st.injected_packets += 1;
+        st.injected_bytes += pkt.size;
         self.route_packet(from, pkt);
     }
 
@@ -398,8 +416,9 @@ impl Simulator {
         let Some(via) = self.nodes[from.0].routes.get(pkt.dst.0).copied().flatten() else {
             panic!("no route from {from:?} to {:?}", pkt.dst);
         };
+        let now = self.now;
         let link = &mut self.links[via.0];
-        match link.enqueue(pkt) {
+        match link.enqueue(now, pkt) {
             EnqueueResult::Accepted => {
                 obs::observe!(
                     "netsim.link.queue_depth_bytes",
@@ -412,19 +431,44 @@ impl Simulator {
             EnqueueResult::Dropped => {
                 obs::counter!("netsim.link.drops", 1);
                 obs::trace_event!(LinkDrop, self.now.as_nanos(), pkt.flow.0, pkt.size);
-                self.flow_stats_mut(pkt.flow).dropped_packets += 1;
+                let st = self.flow_stats_mut(pkt.flow);
+                st.dropped_packets += 1;
+                st.dropped_bytes += pkt.size;
             }
         }
     }
 
-    /// Start serializing the next queued packet on an idle link.
+    /// Start serializing the next eligible packet on an idle link. AQM
+    /// head-drops are accounted here; a shaper's `Wait` schedules a
+    /// deduplicated `LinkWake`.
     fn kick_link(&mut self, id: LinkId) {
         let now = self.now;
-        let link = &mut self.links[id.0];
-        if let Some((pkt, done)) = link.start_transmission(now) {
-            self.in_flight[id.0] = Some(pkt);
-            self.push_event(done, EventKind::LinkTxDone(id));
+        let mut dropped = std::mem::take(&mut self.scratch_dropped);
+        match self.links[id.0].start_transmission(now, &mut dropped) {
+            TxStart::Started { pkt, done } => {
+                self.in_flight[id.0] = Some(pkt);
+                self.push_event(done, EventKind::LinkTxDone(id));
+            }
+            TxStart::Wait(at) => {
+                // Never wake in the past/present (a stale Wait would spin),
+                // and skip if an earlier-or-equal wake is already pending.
+                let at = at.max(now + SimDuration::from_nanos(1));
+                let pending = self.links[id.0].wake_at;
+                if pending.is_none_or(|w| w <= now || at < w) {
+                    self.links[id.0].wake_at = Some(at);
+                    self.push_event(at, EventKind::LinkWake(id));
+                }
+            }
+            TxStart::Idle => {}
         }
+        for pkt in dropped.drain(..) {
+            obs::counter!("netsim.link.drops", 1);
+            obs::trace_event!(LinkDrop, now.as_nanos(), pkt.flow.0, pkt.size);
+            let st = self.flow_stats_mut(pkt.flow);
+            st.dropped_packets += 1;
+            st.dropped_bytes += pkt.size;
+        }
+        self.scratch_dropped = dropped;
     }
 
     /// Run one event. Returns `false` if the queue is empty.
@@ -443,15 +487,17 @@ impl Simulator {
         obs::counter!("netsim.engine.events", 1);
         if take_timer {
             let e = self.timers.pop().expect("peeked entry vanished");
-            debug_assert!(e.at >= self.now, "time went backwards");
+            // Tagged invariant first: under `validate` a backwards clock
+            // must surface as [dispatch-order], not a bare debug_assert.
             self.check_dispatch(e.at, e.seq);
+            debug_assert!(e.at >= self.now, "time went backwards");
             self.now = e.at;
             self.processed_events += 1;
             self.dispatch_timer(e.node, e.token);
         } else {
             let Reverse(ev) = self.events.pop().expect("peeked event vanished");
-            debug_assert!(ev.at >= self.now, "time went backwards");
             self.check_dispatch(ev.at, ev.seq);
+            debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
             self.processed_events += 1;
             match ev.kind {
@@ -471,6 +517,13 @@ impl Simulator {
                 EventKind::PacketArrive(node, slot) => {
                     let pkt = self.free_arrival_slot(slot);
                     self.deliver(node, pkt);
+                }
+                EventKind::LinkWake(id) => {
+                    let link = &mut self.links[id.0];
+                    if link.wake_at.is_some_and(|w| w <= self.now) {
+                        link.wake_at = None;
+                    }
+                    self.kick_link(id);
                 }
             }
         }
@@ -583,8 +636,58 @@ impl Simulator {
     #[cfg(feature = "validate")]
     pub fn mutant_queue_byte_leak(&mut self) {
         let link = self.links.first_mut().expect("no links in topology");
-        link.queue.mutant_leak_dropped_bytes(1_500);
+        let occupied = link.queue.occupied_bytes();
+        link.queue
+            .stats_mut()
+            .mutant_leak_dropped_bytes(1_500, occupied);
     }
+
+    /// Mutant mode: claim a packet was injected without sending anything,
+    /// as a buggy source-accounting path would. Must trip
+    /// `topology-packet-conservation`.
+    #[cfg(feature = "validate")]
+    pub fn mutant_phantom_inject(&mut self) {
+        self.flow_stats_mut(FlowId(0)).injected_packets += 1;
+        self.check_topology_conservation();
+    }
+
+    /// Shared-queue conservation across the whole topology: every packet a
+    /// source injected is delivered, dropped, or still resident (queued on
+    /// some hop, serializing on some wire, or parked in the arrival slab).
+    /// Checked at run boundaries — O(links + flows), off the per-event path.
+    #[cfg(feature = "validate")]
+    pub fn check_topology_conservation(&self) {
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        for st in self
+            .flow_stats
+            .iter()
+            .chain(self.flow_stats_overflow.values())
+        {
+            injected += st.injected_packets;
+            delivered += st.delivered_packets;
+            dropped += st.dropped_packets;
+        }
+        let queued: u64 = self.links.iter().map(|l| l.queue.len() as u64).sum();
+        let flying = self.in_flight.iter().filter(|p| p.is_some()).count() as u64;
+        let parked = (self.arrivals.len() - self.arrival_free.len()) as u64;
+        crate::invariant!(
+            "topology-packet-conservation",
+            injected == delivered + dropped + queued + flying + parked,
+            "injected {} != delivered {} + dropped {} + queued {} + flying {} + parked {}",
+            injected,
+            delivered,
+            dropped,
+            queued,
+            flying,
+            parked
+        );
+    }
+
+    #[cfg(not(feature = "validate"))]
+    #[inline(always)]
+    fn check_topology_conservation(&self) {}
 
     fn deliver(&mut self, node: NodeId, pkt: Packet) {
         if pkt.dst != node {
@@ -639,6 +742,9 @@ impl Simulator {
         }
         for mut pkt in out.drain(..) {
             pkt.sent_at = self.now;
+            let st = self.flow_stats_mut(pkt.flow);
+            st.injected_packets += 1;
+            st.injected_bytes += pkt.size;
             self.route_packet(node, pkt);
         }
     }
@@ -663,12 +769,14 @@ impl Simulator {
         if self.now < deadline {
             self.now = deadline;
         }
+        self.check_topology_conservation();
         self.now
     }
 
     /// Run until no events remain.
     pub fn run_to_completion(&mut self) -> SimTime {
         while self.step() {}
+        self.check_topology_conservation();
         self.now
     }
 
@@ -681,9 +789,11 @@ impl Simulator {
         let limit = self.processed_events.saturating_add(max_events);
         while self.processed_events < limit {
             if !self.step() {
+                self.check_topology_conservation();
                 return Ok(self.now);
             }
         }
+        self.check_topology_conservation();
         if self.events.is_empty() && self.timers.is_empty() {
             Ok(self.now)
         } else {
@@ -740,11 +850,7 @@ mod tests {
         let mut sim = Simulator::new();
         let a = sim.add_node();
         let b = sim.add_node();
-        let cfg = LinkConfig {
-            rate: Rate::from_mbps(rate_mbps),
-            delay,
-            queue_bytes: 1_000_000,
-        };
+        let cfg = LinkConfig::new(Rate::from_mbps(rate_mbps), delay, 1_000_000);
         let (ab, ba) = sim.add_duplex_link(a, b, cfg);
         sim.add_route(a, b, ab);
         sim.add_route(b, a, ba);
@@ -809,11 +915,8 @@ mod tests {
         let mut sim = Simulator::new();
         let a = sim.add_node();
         let b = sim.add_node();
-        let cfg = LinkConfig {
-            rate: Rate::from_mbps(1.0),
-            delay: SimDuration::from_millis(1),
-            queue_bytes: 3000, // fits 2 x 1500
-        };
+        // Queue fits 2 x 1500.
+        let cfg = LinkConfig::new(Rate::from_mbps(1.0), SimDuration::from_millis(1), 3000);
         let ab = sim.add_link(a, b, cfg);
         sim.add_route(a, b, ab);
 
@@ -826,7 +929,10 @@ mod tests {
         // One on the wire, two queued, two dropped.
         assert_eq!(st.delivered_packets, 3);
         assert_eq!(st.dropped_packets, 2);
-        assert_eq!(sim.link(ab).queue.drops, 2);
+        assert_eq!(st.dropped_bytes, 3000);
+        assert_eq!(st.injected_packets, 5);
+        assert_eq!(st.injected_bytes, 7500);
+        assert_eq!(sim.link(ab).queue.stats().drops, 2);
     }
 
     #[test]
@@ -888,11 +994,7 @@ mod tests {
         let a = sim.add_node();
         let r = sim.add_node();
         let b = sim.add_node();
-        let cfg = LinkConfig {
-            rate: Rate::from_mbps(12.0),
-            delay: SimDuration::from_millis(2),
-            queue_bytes: 100_000,
-        };
+        let cfg = LinkConfig::new(Rate::from_mbps(12.0), SimDuration::from_millis(2), 100_000);
         let ar = sim.add_link(a, r, cfg);
         let rb = sim.add_link(r, b, cfg);
         sim.add_route(a, b, ar);
@@ -971,6 +1073,55 @@ mod tests {
         sim.inject(a, pkt);
         // The LinkTxDone at 1 ms now precedes the timer.
         assert_eq!(sim.next_event_time(), Some(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn shaped_link_paces_deliveries_via_wakeups() {
+        // 100 Mbps line, 8 Mbps token-bucket shaper with a one-packet
+        // burst: deliveries must be spaced ~1 ms by LinkWake events, not
+        // by serialization (which takes only 80 us).
+        let mut sim = Simulator::new();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let cfg = LinkConfig::new(
+            Rate::from_mbps(100.0),
+            SimDuration::from_millis(1),
+            1_000_000,
+        )
+        .with_discipline(crate::queue::Discipline::TokenBucket(
+            crate::shaper::TokenBucketConfig::new(Rate::from_mbps(8.0), 1_000),
+        ));
+        let ab = sim.add_link(a, b, cfg);
+        sim.add_route(a, b, ab);
+
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timers = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                arrivals: arrivals.clone(),
+                timers,
+            }),
+        );
+        for seq in 0..4 {
+            let pkt = Packet::new(a, b, FlowId(3), Payload::Datagram { seq }).with_size(1_000);
+            sim.inject(a, pkt);
+        }
+        sim.run_to_completion();
+
+        let got = arrivals.borrow();
+        assert_eq!(got.len(), 4);
+        // First packet rides the stored burst; each next waits ~1 ms for
+        // tokens. Gaps between consecutive arrivals must be ~1 ms.
+        for w in got.windows(2) {
+            let gap = w[1].0 - w[0].0;
+            let gap_us = gap.as_nanos() / 1_000;
+            assert!(
+                (950..=1_100).contains(&gap_us),
+                "arrival gap {gap_us} us, expected ~1000"
+            );
+        }
+        assert_eq!(sim.flow_stats(FlowId(3)).delivered_packets, 4);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | tag | crate | meaning |
 //! |-----|-------|---------|
 //! | `queue-byte-conservation` | netsim | enqueued = dequeued + dropped + queued per queue |
+//! | `topology-packet-conservation` | netsim | injected = delivered + dropped + queued + in-flight + parked, per flow-summed topology |
 //! | `dispatch-order` | netsim | events dispatch in strictly increasing `(time, seq)`, never behind the clock |
 //! | `arrival-slab` | netsim | arrival slots never double-allocated or double-freed |
 //! | `tcp-sender-sanity` | transport | `snd_una <= snd_nxt <= stream_end`, cwnd/inflight bounds |

@@ -15,10 +15,13 @@
 //! - [`time`]: [`SimTime`] / [`SimDuration`] integer-nanosecond time.
 //! - [`units`]: [`Rate`] (bits/sec) and packet-size constants.
 //! - [`packet`]: [`Packet`] and the neutral [`Payload`] wire format.
-//! - [`queue`]: drop-tail byte-bounded FIFO.
+//! - [`queue`]: the pluggable [`Queue`] discipline trait + drop-tail FIFO.
+//! - [`aqm`]: RED and CoDel active queue management.
+//! - [`fq`]: deficit-round-robin per-flow fair queuing.
+//! - [`shaper`]: token-bucket ISP rate shaping (non-work-conserving).
 //! - [`link`]: serialization + propagation delay model.
 //! - [`engine`]: the event loop, [`Simulator`], and the [`Endpoint`] trait.
-//! - [`topology`]: dumbbell builder matching the paper's lab setup.
+//! - [`topology`]: dumbbell + shared CDN/ISP/access builders.
 //! - [`monitor`]: periodic queue-depth sampling for the Fig 7 traces.
 //! - [`trace`]: throughput/gauge recorders for the figures.
 //!
@@ -37,27 +40,33 @@
 
 #![warn(missing_docs)]
 
+pub mod aqm;
 pub mod engine;
 pub mod error;
+pub mod fq;
 pub mod invariants;
 pub mod link;
 pub mod monitor;
 pub mod packet;
 pub mod queue;
+pub mod shaper;
 pub mod time;
 mod timerwheel;
 pub mod topology;
 pub mod trace;
 pub mod units;
 
+pub use aqm::{CoDelConfig, CoDelQueue, RedConfig, RedQueue};
 pub use engine::{BudgetExceeded, Endpoint, FlowStats, NodeCtx, Simulator};
 pub use error::SimError;
-pub use link::{Link, LinkConfig};
+pub use fq::{DrrConfig, DrrQueue};
+pub use link::{Link, LinkConfig, TxStart};
 pub use monitor::QueueMonitor;
 pub use packet::{FlowId, LinkId, NodeId, Packet, Payload};
-pub use queue::{DropTailQueue, EnqueueResult};
+pub use queue::{Dequeue, Discipline, DropTailQueue, EnqueueResult, Queue, QueueStats};
+pub use shaper::{TokenBucketConfig, TokenBucketQueue};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Dumbbell, DumbbellConfig};
+pub use topology::{Dumbbell, DumbbellConfig, SharedTopology, SharedTopologyConfig};
 pub use trace::{BinnedThroughput, GaugeSeries};
 pub use units::{Rate, HEADER_BYTES, MSS_BYTES, MTU_BYTES};
 
@@ -67,8 +76,9 @@ pub mod prelude {
     pub use crate::error::SimError;
     pub use crate::link::LinkConfig;
     pub use crate::packet::{FlowId, LinkId, NodeId, Packet, Payload};
+    pub use crate::queue::{Discipline, Queue};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{Dumbbell, DumbbellConfig};
+    pub use crate::topology::{Dumbbell, DumbbellConfig, SharedTopology, SharedTopologyConfig};
     pub use crate::trace::{BinnedThroughput, GaugeSeries};
     pub use crate::units::{Rate, HEADER_BYTES, MSS_BYTES, MTU_BYTES};
 }

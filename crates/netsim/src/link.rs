@@ -1,11 +1,12 @@
 //! Unidirectional links.
 //!
 //! A [`Link`] serializes packets at a fixed line rate, holds waiting packets
-//! in a drop-tail queue, and delivers each packet after a fixed propagation
-//! delay. Links are unidirectional; a bidirectional cable is two `Link`s.
+//! in a pluggable [`Queue`] discipline (drop-tail by default), and delivers
+//! each packet after a fixed propagation delay. Links are unidirectional; a
+//! bidirectional cable is two `Link`s.
 
 use crate::packet::{NodeId, Packet};
-use crate::queue::{DropTailQueue, EnqueueResult};
+use crate::queue::{Dequeue, Discipline, EnqueueResult, Queue};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
 
@@ -16,11 +17,23 @@ pub struct LinkConfig {
     pub rate: Rate,
     /// One-way propagation delay.
     pub delay: SimDuration,
-    /// Drop-tail queue capacity in bytes.
+    /// Queue capacity in bytes.
     pub queue_bytes: u64,
+    /// Queue discipline (drop-tail FIFO unless configured otherwise).
+    pub discipline: Discipline,
 }
 
 impl LinkConfig {
+    /// A link with the given rate, delay and queue size, drop-tail queued.
+    pub fn new(rate: Rate, delay: SimDuration, queue_bytes: u64) -> Self {
+        LinkConfig {
+            rate,
+            delay,
+            queue_bytes,
+            discipline: Discipline::DropTail,
+        }
+    }
+
     /// A link with a queue sized to `bdp_multiple` times the
     /// bandwidth-delay product computed from `rate` and `rtt`.
     ///
@@ -37,8 +50,32 @@ impl LinkConfig {
             rate,
             delay,
             queue_bytes,
+            discipline: Discipline::DropTail,
         }
     }
+
+    /// Replace the queue discipline, keeping rate/delay/capacity.
+    pub fn with_discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+}
+
+/// Outcome of offering an idle link a chance to transmit.
+#[derive(Debug)]
+pub enum TxStart {
+    /// Serialization of `pkt` began; it completes at `done`.
+    Started {
+        /// The packet now on the wire.
+        pkt: Packet,
+        /// Absolute time serialization finishes.
+        done: SimTime,
+    },
+    /// The queue holds packets but none may be released before this time
+    /// (non-work-conserving discipline); the engine schedules a wakeup.
+    Wait(SimTime),
+    /// Nothing to send (busy link or empty queue).
+    Idle,
 }
 
 /// A unidirectional link between two nodes.
@@ -52,10 +89,13 @@ pub struct Link {
     pub rate: Rate,
     /// One-way propagation delay.
     pub delay: SimDuration,
-    /// Waiting packets.
-    pub queue: DropTailQueue,
+    /// Waiting packets, behind the configured discipline.
+    pub queue: Box<dyn Queue>,
     /// True while a packet is being serialized onto the wire.
     pub busy: bool,
+    /// Pending shaper wakeup already scheduled with the engine, if any
+    /// (deduplicates `LinkWake` events).
+    pub(crate) wake_at: Option<SimTime>,
     /// Total bytes that finished serialization (carried traffic).
     pub bytes_sent: u64,
     /// Total packets that finished serialization.
@@ -70,29 +110,35 @@ impl Link {
             dst,
             rate: cfg.rate,
             delay: cfg.delay,
-            queue: DropTailQueue::new(cfg.queue_bytes),
+            queue: cfg.discipline.build(cfg.queue_bytes),
             busy: false,
+            wake_at: None,
             bytes_sent: 0,
             packets_sent: 0,
         }
     }
 
-    /// Offer a packet to the link's queue.
-    pub fn enqueue(&mut self, pkt: Packet) -> EnqueueResult {
-        self.queue.enqueue(pkt)
+    /// Offer a packet to the link's queue at simulated time `now`.
+    pub fn enqueue(&mut self, now: SimTime, pkt: Packet) -> EnqueueResult {
+        self.queue.enqueue(now, pkt)
     }
 
-    /// Begin serializing the head-of-line packet, if the link is idle and a
-    /// packet is waiting. Returns the packet and the time serialization will
-    /// complete.
-    pub fn start_transmission(&mut self, now: SimTime) -> Option<(Packet, SimTime)> {
+    /// Begin serializing the next eligible packet, if the link is idle and
+    /// the discipline releases one. Head-dropped packets (AQM) are pushed
+    /// into `dropped` for the caller to account.
+    pub fn start_transmission(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> TxStart {
         if self.busy {
-            return None;
+            return TxStart::Idle;
         }
-        let pkt = self.queue.dequeue()?;
-        self.busy = true;
-        let done = now + self.rate.time_to_send(pkt.size);
-        Some((pkt, done))
+        match self.queue.dequeue(now, dropped) {
+            Dequeue::Packet(pkt) => {
+                self.busy = true;
+                let done = now + self.rate.time_to_send(pkt.size);
+                TxStart::Started { pkt, done }
+            }
+            Dequeue::Wait(at) => TxStart::Wait(at),
+            Dequeue::Empty => TxStart::Idle,
+        }
     }
 
     /// Record that the in-flight packet finished serialization.
@@ -122,6 +168,7 @@ impl Link {
 mod tests {
     use super::*;
     use crate::packet::{FlowId, Payload};
+    use crate::shaper::TokenBucketConfig;
 
     fn test_link() -> Link {
         // 12 Mbps => 1500 bytes takes exactly 1 ms.
@@ -132,6 +179,7 @@ mod tests {
                 rate: Rate::from_mbps(12.0),
                 delay: SimDuration::from_millis(5),
                 queue_bytes: 15_000,
+                discipline: Discipline::DropTail,
             },
         )
     }
@@ -146,17 +194,25 @@ mod tests {
         .with_size(size)
     }
 
+    fn start(link: &mut Link, now: SimTime) -> Option<(Packet, SimTime)> {
+        let mut dropped = Vec::new();
+        match link.start_transmission(now, &mut dropped) {
+            TxStart::Started { pkt, done } => Some((pkt, done)),
+            _ => None,
+        }
+    }
+
     #[test]
     fn serialization_time() {
         let mut link = test_link();
-        link.enqueue(pkt(1500));
-        let (p, done) = link.start_transmission(SimTime::ZERO).unwrap();
+        link.enqueue(SimTime::ZERO, pkt(1500));
+        let (p, done) = start(&mut link, SimTime::ZERO).unwrap();
         assert_eq!(p.size, 1500);
         assert_eq!(done, SimTime::from_millis(1));
         assert!(link.busy);
         // Cannot start another while busy.
-        link.enqueue(pkt(1500));
-        assert!(link.start_transmission(SimTime::from_micros(500)).is_none());
+        link.enqueue(SimTime::ZERO, pkt(1500));
+        assert!(start(&mut link, SimTime::from_micros(500)).is_none());
         link.finish_transmission(&p);
         assert!(!link.busy);
         assert_eq!(link.bytes_sent, 1500);
@@ -167,8 +223,8 @@ mod tests {
     fn queueing_delay_tracks_backlog() {
         let mut link = test_link();
         assert_eq!(link.queueing_delay(), SimDuration::ZERO);
-        link.enqueue(pkt(1500));
-        link.enqueue(pkt(1500));
+        link.enqueue(SimTime::ZERO, pkt(1500));
+        link.enqueue(SimTime::ZERO, pkt(1500));
         // 3000 bytes at 12 Mbps = 2 ms.
         assert_eq!(link.queueing_delay(), SimDuration::from_millis(2));
     }
@@ -183,16 +239,41 @@ mod tests {
         );
         // BDP = 40e6 * 0.005 / 8 = 25 kB; 4x = 100 kB.
         assert_eq!(cfg.queue_bytes, 100_000);
+        assert_eq!(cfg.discipline, Discipline::DropTail);
     }
 
     #[test]
     fn utilization() {
         let mut link = test_link();
-        link.enqueue(pkt(1500));
-        let (p, _) = link.start_transmission(SimTime::ZERO).unwrap();
+        link.enqueue(SimTime::ZERO, pkt(1500));
+        let (p, _) = start(&mut link, SimTime::ZERO).unwrap();
         link.finish_transmission(&p);
         // 1500 bytes in 1 ms at 12 Mbps is exactly full utilization.
         let u = link.utilization(SimDuration::from_millis(1));
         assert!((u - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shaped_link_reports_wait() {
+        // Fast line, slow shaper: the second packet must wait on tokens.
+        let cfg = LinkConfig::new(
+            Rate::from_mbps(100.0),
+            SimDuration::from_millis(1),
+            1_000_000,
+        )
+        .with_discipline(Discipline::TokenBucket(TokenBucketConfig::new(
+            Rate::from_mbps(8.0),
+            1_000,
+        )));
+        let mut link = Link::new(NodeId(0), NodeId(1), cfg);
+        link.enqueue(SimTime::ZERO, pkt(1_000));
+        link.enqueue(SimTime::ZERO, pkt(1_000));
+        let (p, _) = start(&mut link, SimTime::ZERO).unwrap();
+        link.finish_transmission(&p);
+        let mut dropped = Vec::new();
+        match link.start_transmission(SimTime::ZERO, &mut dropped) {
+            TxStart::Wait(at) => assert!(at > SimTime::ZERO),
+            other => panic!("expected Wait from empty bucket, got {other:?}"),
+        }
     }
 }

@@ -81,11 +81,11 @@ mod tests {
         let link = sim.add_link(
             a,
             b,
-            LinkConfig {
-                rate: Rate::from_mbps(1.2), // 1500 B packet = 10 ms
-                delay: SimDuration::from_millis(1),
-                queue_bytes: 1_000_000,
-            },
+            LinkConfig::new(
+                Rate::from_mbps(1.2), // 1500 B packet = 10 ms
+                SimDuration::from_millis(1),
+                1_000_000,
+            ),
         );
         sim.add_route(a, b, link);
         // Burst of 50 packets at t=0: queue drains at 1 packet / 10 ms.
@@ -117,11 +117,11 @@ mod tests {
         let link = sim.add_link(
             a,
             b,
-            LinkConfig {
-                rate: Rate::from_mbps(12.0),
-                delay: SimDuration::from_millis(1),
-                queue_bytes: 1_000_000,
-            },
+            LinkConfig::new(
+                Rate::from_mbps(12.0),
+                SimDuration::from_millis(1),
+                1_000_000,
+            ),
         );
         sim.add_route(a, b, link);
         for seq in 0..20 {

@@ -4,6 +4,10 @@
 //! several receivers on the other, all traffic crossing one bottleneck link.
 //! [`Dumbbell`] builds that topology and installs all routes, leaving the
 //! caller to attach endpoints to the host nodes.
+//!
+//! [`SharedTopology`] generalizes the lab to population scale: one CDN
+//! origin serves N clients through a shared ISP core link (the contended
+//! queue), with optional cross-traffic hosts contending on the same core.
 
 use crate::engine::Simulator;
 use crate::link::LinkConfig;
@@ -81,11 +85,11 @@ impl Dumbbell {
         let reverse = sim.add_link(right_router, left_router, bn_cfg);
 
         // Edge links: fast, short, deep-queued so they never interfere.
-        let edge_cfg = LinkConfig {
-            rate: cfg.edge_rate,
-            delay: SimDuration::from_micros(10),
-            queue_bytes: 64 * 1024 * 1024,
-        };
+        let edge_cfg = LinkConfig::new(
+            cfg.edge_rate,
+            SimDuration::from_micros(10),
+            64 * 1024 * 1024,
+        );
 
         let mut left = Vec::with_capacity(cfg.pairs);
         let mut right = Vec::with_capacity(cfg.pairs);
@@ -127,6 +131,164 @@ impl Dumbbell {
             right_router,
             forward,
             reverse,
+        }
+    }
+}
+
+/// Configuration for a [`SharedTopology`]: three link tiers, all duplex.
+///
+/// The default mirrors the paper-lab dumbbell hop for hop (same rates,
+/// delays and queue sizes on every tier), so a one-session shared topology
+/// reproduces the legacy dumbbell session byte-for-byte — the differential
+/// test relies on this.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedTopologyConfig {
+    /// Number of video clients hanging off the access router.
+    pub sessions: usize,
+    /// Number of cross-traffic host pairs: sources attach at the core
+    /// router, sinks at the access router, so cross flows contend on the
+    /// ISP core queue and nothing else.
+    pub cross_pairs: usize,
+    /// CDN egress: origin <-> core.
+    pub cdn: LinkConfig,
+    /// ISP core: core <-> access. This is the shared bottleneck; give it
+    /// an AQM/FQ/shaper discipline via `core.discipline`.
+    pub core: LinkConfig,
+    /// Access tier: access <-> each client.
+    pub access: LinkConfig,
+    /// Attachment links for cross-traffic hosts.
+    pub edge: LinkConfig,
+}
+
+impl Default for SharedTopologyConfig {
+    fn default() -> Self {
+        let db = DumbbellConfig::default();
+        let one_way = SimDuration::from_nanos(db.rtt.as_nanos() / 2);
+        let fast = LinkConfig {
+            rate: db.edge_rate,
+            delay: SimDuration::from_micros(10),
+            queue_bytes: 64 * 1024 * 1024,
+            discipline: Default::default(),
+        };
+        SharedTopologyConfig {
+            sessions: 1,
+            cross_pairs: 0,
+            cdn: fast,
+            core: LinkConfig::with_bdp_queue(
+                db.bottleneck_rate,
+                one_way,
+                db.rtt,
+                db.queue_bdp_multiple,
+            ),
+            access: fast,
+            edge: fast,
+        }
+    }
+}
+
+/// A built shared-bottleneck topology:
+///
+/// ```text
+/// origin ==cdn== core ==ISP core== access --access--> client_0..N-1
+///                 |                  |
+///            cross sources      cross sinks
+/// ```
+///
+/// All video sessions share every hop; cross traffic shares exactly the
+/// ISP core queue (`core_down`).
+#[derive(Debug)]
+pub struct SharedTopology {
+    /// CDN origin node (attach the multi-flow server endpoint here).
+    pub origin: NodeId,
+    /// ISP core router.
+    pub core: NodeId,
+    /// Access/aggregation router.
+    pub access: NodeId,
+    /// Client hosts, one per session.
+    pub clients: Vec<NodeId>,
+    /// Cross-traffic source hosts (attached at the core router).
+    pub cross_sources: Vec<NodeId>,
+    /// Cross-traffic sink hosts (attached at the access router).
+    pub cross_sinks: Vec<NodeId>,
+    /// origin -> core (CDN egress, shared by all sessions).
+    pub cdn_down: LinkId,
+    /// core -> origin (request/ACK return).
+    pub cdn_up: LinkId,
+    /// core -> access: THE shared bottleneck queue.
+    pub core_down: LinkId,
+    /// access -> core.
+    pub core_up: LinkId,
+    /// access -> client_i, one per session.
+    pub access_down: Vec<LinkId>,
+    /// client_i -> access.
+    pub access_up: Vec<LinkId>,
+}
+
+impl SharedTopology {
+    /// Build the topology inside `sim` and install all routes.
+    ///
+    /// # Panics
+    /// Panics if `sessions` is zero.
+    pub fn build(sim: &mut Simulator, cfg: SharedTopologyConfig) -> Self {
+        assert!(cfg.sessions >= 1, "need at least one session");
+        let origin = sim.add_node();
+        let core = sim.add_node();
+        let access = sim.add_node();
+
+        let (cdn_down, cdn_up) = sim.add_duplex_link(origin, core, cfg.cdn);
+        let (core_down, core_up) = sim.add_duplex_link(core, access, cfg.core);
+
+        // Shared-path routes toward the origin.
+        sim.add_route(core, origin, cdn_up);
+        sim.add_route(access, origin, core_up);
+
+        let mut clients = Vec::with_capacity(cfg.sessions);
+        let mut access_down = Vec::with_capacity(cfg.sessions);
+        let mut access_up = Vec::with_capacity(cfg.sessions);
+        for _ in 0..cfg.sessions {
+            let c = sim.add_node();
+            let (down, up) = sim.add_duplex_link(access, c, cfg.access);
+            sim.add_route(origin, c, cdn_down);
+            sim.add_route(core, c, core_down);
+            sim.add_route(access, c, down);
+            sim.add_route(c, origin, up);
+            clients.push(c);
+            access_down.push(down);
+            access_up.push(up);
+        }
+
+        let mut cross_sources = Vec::with_capacity(cfg.cross_pairs);
+        let mut cross_sinks = Vec::with_capacity(cfg.cross_pairs);
+        for _ in 0..cfg.cross_pairs {
+            let src = sim.add_node();
+            let sink = sim.add_node();
+            let (src_up, src_down) = sim.add_duplex_link(src, core, cfg.edge);
+            let (sink_up, sink_down) = sim.add_duplex_link(sink, access, cfg.edge);
+            // Forward: src -> core -> (shared core queue) -> access -> sink.
+            sim.add_route(src, sink, src_up);
+            sim.add_route(core, sink, core_down);
+            sim.add_route(access, sink, sink_down);
+            // Reverse: sink -> access -> core -> src.
+            sim.add_route(sink, src, sink_up);
+            sim.add_route(access, src, core_up);
+            sim.add_route(core, src, src_down);
+            cross_sources.push(src);
+            cross_sinks.push(sink);
+        }
+
+        SharedTopology {
+            origin,
+            core,
+            access,
+            clients,
+            cross_sources,
+            cross_sinks,
+            cdn_down,
+            cdn_up,
+            core_down,
+            core_up,
+            access_down,
+            access_up,
         }
     }
 }
@@ -225,5 +387,82 @@ mod tests {
         let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
         // 40 Mbps * 5 ms = 25 kB BDP; 4x = 100 kB.
         assert_eq!(sim.link(db.forward).queue.capacity_bytes(), 100_000);
+    }
+
+    #[test]
+    fn shared_default_mirrors_dumbbell_tiers() {
+        let mut sim = Simulator::new();
+        let st = SharedTopology::build(&mut sim, SharedTopologyConfig::default());
+        // Core tier carries the paper-lab bottleneck: 100 kB 4x-BDP queue.
+        assert_eq!(sim.link(st.core_down).queue.capacity_bytes(), 100_000);
+        assert_eq!(sim.link(st.core_down).rate, Rate::from_mbps(40.0));
+        assert_eq!(sim.link(st.cdn_down).rate, Rate::from_gbps(1.0));
+        assert_eq!(st.clients.len(), 1);
+        assert!(st.cross_sources.is_empty());
+    }
+
+    #[test]
+    fn shared_sessions_and_cross_traffic_route_end_to_end() {
+        let mut sim = Simulator::new();
+        let st = SharedTopology::build(
+            &mut sim,
+            SharedTopologyConfig {
+                sessions: 3,
+                cross_pairs: 2,
+                ..Default::default()
+            },
+        );
+        let arrived = Rc::new(RefCell::new(Vec::new()));
+        for &n in st
+            .clients
+            .iter()
+            .chain(&st.cross_sinks)
+            .chain([st.origin, st.cross_sources[0], st.cross_sources[1]].iter())
+        {
+            sim.set_endpoint(
+                n,
+                Box::new(Sink {
+                    arrived: arrived.clone(),
+                }),
+            );
+        }
+        // Origin -> every client.
+        for (i, &c) in st.clients.iter().enumerate() {
+            let pkt = Packet::new(st.origin, c, FlowId(i as u64), Payload::Datagram { seq: 0 })
+                .with_size(1500);
+            sim.inject(st.origin, pkt);
+        }
+        // Every client -> origin (request path).
+        for (i, &c) in st.clients.iter().enumerate() {
+            let pkt = Packet::new(
+                c,
+                st.origin,
+                FlowId(10 + i as u64),
+                Payload::Datagram { seq: 0 },
+            )
+            .with_size(40);
+            sim.inject(c, pkt);
+        }
+        // Cross pairs both ways.
+        for j in 0..2 {
+            let fwd = Packet::new(
+                st.cross_sources[j],
+                st.cross_sinks[j],
+                FlowId(20 + j as u64),
+                Payload::Datagram { seq: 0 },
+            )
+            .with_size(1500);
+            sim.inject(st.cross_sources[j], fwd);
+            let rev = Packet::new(
+                st.cross_sinks[j],
+                st.cross_sources[j],
+                FlowId(30 + j as u64),
+                Payload::Datagram { seq: 1 },
+            )
+            .with_size(40);
+            sim.inject(st.cross_sinks[j], rev);
+        }
+        sim.run_to_completion();
+        assert_eq!(arrived.borrow().len(), 10);
     }
 }

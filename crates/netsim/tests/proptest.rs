@@ -12,11 +12,11 @@ fn run_injection(n: u64, size: u64, queue_bytes: u64, rate_mbps: f64) -> (u64, u
     let link = sim.add_link(
         a,
         b,
-        LinkConfig {
-            rate: Rate::from_mbps(rate_mbps),
-            delay: SimDuration::from_millis(1),
+        LinkConfig::new(
+            Rate::from_mbps(rate_mbps),
+            SimDuration::from_millis(1),
             queue_bytes,
-        },
+        ),
     );
     sim.add_route(a, b, link);
     for seq in 0..n {
@@ -68,11 +68,11 @@ proptest! {
         let mut sim = Simulator::new();
         let a = sim.add_node();
         let b = sim.add_node();
-        let l = sim.add_link(a, b, LinkConfig {
-            rate: Rate::from_mbps(10.0),
-            delay: SimDuration::from_millis(1),
-            queue_bytes: 100_000,
-        });
+        let l = sim.add_link(a, b, LinkConfig::new(
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(1),
+            100_000,
+        ));
         sim.add_route(a, b, l);
         let mut sorted = deadlines.clone();
         sorted.sort();

@@ -231,9 +231,17 @@ mod tests {
     #[test]
     fn unpaced_fills_queue_paced_does_not() {
         let (sim_unpaced, db_u, _) = run_transfer(5_000_000, None);
-        let max_q_unpaced = sim_unpaced.link(db_u.forward).queue.max_occupied_bytes;
+        let max_q_unpaced = sim_unpaced
+            .link(db_u.forward)
+            .queue
+            .stats()
+            .max_occupied_bytes;
         let (sim_paced, db_p, _) = run_transfer(5_000_000, Some(10e6));
-        let max_q_paced = sim_paced.link(db_p.forward).queue.max_occupied_bytes;
+        let max_q_paced = sim_paced
+            .link(db_p.forward)
+            .queue
+            .stats()
+            .max_occupied_bytes;
         assert!(
             max_q_unpaced > 5 * max_q_paced.max(1),
             "unpaced {max_q_unpaced} vs paced {max_q_paced}"

@@ -30,6 +30,7 @@
 pub mod bbr;
 pub mod cc;
 pub mod endpoint;
+pub mod multi;
 pub mod pacing;
 pub mod receiver;
 pub mod rtt;
@@ -40,6 +41,7 @@ pub mod udp;
 pub use bbr::BbrLite;
 pub use cc::{CcAlgorithm, CongestionControl, Cubic, Reno, INITIAL_CWND_SEGMENTS};
 pub use endpoint::{ReceiverEndpoint, SenderEndpoint};
+pub use multi::MultiSenderEndpoint;
 pub use pacing::Pacer;
 pub use receiver::TcpReceiver;
 pub use rtt::RttEstimator;

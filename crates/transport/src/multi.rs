@@ -1,0 +1,281 @@
+//! Multi-flow sender endpoint for shared-bottleneck topologies.
+//!
+//! [`MultiSenderEndpoint`] hosts N independent [`TcpSender`]s at a single
+//! node — the CDN origin of a [`netsim::SharedTopology`] serves every video
+//! session from one server node, so the endpoint demultiplexes arriving
+//! ACKs/requests by [`FlowId`] and keeps one timer chain per flow.
+//!
+//! Timer tokens are `1 + slot_index`, so a single-flow instance uses token
+//! `1` — exactly the `TICK` of the legacy [`SenderEndpoint`] — and drives
+//! the engine through an event sequence identical to the one-sender path.
+//! That equivalence is what the shared-topology differential test pins down
+//! byte-for-byte.
+//!
+//! [`SenderEndpoint`]: crate::SenderEndpoint
+
+use crate::sender::{CompletedTransfer, TcpConfig, TcpSender};
+use netsim::{
+    Endpoint, FlowId, GaugeSeries, NodeCtx, NodeId, Packet, Payload, Rate, SimDuration, SimTime,
+};
+use std::collections::HashMap;
+
+/// One hosted sender plus its per-flow bookkeeping.
+struct SenderSlot {
+    sender: TcpSender,
+    completed: Vec<CompletedTransfer>,
+    rtt_trace: GaugeSeries,
+    requests_served: u64,
+    /// Earliest outstanding timer for this slot; engine timers are not
+    /// cancellable, so arming is deduplicated exactly as in the
+    /// single-flow endpoint.
+    next_timer: SimTime,
+}
+
+/// A server endpoint hosting one [`TcpSender`] per flow.
+///
+/// Flows are registered up front with [`add_flow`](Self::add_flow); packets
+/// for unknown flows are ignored (same as the single-flow endpoint's flow
+/// filter).
+#[derive(Default)]
+pub struct MultiSenderEndpoint {
+    slots: Vec<SenderSlot>,
+    index: HashMap<FlowId, usize>,
+}
+
+impl MultiSenderEndpoint {
+    /// Create an endpoint with no flows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a sender for `flow` from `local` to `remote`; returns the
+    /// slot index (also the timer token minus one).
+    ///
+    /// # Panics
+    /// Panics if `flow` is already registered.
+    pub fn add_flow(
+        &mut self,
+        local: NodeId,
+        remote: NodeId,
+        flow: FlowId,
+        cfg: TcpConfig,
+    ) -> usize {
+        assert!(
+            !self.index.contains_key(&flow),
+            "flow {flow:?} already registered"
+        );
+        let slot = self.slots.len();
+        self.slots.push(SenderSlot {
+            sender: TcpSender::new(local, remote, flow, cfg),
+            completed: Vec::new(),
+            rtt_trace: GaugeSeries::new(),
+            requests_served: 0,
+            next_timer: SimTime::MAX,
+        });
+        self.index.insert(flow, slot);
+        slot
+    }
+
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slot index of `flow`, if registered.
+    pub fn slot_of(&self, flow: FlowId) -> Option<usize> {
+        self.index.get(&flow).copied()
+    }
+
+    /// The sender in `slot`.
+    pub fn sender(&self, slot: usize) -> &TcpSender {
+        &self.slots[slot].sender
+    }
+
+    /// Mutable access to the sender in `slot`.
+    pub fn sender_mut(&mut self, slot: usize) -> &mut TcpSender {
+        &mut self.slots[slot].sender
+    }
+
+    /// Completed transfers drained from `slot`'s sender so far.
+    pub fn completed(&self, slot: usize) -> &[CompletedTransfer] {
+        &self.slots[slot].completed
+    }
+
+    /// Smoothed-RTT trace for `slot` (ms), recorded on each ACK.
+    pub fn rtt_trace(&self, slot: usize) -> &GaugeSeries {
+        &self.slots[slot].rtt_trace
+    }
+
+    /// Requests served by `slot`.
+    pub fn requests_served(&self, slot: usize) -> u64 {
+        self.slots[slot].requests_served
+    }
+
+    fn after_event(&mut self, slot: usize, now: SimTime, ctx: &mut NodeCtx) {
+        let s = &mut self.slots[slot];
+        s.completed.extend(s.sender.take_completed());
+        if s.next_timer <= now {
+            s.next_timer = SimTime::MAX;
+        }
+        if let Some(wake) = s.sender.next_wakeup(now) {
+            let wake = wake.max(now + SimDuration::from_micros(1));
+            if wake < s.next_timer {
+                s.next_timer = wake;
+                ctx.set_timer(wake, 1 + slot as u64);
+            }
+        }
+    }
+}
+
+impl Endpoint for MultiSenderEndpoint {
+    fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
+        let Some(&slot) = self.index.get(&pkt.flow) else {
+            return;
+        };
+        let mut out = Vec::new();
+        let s = &mut self.slots[slot];
+        match pkt.payload {
+            Payload::Ack {
+                cum_ack,
+                echo_ts,
+                round,
+            } => {
+                s.sender.on_ack(now, cum_ack, echo_ts, round, &mut out);
+                if let Some(srtt) = s.sender.srtt() {
+                    s.rtt_trace.record(now, srtt.as_millis_f64());
+                }
+            }
+            Payload::Request { size, pace_bps, .. } => {
+                let pace = pace_bps.map(Rate::from_bps);
+                s.sender.start_transfer(now, size, pace);
+                s.sender.pump(now, &mut out);
+                s.requests_served += 1;
+            }
+            _ => {}
+        }
+        for p in out {
+            ctx.send(p);
+        }
+        self.after_event(slot, now, ctx);
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, ctx: &mut NodeCtx) {
+        let Some(slot) = token.checked_sub(1).map(|s| s as usize) else {
+            return;
+        };
+        if slot >= self.slots.len() {
+            return;
+        }
+        let mut out = Vec::new();
+        self.slots[slot].sender.on_tick(now, &mut out);
+        for p in out {
+            ctx.send(p);
+        }
+        self.after_event(slot, now, ctx);
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{ReceiverEndpoint, SenderEndpoint};
+    use netsim::{Dumbbell, DumbbellConfig, Simulator};
+
+    fn run_single(bytes: u64, pace: Option<f64>, multi: bool) -> (u64, u64, u64) {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+        let flow = FlowId(1);
+        if multi {
+            let mut ep = MultiSenderEndpoint::new();
+            ep.add_flow(db.left[0], db.right[0], flow, TcpConfig::default());
+            sim.set_endpoint(db.left[0], Box::new(ep));
+        } else {
+            let ep = SenderEndpoint::new(db.left[0], db.right[0], flow, TcpConfig::default());
+            sim.set_endpoint(db.left[0], Box::new(ep));
+        }
+        sim.set_endpoint(
+            db.right[0],
+            Box::new(ReceiverEndpoint::new(db.right[0], db.left[0], flow)),
+        );
+        let req = Packet::new(
+            db.right[0],
+            db.left[0],
+            flow,
+            Payload::Request {
+                id: 0,
+                size: bytes,
+                pace_bps: pace,
+            },
+        );
+        sim.inject(db.right[0], req);
+        sim.run_until(SimTime::from_secs(60));
+        let st = sim.flow_stats(flow);
+        (
+            sim.processed_events(),
+            st.delivered_bytes,
+            st.dropped_packets,
+        )
+    }
+
+    /// A one-flow MultiSenderEndpoint is event-for-event identical to the
+    /// legacy SenderEndpoint: slot 0 arms timer token 1 == TICK, so the
+    /// engine sees the same event sequence.
+    #[test]
+    fn single_flow_matches_legacy_endpoint() {
+        for pace in [None, Some(10e6)] {
+            let legacy = run_single(2_000_000, pace, false);
+            let multi = run_single(2_000_000, pace, true);
+            assert_eq!(legacy, multi, "pace {pace:?}");
+        }
+    }
+
+    /// Two flows served from one node complete independently and both
+    /// deliver all bytes.
+    #[test]
+    fn two_flows_complete_independently() {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(
+            &mut sim,
+            DumbbellConfig {
+                pairs: 2,
+                ..DumbbellConfig::default()
+            },
+        );
+        let mut ep = MultiSenderEndpoint::new();
+        // Both senders live on left[0]; receivers on right[0] and right[1].
+        for (i, flow) in [FlowId(1), FlowId(2)].into_iter().enumerate() {
+            ep.add_flow(db.left[0], db.right[i], flow, TcpConfig::default());
+            sim.set_endpoint(
+                db.right[i],
+                Box::new(ReceiverEndpoint::new(db.right[i], db.left[0], flow)),
+            );
+        }
+        assert_eq!(ep.flow_count(), 2);
+        assert_eq!(ep.slot_of(FlowId(2)), Some(1));
+        sim.set_endpoint(db.left[0], Box::new(ep));
+        for (i, flow) in [FlowId(1), FlowId(2)].into_iter().enumerate() {
+            let req = Packet::new(
+                db.right[i],
+                db.left[0],
+                flow,
+                Payload::Request {
+                    id: 0,
+                    size: 1_000_000,
+                    pace_bps: Some(8e6),
+                },
+            );
+            sim.inject(db.right[i], req);
+        }
+        sim.run_until(SimTime::from_secs(30));
+        let ep: &mut MultiSenderEndpoint = sim.endpoint_mut(db.left[0]).unwrap();
+        for slot in 0..2 {
+            assert_eq!(ep.completed(slot).len(), 1, "slot {slot}");
+            assert_eq!(ep.completed(slot)[0].bytes, 1_000_000);
+            assert_eq!(ep.requests_served(slot), 1);
+        }
+    }
+}

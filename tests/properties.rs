@@ -178,11 +178,11 @@ proptest! {
         let mut adj = vec![Vec::new(); n]; // (neighbor, link out of this node)
         for i in 1..n {
             let p = draw(i as u64) as usize;
-            let cfg = LinkConfig {
-                rate: Rate::from_mbps(10.0 + draw(50) as f64),
-                delay: SimDuration::from_millis(1 + draw(20)),
-                queue_bytes: 10_000_000,
-            };
+            let cfg = LinkConfig::new(
+                Rate::from_mbps(10.0 + draw(50) as f64),
+                SimDuration::from_millis(1 + draw(20)),
+                10_000_000,
+            );
             let (ab, ba) = sim.add_duplex_link(nodes[p], nodes[i], cfg);
             adj[p].push((i, ab));
             adj[i].push((p, ba));
@@ -330,5 +330,187 @@ proptest! {
             }
         }
         prop_assert_eq!(got, best, "envelope chose {}, naive walk chose {}", got, best);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// N homogeneous Reno bulk flows sharing the ISP-core queue under
+    /// per-flow DRR fair queuing split the bottleneck evenly: Jain's
+    /// index over delivered bytes is at least 0.95.
+    #[test]
+    fn drr_gives_reno_flows_jain_fairness(n in 2usize..6, rate_step in 0u64..3) {
+        use sammy_repro::netsim::{
+            Discipline, DrrConfig, FlowId, LinkConfig, Rate, SharedTopology,
+            SharedTopologyConfig, SimTime, Simulator,
+        };
+        use sammy_repro::sammy_bench::shared::jain_index;
+        use sammy_repro::traffic::{BulkReceiver, BulkSender};
+        use sammy_repro::transport::TcpConfig;
+
+        let core_rate = Rate::from_mbps(16.0 + 8.0 * rate_step as f64);
+        let topo_cfg = SharedTopologyConfig {
+            cross_pairs: n,
+            core: LinkConfig::with_bdp_queue(
+                core_rate,
+                SimDuration::from_micros(2500),
+                SimDuration::from_millis(5),
+                4.0,
+            )
+            .with_discipline(Discipline::Drr(DrrConfig::default())),
+            ..Default::default()
+        };
+        let mut sim = Simulator::new();
+        let topo = SharedTopology::build(&mut sim, topo_cfg);
+        for i in 0..n {
+            let flow = FlowId(100 + i as u64);
+            BulkSender::new(
+                topo.cross_sources[i],
+                topo.cross_sinks[i],
+                flow,
+                TcpConfig::default(),
+                100_000_000, // effectively unbounded for the run length
+                SimTime::ZERO,
+            )
+            .install(&mut sim);
+            sim.set_endpoint(
+                topo.cross_sinks[i],
+                Box::new(BulkReceiver::new(
+                    topo.cross_sinks[i],
+                    topo.cross_sources[i],
+                    flow,
+                )),
+            );
+        }
+        sim.run_until(SimTime::from_secs(8));
+        let shares: Vec<f64> = (0..n)
+            .map(|i| sim.flow_stats(FlowId(100 + i as u64)).delivered_bytes as f64)
+            .collect();
+        let j = jain_index(&shares);
+        prop_assert!(j >= 0.95, "jain {} over {:?} at {:?}", j, shares, core_rate);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Queue byte/packet conservation across random multi-hop topologies
+    /// with mixed queue disciplines (drop-tail, RED, CoDel, DRR, token
+    /// bucket) and tight buffers: once the network drains, every flow's
+    /// always-on ledger balances (injected = delivered + dropped, in both
+    /// packets and bytes) and every queue is empty. Under
+    /// `--features validate` the same runs also execute the engine's
+    /// topology-conservation invariant at every run boundary.
+    #[test]
+    fn multi_hop_mixed_disciplines_conserve_bytes(n in 2usize..8, seed in 1u64..1_000_000) {
+        use sammy_repro::netsim::{
+            CoDelConfig, Discipline, DrrConfig, FlowId, LinkConfig, Packet, Payload,
+            Rate, RedConfig, Simulator, TokenBucketConfig,
+        };
+        use std::collections::HashMap;
+
+        let mut lcg = seed;
+        let mut draw = move |m: u64| {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 33) % m
+        };
+
+        let mut sim = Simulator::new();
+        let nodes: Vec<_> = (0..n).map(|_| sim.add_node()).collect();
+
+        // Random spanning tree; each duplex link gets a random discipline
+        // and a queue small enough that bursts overflow it.
+        let mut adj = vec![Vec::new(); n];
+        for i in 1..n {
+            let p = draw(i as u64) as usize;
+            let disc = match draw(5) {
+                0 => Discipline::DropTail,
+                1 => Discipline::Red(RedConfig::default()),
+                2 => Discipline::CoDel(CoDelConfig::default()),
+                3 => Discipline::Drr(DrrConfig::default()),
+                _ => Discipline::TokenBucket(TokenBucketConfig::new(
+                    Rate::from_mbps(2.0 + draw(20) as f64),
+                    6_000,
+                )),
+            };
+            let cfg = LinkConfig::new(
+                Rate::from_mbps(10.0 + draw(50) as f64),
+                SimDuration::from_millis(1 + draw(10)),
+                3_000 + draw(40_000),
+            )
+            .with_discipline(disc);
+            let (ab, ba) = sim.add_duplex_link(nodes[p], nodes[i], cfg);
+            adj[p].push((i, ab));
+            adj[i].push((p, ba));
+        }
+
+        // Routes for every ordered pair via BFS parent pointers.
+        for src in 0..n {
+            let mut prev = vec![usize::MAX; n];
+            let mut queue = std::collections::VecDeque::from([src]);
+            prev[src] = src;
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in &adj[u] {
+                    if prev[v] == usize::MAX {
+                        prev[v] = u;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                let mut hop = dst;
+                while prev[hop] != src {
+                    hop = prev[hop];
+                }
+                let link = adj[src].iter().find(|&&(v, _)| v == hop).unwrap().1;
+                sim.add_route(nodes[src], nodes[dst], link);
+            }
+        }
+
+        // Burst random traffic between random pairs.
+        let mut injected: HashMap<u64, (u64, u64)> = HashMap::new(); // id -> (pkts, bytes)
+        for _ in 0..(5 + draw(60)) {
+            let src = draw(n as u64) as usize;
+            let dst = (src + 1 + draw(n as u64 - 1) as usize) % n;
+            let flow = draw(6);
+            let bytes = 200 + draw(1300);
+            let e = injected.entry(flow).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += bytes;
+            sim.inject(
+                nodes[src],
+                Packet::new(nodes[src], nodes[dst], FlowId(flow), Payload::Datagram { seq: 0 })
+                    .with_size(bytes),
+            );
+        }
+        sim.run_to_completion();
+
+        // Per-flow ledger: nothing created, nothing silently destroyed.
+        for (&flow, &(pkts, bytes)) in &injected {
+            let st = sim.flow_stats(FlowId(flow));
+            prop_assert_eq!(st.injected_packets, pkts, "flow {} injected pkts", flow);
+            prop_assert_eq!(st.injected_bytes, bytes, "flow {} injected bytes", flow);
+            prop_assert_eq!(
+                st.delivered_packets + st.dropped_packets, pkts,
+                "flow {} pkts: delivered {} + dropped {} != {}",
+                flow, st.delivered_packets, st.dropped_packets, pkts
+            );
+            prop_assert_eq!(
+                st.delivered_bytes + st.dropped_bytes, bytes,
+                "flow {} bytes: delivered {} + dropped {} != {}",
+                flow, st.delivered_bytes, st.dropped_bytes, bytes
+            );
+        }
+        // Every queue fully drained.
+        for edges in adj.iter().skip(1) {
+            for &(_, link) in edges {
+                prop_assert_eq!(sim.link(link).queue.len(), 0usize);
+                prop_assert_eq!(sim.link(link).queue.occupied_bytes(), 0u64);
+            }
+        }
     }
 }

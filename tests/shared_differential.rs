@@ -1,0 +1,145 @@
+//! Differential test: the shared CDN → ISP-core → access topology with
+//! N = 1 and drop-tail queues reproduces the legacy private-bottleneck
+//! (dumbbell) session **byte-for-byte**.
+//!
+//! The default [`SharedTopologyConfig`] mirrors the dumbbell hop-for-hop
+//! (same rates, delays, and queue capacities on all three tiers), and the
+//! multi-flow origin endpoint arms the same timer token for slot 0 as the
+//! legacy single-flow endpoint. Node and link ids differ between the two
+//! builds, but ids never influence event ordering — so the full event
+//! trace fingerprint (processed-event count, final clock, per-flow
+//! delivery and drop accounting, bottleneck byte counters) must match
+//! exactly. Any divergence means the topology refactor changed engine
+//! behavior on the legacy path.
+
+use sammy_repro::netsim::{
+    Dumbbell, DumbbellConfig, FlowId, LinkId, Packet, Payload, SharedTopology,
+    SharedTopologyConfig, SimTime, Simulator,
+};
+use sammy_repro::transport::{MultiSenderEndpoint, ReceiverEndpoint, SenderEndpoint, TcpConfig};
+
+/// Everything observable about a finished run that the two topologies
+/// must agree on.
+#[derive(Debug, PartialEq, Eq)]
+struct Trace {
+    processed_events: u64,
+    final_clock_ns: u64,
+    delivered_packets: u64,
+    delivered_bytes: u64,
+    dropped_packets: u64,
+    dropped_bytes: u64,
+    injected_packets: u64,
+    bottleneck_bytes_sent: u64,
+    bottleneck_packets_sent: u64,
+    bottleneck_drops: u64,
+    bottleneck_peak_bytes: u64,
+}
+
+fn trace_of(sim: &Simulator, flow: FlowId, bottleneck: LinkId) -> Trace {
+    let st = sim.flow_stats(flow);
+    let link = sim.link(bottleneck);
+    Trace {
+        processed_events: sim.processed_events(),
+        final_clock_ns: sim.now().as_nanos(),
+        delivered_packets: st.delivered_packets,
+        delivered_bytes: st.delivered_bytes,
+        dropped_packets: st.dropped_packets,
+        dropped_bytes: st.dropped_bytes,
+        injected_packets: st.injected_packets,
+        bottleneck_bytes_sent: link.bytes_sent,
+        bottleneck_packets_sent: link.packets_sent,
+        bottleneck_drops: link.queue.stats().drops,
+        bottleneck_peak_bytes: link.queue.stats().max_occupied_bytes,
+    }
+}
+
+fn request(
+    client: sammy_repro::netsim::NodeId,
+    server: sammy_repro::netsim::NodeId,
+    flow: FlowId,
+    pace_bps: Option<f64>,
+) -> Packet {
+    Packet::new(
+        client,
+        server,
+        flow,
+        Payload::Request {
+            id: 0,
+            size: 5_000_000,
+            pace_bps,
+        },
+    )
+}
+
+/// The legacy path: private dumbbell, single-flow sender endpoint.
+fn dumbbell_transfer(pace_bps: Option<f64>) -> Trace {
+    let mut sim = Simulator::new();
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+    let flow = FlowId(1);
+    sim.set_endpoint(
+        db.left[0],
+        Box::new(SenderEndpoint::new(
+            db.left[0],
+            db.right[0],
+            flow,
+            TcpConfig::default(),
+        )),
+    );
+    sim.set_endpoint(
+        db.right[0],
+        Box::new(ReceiverEndpoint::new(db.right[0], db.left[0], flow)),
+    );
+    sim.inject(
+        db.right[0],
+        request(db.right[0], db.left[0], flow, pace_bps),
+    );
+    sim.run_until(SimTime::from_secs(30));
+    trace_of(&sim, flow, db.forward)
+}
+
+/// The new path: shared topology at N = 1, multi-flow origin endpoint.
+fn shared_transfer(pace_bps: Option<f64>) -> Trace {
+    let mut sim = Simulator::new();
+    let topo = SharedTopology::build(&mut sim, SharedTopologyConfig::default());
+    let flow = FlowId(1);
+    let mut server = MultiSenderEndpoint::new();
+    server.add_flow(topo.origin, topo.clients[0], flow, TcpConfig::default());
+    sim.set_endpoint(topo.origin, Box::new(server));
+    sim.set_endpoint(
+        topo.clients[0],
+        Box::new(ReceiverEndpoint::new(topo.clients[0], topo.origin, flow)),
+    );
+    sim.inject(
+        topo.clients[0],
+        request(topo.clients[0], topo.origin, flow, pace_bps),
+    );
+    sim.run_until(SimTime::from_secs(30));
+    trace_of(&sim, flow, topo.core_down)
+}
+
+/// Unpaced 5 MB transfer: slow-start overshoot, queue overflow, fast
+/// recovery — the whole legacy feedback loop, reproduced exactly.
+#[test]
+fn n1_droptail_matches_dumbbell_unpaced() {
+    let legacy = dumbbell_transfer(None);
+    let shared = shared_transfer(None);
+    assert_eq!(legacy, shared);
+    // Cross-pin against the golden fixtures in perf_determinism.rs: the
+    // shared topology reproduces not just the dumbbell but the *frozen*
+    // dumbbell.
+    assert_eq!(shared.processed_events, 41_317);
+    assert_eq!(shared.delivered_bytes, 5_274_040);
+    assert_eq!(shared.delivered_packets, 6_851);
+    assert_eq!(shared.dropped_packets, 101);
+}
+
+/// Paced transfer: exercises the pacing timer path through the
+/// multi-flow endpoint's per-slot timer chain.
+#[test]
+fn n1_droptail_matches_dumbbell_paced() {
+    let legacy = dumbbell_transfer(Some(12e6));
+    let shared = shared_transfer(Some(12e6));
+    assert_eq!(legacy, shared);
+    assert_eq!(shared.processed_events, 44_480);
+    assert_eq!(shared.dropped_packets, 0);
+}

@@ -89,6 +89,14 @@ fn reorder_tick_mutant_trips_dispatch_order() {
 }
 
 #[test]
+fn phantom_inject_mutant_trips_topology_conservation() {
+    let (mut sim, _db) = mid_transfer_sim();
+    expect_violation("topology-packet-conservation", || {
+        sim.mutant_phantom_inject();
+    });
+}
+
+#[test]
 fn slab_double_free_mutant_trips_arrival_slab() {
     let (mut sim, _db) = mid_transfer_sim();
     expect_violation("arrival-slab", || {
