@@ -102,7 +102,7 @@ pub struct ExperimentConfig {
     /// Bootstrap replicates for CIs.
     pub bootstrap_reps: usize,
     /// Worker threads for the sharded runner (0 = all available cores).
-    /// Results are bit-identical for every value — see [`run_experiment`].
+    /// Results are bit-identical for every value — see [`Experiment`].
     pub threads: usize,
 }
 
@@ -293,9 +293,8 @@ fn run_one(
 
 /// The single entry point for running experiments.
 ///
-/// Replaces the `run_experiment` / `run_experiment_serial` /
-/// `run_experiment_detailed` trio: one builder, one `run()`, one result
-/// type. See [`ExperimentBuilder`] for the options.
+/// One builder, one `run()`, one result type. See [`ExperimentBuilder`]
+/// for the options.
 ///
 /// ```ignore
 /// let run = Experiment::builder()
@@ -466,36 +465,6 @@ impl ExperimentBuilder {
     }
 }
 
-/// Run a full two-arm experiment over a pre-drawn population.
-#[deprecated(since = "0.1.0", note = "use `Experiment::builder()...run()`")]
-pub fn run_experiment(
-    population: &[UserProfile],
-    control: Arm,
-    treatment: Arm,
-    cfg: &ExperimentConfig,
-) -> (ArmResult, ArmResult) {
-    let run = run_detailed_impl(population, control, treatment, cfg);
-    if let Some(f) = run.failures.first() {
-        panic!("session for user {} panicked: {}", f.user, f.message);
-    }
-    (run.control, run.treatment)
-}
-
-/// The reference single-threaded runner.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::builder().serial_reference(true)...run()`"
-)]
-pub fn run_experiment_serial(
-    population: &[UserProfile],
-    control: Arm,
-    treatment: Arm,
-    cfg: &ExperimentConfig,
-) -> (ArmResult, ArmResult) {
-    let run = run_serial_impl(population, control, treatment, cfg);
-    (run.control, run.treatment)
-}
-
 /// A user whose sessions panicked mid-experiment (isolated by the sharded
 /// runner rather than poisoning the pool).
 #[derive(Debug, Clone)]
@@ -563,20 +532,6 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
-}
-
-/// The sharded runner with per-user panic isolation.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::builder().detailed(true)...run()`"
-)]
-pub fn run_experiment_detailed(
-    population: &[UserProfile],
-    control: Arm,
-    treatment: Arm,
-    cfg: &ExperimentConfig,
-) -> ExperimentRun {
-    run_detailed_impl(population, control, treatment, cfg)
 }
 
 /// The reference single-threaded runner behind
@@ -938,7 +893,7 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_deprecated_entry_points() {
+    fn builder_serial_reference_matches_sharded() {
         let cfg = ExperimentConfig {
             users_per_arm: 8,
             pre_sessions: 1,
@@ -949,16 +904,12 @@ mod tests {
         };
         let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
         let treatment = Arm::Sammy { c0: 3.2, c1: 2.8 };
-        #[allow(deprecated)]
-        let (oc, ot) = run_experiment(&pop, Arm::Production, treatment, &cfg);
         let new = Experiment::builder()
             .population(&pop)
             .treatment(treatment)
             .config(cfg.clone())
             .run()
             .unwrap();
-        assert_eq!(oc.sessions, new.control.sessions);
-        assert_eq!(ot.sessions, new.treatment.sessions);
 
         // The serial reference produces the identical records.
         let serial = Experiment::builder()

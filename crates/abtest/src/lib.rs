@@ -26,8 +26,6 @@ pub mod population;
 pub mod stats;
 pub mod sweep;
 
-#[allow(deprecated)]
-pub use experiment::{run_experiment, run_experiment_detailed, run_experiment_serial};
 pub use experiment::{
     run_user, throughput_by_bucket, Arm, ArmResult, Experiment, ExperimentBuilder,
     ExperimentConfig, ExperimentRun, MetricRow, Report, SessionRecord, UserFailure,

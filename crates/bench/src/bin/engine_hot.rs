@@ -1,0 +1,43 @@
+//! Standalone engine hot-loop driver for profiling the perf battery's
+//! engine item in isolation (not part of the battery itself).
+use netsim::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let mut total = 0u64;
+    let mut t_inject = 0.0f64;
+    let mut t_drain = 0.0f64;
+    let mut events = 0u64;
+    for _ in 0..iters {
+        let mut sim = Simulator::new();
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
+        let t0 = Instant::now();
+        for seq in 0..10_000u64 {
+            let pkt = Packet::new(
+                db.left[0],
+                db.right[0],
+                FlowId(1),
+                Payload::Datagram { seq },
+            )
+            .with_size(1500);
+            sim.inject(db.left[0], pkt);
+        }
+        let t1 = Instant::now();
+        sim.run_with_budget(1_000_000).expect("budget");
+        t_drain += t1.elapsed().as_secs_f64();
+        t_inject += (t1 - t0).as_secs_f64();
+        events += sim.processed_events();
+        total += sim.flow_stats(FlowId(1)).delivered_packets;
+    }
+    let n = iters as f64;
+    println!(
+        "delivered {total}  events/iter {}  inject {:.3} ms/iter  drain {:.3} ms/iter",
+        events / iters,
+        t_inject / n * 1e3,
+        t_drain / n * 1e3
+    );
+}

@@ -16,6 +16,9 @@
 //! - `--tolerance P` regression threshold in percent (default 10)
 //! - `--no-write`   measure and compare without writing a new file
 //! - `--strict`     exit non-zero if any regression is flagged
+//! - `--threads N`  worker-pool size for the table2 item's sharded
+//!   sessions (0 = all cores, default 1; output is byte-identical at
+//!   every setting, only wall-clock changes)
 //! - `--metrics PATH` write the battery's telemetry registry as JSON lines
 //!   (needs `--features obs`; '-' renders the pretty table to stdout)
 
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
     let mut write = true;
     let mut strict = false;
     let mut metrics: Option<String> = None;
+    let mut threads = 1usize;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -46,6 +50,12 @@ fn main() -> ExitCode {
             "--no-write" => write = false,
             "--strict" => strict = true,
             "--metrics" => metrics = Some(it.next().expect("--metrics needs a path")),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a count (0 = all cores)")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
@@ -55,11 +65,12 @@ fn main() -> ExitCode {
     // Start from a clean registry so `--metrics` reflects this run only.
     let _ = obs::take();
 
-    let cfg = if quick {
+    let mut cfg = if quick {
         BatteryConfig::quick()
     } else {
         BatteryConfig::full()
     };
+    cfg.threads = threads;
     println!(
         "running perf battery ({}), dir: {}",
         if quick { "quick" } else { "full" },

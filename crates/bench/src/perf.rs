@@ -59,6 +59,11 @@ pub struct BatteryConfig {
     pub budget: Duration,
     /// Scale factor for the table2 experiment item.
     pub table2_scale: f64,
+    /// Worker-pool size for the table2 item's sharded sessions (0 = all
+    /// cores). The experiment output is byte-identical at every setting;
+    /// only the wall-clock measurement changes, so the BENCH file records
+    /// the thread count used.
+    pub threads: usize,
 }
 
 impl BatteryConfig {
@@ -67,6 +72,7 @@ impl BatteryConfig {
         BatteryConfig {
             budget: Duration::from_millis(1500),
             table2_scale: 0.3,
+            threads: 1,
         }
     }
 
@@ -75,6 +81,7 @@ impl BatteryConfig {
         BatteryConfig {
             budget: Duration::from_millis(150),
             table2_scale: 0.1,
+            threads: 1,
         }
     }
 }
@@ -194,14 +201,14 @@ fn fluid_item(budget: Duration) -> Measurement {
     }
 }
 
-fn table2_item(scale: f64) -> Measurement {
+fn table2_item(scale: f64, threads: usize) -> Measurement {
     let cfg = ExperimentConfig {
         users_per_arm: ((200.0 * scale) as usize).max(20),
         pre_sessions: 3,
         sessions_per_user: 3,
         seed: 2023,
         bootstrap_reps: 50,
-        threads: 1,
+        threads,
     };
     let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, 2023);
     let t0 = Instant::now();
@@ -228,7 +235,7 @@ pub fn run_battery(cfg: &BatteryConfig) -> Vec<Measurement> {
         engine_item(cfg.budget),
         tcp_item(cfg.budget),
         fluid_item(cfg.budget),
-        table2_item(cfg.table2_scale),
+        table2_item(cfg.table2_scale, cfg.threads),
     ]
 }
 
@@ -377,6 +384,7 @@ mod tests {
         let cfg = BatteryConfig {
             budget: Duration::from_millis(10),
             table2_scale: 0.05,
+            threads: 2,
         };
         let ms = run_battery(&cfg);
         assert_eq!(ms.len(), 4);

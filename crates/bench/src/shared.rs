@@ -289,8 +289,16 @@ pub fn shared_occupancy(
 /// Workers pull cell indices from a shared counter and deposit results
 /// into per-cell slots, which are drained in index order afterwards — the
 /// same discipline as the A/B sharded runner, so output never depends on
-/// scheduling.
-fn run_cells<C: Sync, T: Send>(cells: &[C], threads: usize, f: impl Fn(&C) -> T + Sync) -> Vec<T> {
+/// scheduling. `threads == 0` sizes the pool to all cores. This is the
+/// generic sharding primitive behind the figures grid, the fairness
+/// curve, and the fluid-vs-packet differential oracle; each cell must be
+/// seed-derived and self-contained so results are byte-identical at every
+/// pool size.
+pub fn run_cells<C: Sync, T: Send>(
+    cells: &[C],
+    threads: usize,
+    f: impl Fn(&C) -> T + Sync,
+) -> Vec<T> {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {

@@ -14,7 +14,7 @@
 //!   sojourn time has exceeded `target` for at least `interval`, then space
 //!   subsequent drops by `interval / sqrt(count)`.
 
-use crate::packet::Packet;
+use crate::packet::PacketRef;
 use crate::queue::{Dequeue, EnqueueResult, Queue, QueueStats};
 use crate::time::{SimDuration, SimTime};
 use crate::units::MTU_BYTES;
@@ -77,7 +77,7 @@ pub fn red_drop_probability(avg_bytes: f64, min_th: f64, max_th: f64, max_p: f64
 pub struct RedQueue {
     capacity_bytes: u64,
     occupied_bytes: u64,
-    packets: VecDeque<Packet>,
+    packets: VecDeque<PacketRef>,
     stats: QueueStats,
     min_th: f64,
     max_th: f64,
@@ -149,7 +149,7 @@ impl RedQueue {
 }
 
 impl Queue for RedQueue {
-    fn enqueue(&mut self, now: SimTime, pkt: Packet) -> EnqueueResult {
+    fn enqueue(&mut self, now: SimTime, pkt: PacketRef) -> EnqueueResult {
         self.update_avg(now);
         // Hard byte limit is always enforced (RED degrades to drop-tail
         // when the average estimator lags a burst).
@@ -185,7 +185,7 @@ impl Queue for RedQueue {
         }
     }
 
-    fn dequeue(&mut self, now: SimTime, _dropped: &mut Vec<Packet>) -> Dequeue {
+    fn dequeue(&mut self, now: SimTime, _dropped: &mut Vec<PacketRef>) -> Dequeue {
         let Some(pkt) = self.packets.pop_front() else {
             return Dequeue::Empty;
         };
@@ -243,7 +243,7 @@ pub struct CoDelQueue {
     capacity_bytes: u64,
     occupied_bytes: u64,
     /// Packets with their enqueue timestamps (for sojourn measurement).
-    packets: VecDeque<(SimTime, Packet)>,
+    packets: VecDeque<(SimTime, PacketRef)>,
     stats: QueueStats,
     target: SimDuration,
     interval: SimDuration,
@@ -286,7 +286,7 @@ impl CoDelQueue {
     }
 
     /// Pop the head and decide whether CoDel would drop it (`ok_to_drop`).
-    fn pop_head(&mut self, now: SimTime) -> Option<(Packet, bool)> {
+    fn pop_head(&mut self, now: SimTime) -> Option<(PacketRef, bool)> {
         let (enq_t, pkt) = self.packets.pop_front()?;
         self.occupied_bytes -= pkt.size;
         let sojourn = now - enq_t;
@@ -306,14 +306,14 @@ impl CoDelQueue {
         Some((pkt, ok_to_drop))
     }
 
-    fn head_drop(&mut self, pkt: Packet, dropped: &mut Vec<Packet>) {
+    fn head_drop(&mut self, pkt: PacketRef, dropped: &mut Vec<PacketRef>) {
         self.stats.on_head_drop(pkt.size, self.occupied_bytes);
         dropped.push(pkt);
     }
 }
 
 impl Queue for CoDelQueue {
-    fn enqueue(&mut self, now: SimTime, pkt: Packet) -> EnqueueResult {
+    fn enqueue(&mut self, now: SimTime, pkt: PacketRef) -> EnqueueResult {
         if self.occupied_bytes + pkt.size > self.capacity_bytes {
             self.stats.on_arrival_drop(pkt.size, self.occupied_bytes);
             EnqueueResult::Dropped
@@ -325,7 +325,7 @@ impl Queue for CoDelQueue {
         }
     }
 
-    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Dequeue {
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<PacketRef>) -> Dequeue {
         let Some((pkt, ok)) = self.pop_head(now) else {
             self.dropping = false;
             return Dequeue::Empty;
@@ -400,16 +400,14 @@ impl Queue for CoDelQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, NodeId, Payload};
+    use crate::packet::{FlowId, PacketId};
 
-    fn pkt(size: u64) -> Packet {
-        Packet::new(
-            NodeId(0),
-            NodeId(1),
-            FlowId(0),
-            Payload::Datagram { seq: 0 },
-        )
-        .with_size(size)
+    fn pkt(size: u64) -> PacketRef {
+        PacketRef {
+            id: PacketId(0),
+            size,
+            flow: FlowId(0),
+        }
     }
 
     /// RED p_b curve: zero below min_th, monotone non-decreasing across the

@@ -25,8 +25,8 @@
 //! heap `(at, seq)` order.
 
 use crate::link::{Link, LinkConfig, TxStart};
-use crate::packet::{FlowId, LinkId, NodeId, Packet};
-use crate::queue::EnqueueResult;
+use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketRef, PacketStore};
+use crate::queue::{EnqueueResult, TrainStop};
 use crate::time::SimDuration;
 use crate::time::SimTime;
 use crate::timerwheel::TimerWheel;
@@ -87,10 +87,10 @@ enum EventKind {
     /// the head-of-line packet.
     LinkWake(LinkId),
     /// A packet reached the node at the far end of its last link. The
-    /// packet itself is parked in the simulator's arrival slab (second
-    /// field is the slot) so heap sifts move 32-byte events, not the
-    /// ~100-byte packet-carrying variant.
-    PacketArrive(NodeId, u32),
+    /// packet's fields live in the simulator's [`PacketStore`]; the event
+    /// carries only its dense id, so heap sifts move small events, never
+    /// the ~90-byte packet struct.
+    PacketArrive(NodeId, PacketId),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -153,6 +153,27 @@ pub struct FlowStats {
 /// a hash map so the table cannot balloon.
 const DENSE_FLOWS: u64 = 4096;
 
+/// Upper bound on packets pulled per [`Queue::dequeue_train`] call: bounds
+/// the per-call latency and the slack term in the train byte budget.
+///
+/// [`Queue::dequeue_train`]: crate::queue::Queue::dequeue_train
+const MAX_TRAIN: u64 = 64;
+
+/// Consecutive fusion misses on a link before the engine stops paying for
+/// the window/budget computation on it (see the gate in `handle_tx_done`).
+const FUSE_PROBE_AFTER: u32 = 8;
+
+/// Gated completions between fusion re-probes, so a link that becomes
+/// fusible (queue composition or timer pattern changed) is re-detected.
+const FUSE_REPROBE_EVERY: u32 = 256;
+
+/// Padding subtracted from a train's serialization window before converting
+/// it to a byte budget: each per-packet `time_to_send` can round up by a
+/// nanosecond, so a train of up to [`MAX_TRAIN`] packets needs this much
+/// headroom for the cumulative completion times to provably stay inside
+/// the window.
+const TRAIN_SLACK: SimDuration = SimDuration::from_nanos(MAX_TRAIN + 2);
+
 /// The error returned by [`Simulator::run_with_budget`] when the event
 /// budget is exhausted before the queue drains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,12 +208,12 @@ pub struct Simulator {
     nodes: Vec<Node>,
     links: Vec<Link>,
     /// Packet currently being serialized on each link, indexed by `LinkId`.
-    in_flight: Vec<Option<Packet>>,
-    /// Slab of packets referenced by queued `PacketArrive` events, plus its
-    /// free list. Slot reuse follows event order, so it is deterministic,
-    /// and slots never influence event ordering.
-    arrivals: Vec<Packet>,
-    arrival_free: Vec<u32>,
+    in_flight: Vec<Option<PacketRef>>,
+    /// Struct-of-arrays storage for every packet currently inside the
+    /// network (queued, serializing, or propagating). The hot loop moves
+    /// 16-byte [`PacketRef`]s; full packets are materialized only at final
+    /// delivery. Id reuse follows event order, so it is deterministic.
+    store: PacketStore,
     /// Dense per-flow stats indexed by `FlowId` (ids < `DENSE_FLOWS`).
     flow_stats: Vec<FlowStats>,
     /// Fallback for out-of-range flow ids.
@@ -203,15 +224,13 @@ pub struct Simulator {
     scratch_out: Vec<Packet>,
     scratch_timers: Vec<(SimTime, u64)>,
     /// Scratch buffer for AQM head-drops surfaced by `Queue::dequeue`.
-    scratch_dropped: Vec<Packet>,
+    scratch_dropped: Vec<PacketRef>,
+    /// Scratch buffer for pre-pulled packet trains (`Link::start_train`).
+    scratch_train: Vec<(PacketRef, SimTime)>,
     /// `(at, seq)` of the most recently dispatched event (validate feature):
     /// dispatch keys must be strictly increasing across the heap/wheel merge.
     #[cfg(feature = "validate")]
     last_dispatch: Option<(SimTime, u64)>,
-    /// Occupancy mirror of the arrival slab (validate feature): catches
-    /// double allocation and double free of slots.
-    #[cfg(feature = "validate")]
-    arrival_occupied: Vec<bool>,
 }
 
 impl Default for Simulator {
@@ -231,18 +250,16 @@ impl Simulator {
             nodes: Vec::new(),
             links: Vec::new(),
             in_flight: Vec::new(),
-            arrivals: Vec::new(),
-            arrival_free: Vec::new(),
+            store: PacketStore::new(),
             flow_stats: Vec::new(),
             flow_stats_overflow: HashMap::new(),
             processed_events: 0,
             scratch_out: Vec::new(),
             scratch_timers: Vec::new(),
             scratch_dropped: Vec::new(),
+            scratch_train: Vec::new(),
             #[cfg(feature = "validate")]
             last_dispatch: None,
-            #[cfg(feature = "validate")]
-            arrival_occupied: Vec::new(),
         }
     }
 
@@ -384,7 +401,9 @@ impl Simulator {
         let st = self.flow_stats_mut(pkt.flow);
         st.injected_packets += 1;
         st.injected_bytes += pkt.size;
-        self.route_packet(from, pkt);
+        let dst = pkt.dst;
+        let pref = self.store.insert(pkt);
+        self.route_packet(from, dst, pref);
     }
 
     /// Arm a timer for a node's endpoint from outside the endpoint (used to
@@ -411,10 +430,11 @@ impl Simulator {
         self.timers.insert(at, seq, node, token);
     }
 
-    /// Route a packet leaving `from`: pick the next hop and enqueue it.
-    fn route_packet(&mut self, from: NodeId, pkt: Packet) {
-        let Some(via) = self.nodes[from.0].routes.get(pkt.dst.0).copied().flatten() else {
-            panic!("no route from {from:?} to {:?}", pkt.dst);
+    /// Route a packet leaving `from` toward `dst`: pick the next hop and
+    /// enqueue it. A dropped packet's store id is freed here.
+    fn route_packet(&mut self, from: NodeId, dst: NodeId, pkt: PacketRef) {
+        let Some(via) = self.nodes[from.0].routes.get(dst.0).copied().flatten() else {
+            panic!("no route from {from:?} to {dst:?}");
         };
         let now = self.now;
         let link = &mut self.links[via.0];
@@ -434,6 +454,7 @@ impl Simulator {
                 let st = self.flow_stats_mut(pkt.flow);
                 st.dropped_packets += 1;
                 st.dropped_bytes += pkt.size;
+                self.store.discard(pkt.id);
             }
         }
     }
@@ -461,18 +482,42 @@ impl Simulator {
             }
             TxStart::Idle => {}
         }
-        for pkt in dropped.drain(..) {
-            obs::counter!("netsim.link.drops", 1);
-            obs::trace_event!(LinkDrop, now.as_nanos(), pkt.flow.0, pkt.size);
-            let st = self.flow_stats_mut(pkt.flow);
-            st.dropped_packets += 1;
-            st.dropped_bytes += pkt.size;
+        if !dropped.is_empty() {
+            self.account_head_drops(&mut dropped);
         }
         self.scratch_dropped = dropped;
     }
 
+    /// Account AQM head-drops surfaced by a dequeue and free their ids.
+    fn account_head_drops(&mut self, dropped: &mut Vec<PacketRef>) {
+        let now = self.now;
+        for pkt in dropped.drain(..) {
+            obs::counter!("netsim.link.drops", 1);
+            obs::trace_event!(LinkDrop, now.as_nanos(), pkt.flow.0, pkt.size);
+            let _ = now;
+            let st = self.flow_stats_mut(pkt.flow);
+            st.dropped_packets += 1;
+            st.dropped_bytes += pkt.size;
+            self.store.discard(pkt.id);
+        }
+    }
+
     /// Run one event. Returns `false` if the queue is empty.
+    ///
+    /// The public single-step never fuses transmission completions (the
+    /// horizon is the current clock), so external observers see exactly one
+    /// dispatched event per call.
     pub fn step(&mut self) -> bool {
+        let horizon = self.now;
+        self.step_inner(horizon, u64::MAX)
+    }
+
+    /// Run one event, allowing `LinkTxDone` fusion up to `fuse_horizon`
+    /// (inclusive) while staying under the `limit` on `processed_events`.
+    /// Fused completions consume sequence numbers and event-budget slots
+    /// exactly as heap-dispatched ones would, so the observable schedule is
+    /// byte-identical to the unfused engine.
+    fn step_inner(&mut self, fuse_horizon: SimTime, limit: u64) -> bool {
         // Merge the packet heap and the timer wheel by (at, seq): both draw
         // seq from the same counter, so the pair is unique and the merged
         // order is the historical single-queue order.
@@ -501,23 +546,8 @@ impl Simulator {
             self.now = ev.at;
             self.processed_events += 1;
             match ev.kind {
-                EventKind::LinkTxDone(id) => {
-                    let pkt = self.in_flight[id.0]
-                        .take()
-                        .expect("LinkTxDone with no packet in flight");
-                    let (delay, dst) = {
-                        let link = &mut self.links[id.0];
-                        link.finish_transmission(&pkt);
-                        (link.delay, link.dst)
-                    };
-                    let slot = self.alloc_arrival_slot(pkt);
-                    self.push_event(self.now + delay, EventKind::PacketArrive(dst, slot));
-                    self.kick_link(id);
-                }
-                EventKind::PacketArrive(node, slot) => {
-                    let pkt = self.free_arrival_slot(slot);
-                    self.deliver(node, pkt);
-                }
+                EventKind::LinkTxDone(id) => self.handle_tx_done(id, fuse_horizon, limit),
+                EventKind::PacketArrive(node, pid) => self.deliver(node, pid),
                 EventKind::LinkWake(id) => {
                     let link = &mut self.links[id.0];
                     if link.wake_at.is_some_and(|w| w <= self.now) {
@@ -530,51 +560,157 @@ impl Simulator {
         true
     }
 
-    /// Allocate an arrival-slab slot for `pkt`, reusing the free list.
-    fn alloc_arrival_slot(&mut self, pkt: Packet) -> u32 {
-        let slot = match self.arrival_free.pop() {
-            Some(s) => {
-                self.arrivals[s as usize] = pkt;
-                s
+    /// Handle a `LinkTxDone` for `id` at the current clock, fusing the
+    /// back-to-back completions that follow it whenever no other event can
+    /// interleave.
+    ///
+    /// Correctness argument: the serialization window is bounded above by
+    /// `min(heap top, wheel top, fuse_horizon + 1ns)` computed *after*
+    /// pushing the finished packet's arrival, so the window never exceeds
+    /// `now + delay`. Every arrival pushed while fusing lands at
+    /// `done_i + delay > now + delay >= window`, no endpoint code runs, and
+    /// the train byte budget keeps every cumulative completion time inside
+    /// the window — hence nothing the baseline engine would dispatch can
+    /// fall between two fused completions, and the dispatch order (and seq
+    /// assignment) is exactly the unfused order.
+    fn handle_tx_done(&mut self, id: LinkId, fuse_horizon: SimTime, limit: u64) {
+        let lid = id.0;
+        // `scratch_train`/`scratch_dropped` are used in place (no take/put
+        // dance): nothing called below re-enters them — fusion runs no
+        // endpoint code, and `account_head_drops` only touches stats and
+        // the store. Elements are `Copy`, so reads copy out before `&mut
+        // self` calls.
+        let mut train_next = usize::MAX; // force a fresh pull first time
+        loop {
+            // The link just finished serializing `in_flight[lid]` at `now`.
+            let pkt = self.in_flight[lid]
+                .take()
+                .expect("LinkTxDone with no packet in flight");
+            let (delay, dst) = {
+                let link = &mut self.links[lid];
+                link.finish_transmission(&pkt);
+                (link.delay, link.dst)
+            };
+            self.push_event(self.now + delay, EventKind::PacketArrive(dst, pkt.id));
+
+            // Continue a pre-pulled train: the byte budget proved every
+            // completion in it is fusible.
+            if train_next < self.scratch_train.len() {
+                let (next, done) = self.scratch_train[train_next];
+                train_next += 1;
+                self.links[lid].resume_train();
+                self.in_flight[lid] = Some(next);
+                self.fuse_tx_done(done);
+                continue;
             }
-            None => {
-                self.arrivals.push(pkt);
-                (self.arrivals.len() - 1) as u32
+            self.scratch_train.clear();
+
+            // Fast path: nothing queued means no train and no wake (a
+            // shaper only returns `Wait` when packets are held back), so
+            // skip the window/budget computation entirely. This is the
+            // common case for ACK-clocked or paced senders.
+            if self.links[lid].queue.is_empty() {
+                break;
             }
-        };
-        #[cfg(feature = "validate")]
-        {
-            if self.arrival_occupied.len() < self.arrivals.len() {
-                self.arrival_occupied.resize(self.arrivals.len(), false);
+
+            // Fusion gate. Fusing and not fusing produce the identical
+            // observable schedule (same seq consumption, same dispatch
+            // order), so gating is purely a cost decision: a link whose
+            // propagation delay undercuts its per-packet serialization
+            // time (so the head's own arrival always cuts the window)
+            // misses on every pull. After enough consecutive misses the
+            // engine takes the plain single-packet path and only re-probes
+            // every `FUSE_REPROBE_EVERY` completions.
+            let misses = self.links[lid].fuse_misses;
+            if (FUSE_PROBE_AFTER..FUSE_PROBE_AFTER + FUSE_REPROBE_EVERY).contains(&misses) {
+                self.links[lid].fuse_misses = misses + 1;
+                self.kick_link(id);
+                break;
             }
-            crate::invariant!(
-                "arrival-slab",
-                !self.arrival_occupied[slot as usize],
-                "slot {} allocated while still occupied",
-                slot
+
+            // Pull a fresh train. `window` is the earliest instant any
+            // other pending work could run (the arrival just pushed is
+            // already in the heap, so window <= now + delay).
+            let heap_at = self.events.peek().map(|&Reverse(e)| e.at);
+            let wheel_at = self.timers.peek_key().map(|(at, _)| at);
+            let mut window = match (heap_at, wheel_at) {
+                (None, None) => SimTime::MAX,
+                (Some(p), None) => p,
+                (None, Some(t)) => t,
+                (Some(p), Some(t)) => p.min(t),
+            };
+            window = window.min(fuse_horizon + SimDuration::from_nanos(1));
+            let slots = limit.saturating_sub(self.processed_events).min(MAX_TRAIN);
+            let max_packets = slots.max(1) as usize;
+            let max_bytes = if window > self.now + TRAIN_SLACK {
+                self.links[lid]
+                    .rate
+                    .bytes_in(window - (self.now + TRAIN_SLACK))
+            } else {
+                0
+            };
+            let link = &mut self.links[lid];
+            let stop = link.start_train(
+                self.now,
+                max_packets,
+                max_bytes,
+                &mut self.scratch_train,
+                &mut self.scratch_dropped,
             );
-            self.arrival_occupied[slot as usize] = true;
+            if !self.scratch_dropped.is_empty() {
+                let mut dropped = std::mem::take(&mut self.scratch_dropped);
+                self.account_head_drops(&mut dropped);
+                self.scratch_dropped = dropped;
+            }
+            match self.scratch_train.first().copied() {
+                Some((first, done)) => {
+                    self.in_flight[lid] = Some(first);
+                    train_next = 1;
+                    if done < window && self.processed_events < limit {
+                        self.links[lid].fuse_misses = 0;
+                        self.fuse_tx_done(done);
+                        continue;
+                    }
+                    // Miss: count it; a failed re-probe (misses already
+                    // past the gate window) goes straight back to the
+                    // gated regime rather than re-running full attempts.
+                    self.links[lid].fuse_misses = if misses >= FUSE_PROBE_AFTER {
+                        FUSE_PROBE_AFTER
+                    } else {
+                        misses + 1
+                    };
+                    // Only a budget-exempt head can land outside the
+                    // window, and then it is the train's sole packet.
+                    debug_assert_eq!(self.scratch_train.len(), 1);
+                    self.push_event(done, EventKind::LinkTxDone(id));
+                }
+                None => {
+                    if let TrainStop::Wait(at) = stop {
+                        let at = at.max(self.now + SimDuration::from_nanos(1));
+                        let pending = self.links[lid].wake_at;
+                        if pending.is_none_or(|w| w <= self.now || at < w) {
+                            self.links[lid].wake_at = Some(at);
+                            self.push_event(at, EventKind::LinkWake(id));
+                        }
+                    }
+                }
+            }
+            break;
         }
-        slot
+        self.scratch_train.clear();
     }
 
-    /// Take a slot's packet and return the slot to the free list.
-    fn free_arrival_slot(&mut self, slot: u32) -> Packet {
-        #[cfg(feature = "validate")]
-        {
-            crate::invariant!(
-                "arrival-slab",
-                self.arrival_occupied
-                    .get(slot as usize)
-                    .copied()
-                    .unwrap_or(false),
-                "slot {} freed while already free (double free)",
-                slot
-            );
-            self.arrival_occupied[slot as usize] = false;
-        }
-        self.arrival_free.push(slot);
-        self.arrivals[slot as usize]
+    /// Bookkeeping for a fused `LinkTxDone`: consume the sequence number
+    /// the heap push would have taken and advance the clock/accounting
+    /// exactly as a dispatched event would.
+    fn fuse_tx_done(&mut self, done: SimTime) {
+        let seq = self.seq;
+        self.seq += 1;
+        obs::counter!("netsim.engine.events", 1);
+        self.check_dispatch(done, seq);
+        debug_assert!(done >= self.now, "time went backwards");
+        self.now = done;
+        self.processed_events += 1;
     }
 
     /// Dispatch-order invariant: the clock never runs backwards and the
@@ -616,19 +752,15 @@ impl Simulator {
         self.now += crate::time::SimDuration::from_secs(60);
     }
 
-    /// Mutant mode: free an arrival slot that is already on the free list,
-    /// as a buggy dealloc path would. Must trip `arrival-slab`.
+    /// Mutant mode: free a packet-store id that is already on the free
+    /// list, as a buggy dealloc path would. Must trip `packet-store`.
     ///
     /// # Panics
-    /// Panics (as intended) via the invariant; also panics if no slot has
+    /// Panics (as intended) via the invariant; also panics if no id has
     /// ever cycled through the free list (drive some traffic first).
     #[cfg(feature = "validate")]
-    pub fn mutant_slab_double_free(&mut self) {
-        let slot = *self
-            .arrival_free
-            .last()
-            .expect("slab mutant needs prior packet traffic");
-        self.free_arrival_slot(slot);
+    pub fn mutant_store_double_free(&mut self) {
+        self.store.mutant_double_free_recycled();
     }
 
     /// Mutant mode: leak bytes in the first link's queue accounting.
@@ -652,9 +784,10 @@ impl Simulator {
     }
 
     /// Shared-queue conservation across the whole topology: every packet a
-    /// source injected is delivered, dropped, or still resident (queued on
-    /// some hop, serializing on some wire, or parked in the arrival slab).
-    /// Checked at run boundaries — O(links + flows), off the per-event path.
+    /// source injected is delivered, dropped, or still live in the packet
+    /// store (queued on some hop, serializing on some wire, or propagating
+    /// toward its arrival). Checked at run boundaries — O(links + flows),
+    /// off the per-event path.
     #[cfg(feature = "validate")]
     pub fn check_topology_conservation(&self) {
         let mut injected = 0u64;
@@ -669,19 +802,29 @@ impl Simulator {
             delivered += st.delivered_packets;
             dropped += st.dropped_packets;
         }
+        // Cross-check the store's live count against the queue/wire census:
+        // every live id must be queued, in flight, or parked in the heap.
         let queued: u64 = self.links.iter().map(|l| l.queue.len() as u64).sum();
         let flying = self.in_flight.iter().filter(|p| p.is_some()).count() as u64;
-        let parked = (self.arrivals.len() - self.arrival_free.len()) as u64;
+        let live = self.store.live() as u64;
         crate::invariant!(
             "topology-packet-conservation",
-            injected == delivered + dropped + queued + flying + parked,
-            "injected {} != delivered {} + dropped {} + queued {} + flying {} + parked {}",
+            queued + flying <= live,
+            "queued {} + flying {} exceeds live store count {}",
+            queued,
+            flying,
+            live
+        );
+        crate::invariant!(
+            "topology-packet-conservation",
+            injected == delivered + dropped + live,
+            "injected {} != delivered {} + dropped {} + live {} (queued {}, flying {})",
             injected,
             delivered,
             dropped,
+            live,
             queued,
-            flying,
-            parked
+            flying
         );
     }
 
@@ -689,12 +832,16 @@ impl Simulator {
     #[inline(always)]
     fn check_topology_conservation(&self) {}
 
-    fn deliver(&mut self, node: NodeId, pkt: Packet) {
-        if pkt.dst != node {
-            // Intermediate hop: keep forwarding.
-            self.route_packet(node, pkt);
+    fn deliver(&mut self, node: NodeId, pid: PacketId) {
+        let dst = self.store.dst(pid);
+        if dst != node {
+            // Intermediate hop: keep forwarding without materializing the
+            // cold columns — only the hot handle moves.
+            let pkt = self.store.make_ref(pid);
+            self.route_packet(node, dst, pkt);
             return;
         }
+        let pkt = self.store.take(pid);
         let st = self.flow_stats_mut(pkt.flow);
         st.delivered_bytes += pkt.size;
         st.delivered_packets += 1;
@@ -745,7 +892,9 @@ impl Simulator {
             let st = self.flow_stats_mut(pkt.flow);
             st.injected_packets += 1;
             st.injected_bytes += pkt.size;
-            self.route_packet(node, pkt);
+            let dst = pkt.dst;
+            let pref = self.store.insert(pkt);
+            self.route_packet(node, dst, pref);
         }
     }
 
@@ -764,7 +913,7 @@ impl Simulator {
             if next > deadline {
                 break;
             }
-            self.step();
+            self.step_inner(deadline, u64::MAX);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -775,7 +924,7 @@ impl Simulator {
 
     /// Run until no events remain.
     pub fn run_to_completion(&mut self) -> SimTime {
-        while self.step() {}
+        while self.step_inner(SimTime::MAX, u64::MAX) {}
         self.check_topology_conservation();
         self.now
     }
@@ -788,7 +937,7 @@ impl Simulator {
     pub fn run_with_budget(&mut self, max_events: u64) -> Result<SimTime, BudgetExceeded> {
         let limit = self.processed_events.saturating_add(max_events);
         while self.processed_events < limit {
-            if !self.step() {
+            if !self.step_inner(SimTime::MAX, limit) {
                 self.check_topology_conservation();
                 return Ok(self.now);
             }
@@ -1132,5 +1281,88 @@ mod tests {
         let b = sim.add_node();
         let pkt = Packet::new(a, b, FlowId(1), Payload::Datagram { seq: 0 });
         sim.inject(a, pkt);
+    }
+
+    #[test]
+    fn flow_stats_dense_overflow_boundary() {
+        let (mut sim, a, b, _, _) = two_node_sim(100.0, SimDuration::from_millis(1));
+        // Ids straddling the dense/overflow boundary, in mixed order so the
+        // dense table grows out of order too.
+        let ids = [
+            DENSE_FLOWS,
+            0,
+            DENSE_FLOWS - 1,
+            u64::MAX,
+            7,
+            DENSE_FLOWS + 1,
+        ];
+        for (seq, &id) in ids.iter().enumerate() {
+            let pkt = Packet::new(a, b, FlowId(id), Payload::Datagram { seq: seq as u64 })
+                .with_size(1_000);
+            sim.inject(a, pkt);
+        }
+        sim.run_to_completion();
+        for &id in &ids {
+            let st = sim.flow_stats(FlowId(id));
+            assert_eq!(st.injected_packets, 1, "flow {id}");
+            assert_eq!(st.delivered_packets, 1, "flow {id}");
+            assert_eq!(st.delivered_bytes, 1_000, "flow {id}");
+        }
+        // The dense table stops at the boundary; large ids go to the map.
+        assert!(sim.flow_stats.len() <= DENSE_FLOWS as usize);
+        assert_eq!(sim.flow_stats_overflow.len(), 3);
+        assert!(sim.flow_stats_overflow.keys().all(|f| f.0 >= DENSE_FLOWS));
+        // Untouched flows read back as zeros on both sides of the boundary.
+        assert_eq!(sim.flow_stats(FlowId(3)).injected_packets, 0);
+        assert_eq!(sim.flow_stats(FlowId(DENSE_FLOWS + 99)).injected_packets, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(32))]
+
+        /// The two-table flow-stats split must behave exactly like one flat
+        /// map for any mix of dense, boundary, and huge flow ids.
+        #[test]
+        fn flow_stats_tables_match_flat_map_model(
+            raw in proptest::collection::vec(
+                0u64..2 * (DENSE_FLOWS + 32),
+                1..128usize,
+            )
+        ) {
+            let (mut sim, a, b, _, _) = two_node_sim(1_000.0, SimDuration::from_micros(10));
+            // The upper half of each draw is reflected to the top of the id
+            // space so the overflow map sees distant ids, not just
+            // boundary-adjacent ones.
+            let ids: Vec<u64> = raw
+                .iter()
+                .map(|&id| {
+                    let hi = DENSE_FLOWS + 32;
+                    if id >= hi { u64::MAX - (id - hi) } else { id }
+                })
+                .collect();
+            let mut model: HashMap<u64, (u64, u64)> = HashMap::new();
+            for (seq, &id) in ids.iter().enumerate() {
+                let size = 200 + (id % 1_300);
+                let pkt = Packet::new(a, b, FlowId(id), Payload::Datagram { seq: seq as u64 })
+                    .with_size(size);
+                sim.inject(a, pkt);
+                let e = model.entry(id).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += size;
+            }
+            sim.run_to_completion();
+            for (&id, &(pkts, bytes)) in &model {
+                let st = sim.flow_stats(FlowId(id));
+                proptest::prop_assert_eq!(st.injected_packets, pkts);
+                proptest::prop_assert_eq!(st.injected_bytes, bytes);
+                // The queue is far larger than the injected burst, so
+                // everything injected must also deliver.
+                proptest::prop_assert_eq!(st.delivered_packets, pkts);
+            }
+            proptest::prop_assert!(sim.flow_stats.len() <= DENSE_FLOWS as usize);
+            proptest::prop_assert!(
+                sim.flow_stats_overflow.keys().all(|f| f.0 >= DENSE_FLOWS)
+            );
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! active list is an explicit `VecDeque` of slot indices; the `HashMap` is
 //! used only for point lookups, never iterated.
 
-use crate::packet::{FlowId, Packet};
+use crate::packet::{FlowId, PacketRef};
 use crate::queue::{Dequeue, EnqueueResult, Queue, QueueStats};
 use crate::time::SimTime;
 use crate::units::MTU_BYTES;
@@ -35,7 +35,7 @@ impl Default for DrrConfig {
 
 #[derive(Debug)]
 struct FlowSlot {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PacketRef>,
     deficit: u64,
     /// Present in the active round-robin list?
     active: bool,
@@ -102,7 +102,7 @@ impl DrrQueue {
 }
 
 impl Queue for DrrQueue {
-    fn enqueue(&mut self, _now: SimTime, pkt: Packet) -> EnqueueResult {
+    fn enqueue(&mut self, _now: SimTime, pkt: PacketRef) -> EnqueueResult {
         // Shared buffer: tail-drop the arriving packet on overflow no
         // matter which flow it belongs to.
         if self.occupied_bytes + pkt.size > self.capacity_bytes {
@@ -124,7 +124,7 @@ impl Queue for DrrQueue {
         EnqueueResult::Accepted
     }
 
-    fn dequeue(&mut self, _now: SimTime, _dropped: &mut Vec<Packet>) -> Dequeue {
+    fn dequeue(&mut self, _now: SimTime, _dropped: &mut Vec<PacketRef>) -> Dequeue {
         loop {
             let Some(&i) = self.active.front() else {
                 return Dequeue::Empty;
@@ -188,16 +188,14 @@ impl Queue for DrrQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{NodeId, Payload};
+    use crate::packet::PacketId;
 
-    fn pkt(flow: u64, seq: u64, size: u64) -> Packet {
-        Packet::new(
-            NodeId(0),
-            NodeId(1),
-            FlowId(flow),
-            Payload::Datagram { seq },
-        )
-        .with_size(size)
+    fn pkt(flow: u64, seq: u64, size: u64) -> PacketRef {
+        PacketRef {
+            id: PacketId(seq as u32),
+            size,
+            flow: FlowId(flow),
+        }
     }
 
     fn drain(q: &mut DrrQueue) -> Vec<(u64, u64)> {
@@ -206,10 +204,7 @@ mod tests {
         loop {
             match q.dequeue(SimTime::ZERO, &mut dropped) {
                 Dequeue::Packet(p) => {
-                    let Payload::Datagram { seq } = p.payload else {
-                        panic!("unexpected payload")
-                    };
-                    out.push((p.flow.0, seq));
+                    out.push((p.flow.0, p.id.0 as u64));
                 }
                 Dequeue::Empty => break,
                 Dequeue::Wait(_) => panic!("DRR is work-conserving"),

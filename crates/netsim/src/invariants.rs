@@ -24,7 +24,7 @@
 //! | `queue-byte-conservation` | netsim | enqueued = dequeued + dropped + queued per queue |
 //! | `topology-packet-conservation` | netsim | injected = delivered + dropped + queued + in-flight + parked, per flow-summed topology |
 //! | `dispatch-order` | netsim | events dispatch in strictly increasing `(time, seq)`, never behind the clock |
-//! | `arrival-slab` | netsim | arrival slots never double-allocated or double-freed |
+//! | `packet-store` | netsim | packet-store ids never double-allocated or double-freed |
 //! | `tcp-sender-sanity` | transport | `snd_una <= snd_nxt <= stream_end`, cwnd/inflight bounds |
 //! | `pacing-rate-bounds` | transport | configured pace is finite, positive, below the sanity cap |
 //! | `player-buffer-conservation` | video | committed content = played + buffered, clock monotone |

@@ -62,8 +62,8 @@ pub use error::SimError;
 pub use fq::{DrrConfig, DrrQueue};
 pub use link::{Link, LinkConfig, TxStart};
 pub use monitor::QueueMonitor;
-pub use packet::{FlowId, LinkId, NodeId, Packet, Payload};
-pub use queue::{Dequeue, Discipline, DropTailQueue, EnqueueResult, Queue, QueueStats};
+pub use packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketRef, PacketStore, Payload};
+pub use queue::{Dequeue, Discipline, DropTailQueue, EnqueueResult, Queue, QueueStats, TrainStop};
 pub use shaper::{TokenBucketConfig, TokenBucketQueue};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Dumbbell, DumbbellConfig, SharedTopology, SharedTopologyConfig};
@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::engine::{Endpoint, NodeCtx, Simulator};
     pub use crate::error::SimError;
     pub use crate::link::LinkConfig;
-    pub use crate::packet::{FlowId, LinkId, NodeId, Packet, Payload};
+    pub use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketId, PacketRef, Payload};
     pub use crate::queue::{Discipline, Queue};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Dumbbell, DumbbellConfig, SharedTopology, SharedTopologyConfig};

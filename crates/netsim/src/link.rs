@@ -5,8 +5,8 @@
 //! each packet after a fixed propagation delay. Links are unidirectional; a
 //! bidirectional cable is two `Link`s.
 
-use crate::packet::{NodeId, Packet};
-use crate::queue::{Dequeue, Discipline, EnqueueResult, Queue};
+use crate::packet::{NodeId, PacketRef};
+use crate::queue::{Dequeue, Discipline, EnqueueResult, Queue, TrainStop};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
 
@@ -67,7 +67,7 @@ pub enum TxStart {
     /// Serialization of `pkt` began; it completes at `done`.
     Started {
         /// The packet now on the wire.
-        pkt: Packet,
+        pkt: PacketRef,
         /// Absolute time serialization finishes.
         done: SimTime,
     },
@@ -100,6 +100,12 @@ pub struct Link {
     pub bytes_sent: u64,
     /// Total packets that finished serialization.
     pub packets_sent: u64,
+    /// Reusable buffer for [`Link::start_train`] queue pulls.
+    train_scratch: Vec<PacketRef>,
+    /// Consecutive train pulls that failed to fuse (engine heuristic: a
+    /// link whose delay undercuts its serialization time can never fuse,
+    /// so the engine stops paying for the attempt and re-probes rarely).
+    pub(crate) fuse_misses: u32,
 }
 
 impl Link {
@@ -115,18 +121,20 @@ impl Link {
             wake_at: None,
             bytes_sent: 0,
             packets_sent: 0,
+            train_scratch: Vec::new(),
+            fuse_misses: 0,
         }
     }
 
     /// Offer a packet to the link's queue at simulated time `now`.
-    pub fn enqueue(&mut self, now: SimTime, pkt: Packet) -> EnqueueResult {
+    pub fn enqueue(&mut self, now: SimTime, pkt: PacketRef) -> EnqueueResult {
         self.queue.enqueue(now, pkt)
     }
 
     /// Begin serializing the next eligible packet, if the link is idle and
     /// the discipline releases one. Head-dropped packets (AQM) are pushed
     /// into `dropped` for the caller to account.
-    pub fn start_transmission(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> TxStart {
+    pub fn start_transmission(&mut self, now: SimTime, dropped: &mut Vec<PacketRef>) -> TxStart {
         if self.busy {
             return TxStart::Idle;
         }
@@ -141,8 +149,51 @@ impl Link {
         }
     }
 
+    /// Begin serializing a back-to-back train of up to `max_packets`
+    /// packets whose cumulative bytes stay within `max_bytes` (the head
+    /// packet is always eligible — see [`Queue::dequeue_train`]). Each
+    /// pulled packet is appended to `out` with its serialization-complete
+    /// time, accumulated with the exact per-packet rounding repeated
+    /// [`Link::start_transmission`] calls would produce. The link is busy
+    /// until the last packet's `done` when any packet was pulled.
+    pub fn start_train(
+        &mut self,
+        now: SimTime,
+        max_packets: usize,
+        max_bytes: u64,
+        out: &mut Vec<(PacketRef, SimTime)>,
+        dropped: &mut Vec<PacketRef>,
+    ) -> TrainStop {
+        debug_assert!(!self.busy, "start_train on a busy link");
+        let stop = self.queue.dequeue_train(
+            now,
+            max_packets,
+            max_bytes,
+            &mut self.train_scratch,
+            dropped,
+        );
+        let mut t = now;
+        for &pkt in &self.train_scratch {
+            t += self.rate.time_to_send(pkt.size);
+            out.push((pkt, t));
+        }
+        if !self.train_scratch.is_empty() {
+            self.busy = true;
+        }
+        self.train_scratch.clear();
+        stop
+    }
+
+    /// Re-mark the link busy for the next packet of a pre-pulled train
+    /// (the engine fuses the intermediate completion events, so
+    /// [`Link::finish_transmission`] has just cleared `busy`).
+    pub(crate) fn resume_train(&mut self) {
+        debug_assert!(!self.busy, "resume_train on a busy link");
+        self.busy = true;
+    }
+
     /// Record that the in-flight packet finished serialization.
-    pub fn finish_transmission(&mut self, pkt: &Packet) {
+    pub fn finish_transmission(&mut self, pkt: &PacketRef) {
         debug_assert!(self.busy, "finish_transmission on idle link");
         self.busy = false;
         self.bytes_sent += pkt.size;
@@ -167,7 +218,7 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, Payload};
+    use crate::packet::{FlowId, PacketId};
     use crate::shaper::TokenBucketConfig;
 
     fn test_link() -> Link {
@@ -184,17 +235,15 @@ mod tests {
         )
     }
 
-    fn pkt(size: u64) -> Packet {
-        Packet::new(
-            NodeId(0),
-            NodeId(1),
-            FlowId(0),
-            Payload::Datagram { seq: 0 },
-        )
-        .with_size(size)
+    fn pkt(size: u64) -> PacketRef {
+        PacketRef {
+            id: PacketId(0),
+            size,
+            flow: FlowId(0),
+        }
     }
 
-    fn start(link: &mut Link, now: SimTime) -> Option<(Packet, SimTime)> {
+    fn start(link: &mut Link, now: SimTime) -> Option<(PacketRef, SimTime)> {
         let mut dropped = Vec::new();
         match link.start_transmission(now, &mut dropped) {
             TxStart::Started { pkt, done } => Some((pkt, done)),

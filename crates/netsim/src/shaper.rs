@@ -7,7 +7,7 @@
 //! at which enough tokens will have accumulated, and the engine schedules a
 //! link wakeup instead of serializing immediately.
 
-use crate::packet::Packet;
+use crate::packet::PacketRef;
 use crate::queue::{Dequeue, EnqueueResult, Queue, QueueStats};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
@@ -35,7 +35,7 @@ impl TokenBucketConfig {
 pub struct TokenBucketQueue {
     capacity_bytes: u64,
     occupied_bytes: u64,
-    packets: VecDeque<Packet>,
+    packets: VecDeque<PacketRef>,
     stats: QueueStats,
     rate: Rate,
     burst: f64,
@@ -83,7 +83,7 @@ impl TokenBucketQueue {
 }
 
 impl Queue for TokenBucketQueue {
-    fn enqueue(&mut self, _now: SimTime, pkt: Packet) -> EnqueueResult {
+    fn enqueue(&mut self, _now: SimTime, pkt: PacketRef) -> EnqueueResult {
         if self.occupied_bytes + pkt.size > self.capacity_bytes {
             self.stats.on_arrival_drop(pkt.size, self.occupied_bytes);
             EnqueueResult::Dropped
@@ -95,7 +95,7 @@ impl Queue for TokenBucketQueue {
         }
     }
 
-    fn dequeue(&mut self, now: SimTime, _dropped: &mut Vec<Packet>) -> Dequeue {
+    fn dequeue(&mut self, now: SimTime, _dropped: &mut Vec<PacketRef>) -> Dequeue {
         let Some(need) = self.packets.front().map(|head| head.size as f64) else {
             return Dequeue::Empty;
         };
@@ -140,16 +140,14 @@ impl Queue for TokenBucketQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, NodeId, Payload};
+    use crate::packet::{FlowId, PacketId};
 
-    fn pkt(size: u64) -> Packet {
-        Packet::new(
-            NodeId(0),
-            NodeId(1),
-            FlowId(0),
-            Payload::Datagram { seq: 0 },
-        )
-        .with_size(size)
+    fn pkt(size: u64) -> PacketRef {
+        PacketRef {
+            id: PacketId(0),
+            size,
+            flow: FlowId(0),
+        }
     }
 
     fn shaper_8mbps() -> TokenBucketQueue {

@@ -12,10 +12,13 @@
 //! the cursor; a per-level occupancy bitmap finds the next non-empty slot in
 //! a few instructions. Three escape hatches keep ordering exact:
 //!
-//! - `imminent`: a small heap holding entries at or behind the cursor tick
+//! - `ready`: a sorted ring holding entries at or behind the cursor tick
 //!   (same-tick timers and inserts that land behind an eagerly-advanced
-//!   cursor). Its minimum is always the wheel's global minimum because every
-//!   slotted entry is strictly beyond the cursor tick.
+//!   cursor). Its front is always the wheel's global minimum because every
+//!   slotted entry is strictly beyond the cursor tick. A level-0 slot is
+//!   drained into it as one batch — sort once, then every pop is an O(1)
+//!   `pop_front` instead of a heap sift; the rare behind-cursor insert
+//!   binary-searches its position into the ring.
 //! - `overflow`: entries beyond the top-level revolution, migrated into the
 //!   slots once the cursor's revolution catches up.
 //! - cursor jumps: when the structure empties, the cursor teleports to the
@@ -28,7 +31,7 @@
 use crate::packet::NodeId;
 use crate::time::SimTime;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::mem;
 
 /// Nanoseconds per tick, as a shift: 4096 ns ≈ 4 µs resolution buckets.
@@ -84,9 +87,9 @@ pub(crate) struct TimerWheel {
     occupied: [u64; LEVELS],
     /// `LEVELS × SLOTS` buckets; drained vectors keep their capacity.
     slots: Vec<Vec<TimerEntry>>,
-    /// Entries at or behind the cursor tick, ready to fire in `(at, seq)`
-    /// order.
-    imminent: BinaryHeap<Reverse<TimerEntry>>,
+    /// Entries at or behind the cursor tick, ready to fire, kept sorted
+    /// ascending by `(at, seq)` (front = minimum).
+    ready: VecDeque<TimerEntry>,
     /// Entries beyond the top-level revolution.
     overflow: BinaryHeap<Reverse<TimerEntry>>,
     len: usize,
@@ -98,7 +101,7 @@ impl TimerWheel {
             base_tick: 0,
             occupied: [0; LEVELS],
             slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
-            imminent: BinaryHeap::new(),
+            ready: VecDeque::new(),
             overflow: BinaryHeap::new(),
             len: 0,
         }
@@ -113,7 +116,7 @@ impl TimerWheel {
         if self.len == 0 {
             // Empty structure: teleport the cursor so a lone far-future timer
             // does not force a slot-by-slot crawl. Never move it backwards —
-            // `place` handles behind-cursor inserts via `imminent`.
+            // `place` handles behind-cursor inserts via the `ready` ring.
             self.base_tick = self.base_tick.max(tick_of(at));
         }
         self.place(TimerEntry {
@@ -125,12 +128,20 @@ impl TimerWheel {
         self.len += 1;
     }
 
-    /// File an entry into imminent / a slot / overflow relative to the
+    /// File an entry into the ready ring / a slot / overflow relative to the
     /// current cursor.
     fn place(&mut self, e: TimerEntry) {
         let at_tick = tick_of(e.at);
         if at_tick <= self.base_tick {
-            self.imminent.push(Reverse(e));
+            // Behind-cursor entry: binary-insert into the sorted ring.
+            // Usually it lands at one end (new timers sort last among the
+            // current tick's entries), so the shift is short.
+            let key = (e.at, e.seq);
+            let idx = self
+                .ready
+                .binary_search_by(|p| (p.at, p.seq).cmp(&key))
+                .unwrap_err();
+            self.ready.insert(idx, e);
             return;
         }
         let differing = at_tick ^ self.base_tick;
@@ -152,10 +163,10 @@ impl TimerWheel {
         if self.len == 0 {
             return None;
         }
-        if self.imminent.is_empty() {
+        if self.ready.is_empty() {
             self.advance();
         }
-        self.imminent.peek().map(|Reverse(e)| (e.at, e.seq))
+        self.ready.front().map(|e| (e.at, e.seq))
     }
 
     /// Remove and return the earliest armed timer.
@@ -163,10 +174,10 @@ impl TimerWheel {
         if self.len == 0 {
             return None;
         }
-        if self.imminent.is_empty() {
+        if self.ready.is_empty() {
             self.advance();
         }
-        let e = self.imminent.pop().map(|Reverse(e)| e);
+        let e = self.ready.pop_front();
         if e.is_some() {
             self.len -= 1;
         }
@@ -174,13 +185,13 @@ impl TimerWheel {
     }
 
     /// Move the cursor to the next non-empty tick, cascading upper-level
-    /// slots downward, until `imminent` holds the global minimum.
+    /// slots downward, until `ready` holds the global minimum.
     fn advance(&mut self) {
         debug_assert!(self.len > 0, "advance on empty wheel");
-        while self.imminent.is_empty() {
+        while self.ready.is_empty() {
             // Pull overflow entries whose revolution the cursor has reached.
             // Migration is progress: after a cursor teleport to an overflow
-            // entry's tick, the entry re-cascades into `imminent` or a slot
+            // entry's tick, the entry re-cascades into `ready` or a slot
             // here, and the level scan below may legitimately find nothing.
             let mut progressed = false;
             while let Some(&Reverse(e)) = self.overflow.peek() {
@@ -210,9 +221,11 @@ impl TimerWheel {
                 let mut entries = mem::take(&mut self.slots[level * SLOTS + slot]);
                 if level == 0 {
                     // A level-0 slot is a single tick: everything fires now.
-                    for e in entries.drain(..) {
-                        self.imminent.push(Reverse(e));
-                    }
+                    // Batch-drain it — one sort, then O(1) front pops (the
+                    // ring is empty here, so no merge is needed).
+                    debug_assert!(self.ready.is_empty());
+                    entries.sort_unstable_by_key(|e| (e.at, e.seq));
+                    self.ready.extend(entries.drain(..));
                 } else {
                     // Cascade: redistribute into strictly lower levels.
                     for e in entries.drain(..) {
@@ -247,7 +260,7 @@ impl TimerWheel {
                 best = Some(at);
             }
         };
-        if let Some(&Reverse(e)) = self.imminent.peek() {
+        if let Some(e) = self.ready.front() {
             consider(e.at);
         }
         if let Some(&Reverse(e)) = self.overflow.peek() {

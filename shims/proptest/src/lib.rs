@@ -2,7 +2,8 @@
 //!
 //! Implements the subset of the proptest surface this workspace's property
 //! tests use: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
-//! range strategies, `prop::collection::vec`, and `any::<bool>()`. Inputs
+//! range strategies, tuples of strategies (up to 6-ary),
+//! `prop::collection::vec`, and `any::<bool>()`. Inputs
 //! are drawn from a deterministic generator seeded by the test's full
 //! module path, so failures reproduce exactly; there is no shrinking.
 //!
@@ -126,6 +127,26 @@ pub mod strategy {
     }
 
     int_strategy!(u64, u32, u16, u8, usize, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $i:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!(
+        (S0 / 0, S1 / 1),
+        (S0 / 0, S1 / 1, S2 / 2),
+        (S0 / 0, S1 / 1, S2 / 2, S3 / 3),
+        (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4),
+        (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5)
+    );
 }
 
 /// `any::<T>()` support.

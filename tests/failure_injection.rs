@@ -258,14 +258,6 @@ fn worker_panic_is_isolated_and_reported() {
         matches!(err, SimError::Experiment(ref m) if m.contains("chunk")),
         "unexpected error: {err}"
     );
-
-    // The deprecated panicking shim still propagates user panics for
-    // callers that have not migrated yet.
-    #[allow(deprecated)]
-    let strict = std::panic::catch_unwind(|| {
-        sammy_repro::abtest::run_experiment(&pop, Arm::Production, treatment, &cfg)
-    });
-    assert!(strict.is_err(), "run_experiment must propagate user panics");
 }
 
 #[test]

@@ -33,8 +33,8 @@ fn expect_violation(name: &str, f: impl FnOnce()) {
 }
 
 /// A simulator stepped to the middle of an unpaced 5 MB transfer: links
-/// busy, arrival slab cycling, queue loaded — every engine invariant has
-/// live state to check.
+/// busy, packet-store ids cycling, queue loaded — every engine invariant
+/// has live state to check.
 fn mid_transfer_sim() -> (Simulator, Dumbbell) {
     let mut sim = Simulator::new();
     let db = Dumbbell::build(&mut sim, DumbbellConfig::default());
@@ -97,10 +97,10 @@ fn phantom_inject_mutant_trips_topology_conservation() {
 }
 
 #[test]
-fn slab_double_free_mutant_trips_arrival_slab() {
+fn store_double_free_mutant_trips_packet_store() {
     let (mut sim, _db) = mid_transfer_sim();
-    expect_violation("arrival-slab", || {
-        sim.mutant_slab_double_free();
+    expect_violation("packet-store", || {
+        sim.mutant_store_double_free();
     });
 }
 
