@@ -308,7 +308,7 @@ pub struct Experiment;
 
 impl Experiment {
     /// Start configuring an experiment.
-    pub fn builder() -> ExperimentBuilder {
+    pub fn builder() -> ExperimentBuilder<'static> {
         ExperimentBuilder::default()
     }
 }
@@ -319,17 +319,23 @@ impl Experiment {
 /// [`ExperimentConfig`], a population drawn internally from
 /// [`PopulationConfig::default`], the sharded runner over all cores, and
 /// fail-fast semantics (`detailed(false)`).
-pub struct ExperimentBuilder {
+///
+/// The lifetime `'p` is the borrow of an explicit population passed to
+/// [`population`](ExperimentBuilder::population); the builder never clones
+/// the slice, so handing a million-user population to several builders
+/// costs nothing.
+pub struct ExperimentBuilder<'p> {
     cfg: ExperimentConfig,
     control: Arm,
     treatment: Arm,
-    population: Option<Vec<UserProfile>>,
+    population: Option<&'p [UserProfile]>,
     population_cfg: PopulationConfig,
     detailed: bool,
     serial_reference: bool,
+    stream: crate::streaming::StreamConfig,
 }
 
-impl Default for ExperimentBuilder {
+impl Default for ExperimentBuilder<'_> {
     fn default() -> Self {
         ExperimentBuilder {
             cfg: ExperimentConfig::default(),
@@ -339,11 +345,12 @@ impl Default for ExperimentBuilder {
             population_cfg: PopulationConfig::default(),
             detailed: false,
             serial_reference: false,
+            stream: crate::streaming::StreamConfig::default(),
         }
     }
 }
 
-impl ExperimentBuilder {
+impl<'p> ExperimentBuilder<'p> {
     /// The control arm (default: [`Arm::Production`]).
     pub fn control(mut self, arm: Arm) -> Self {
         self.control = arm;
@@ -357,10 +364,18 @@ impl ExperimentBuilder {
     }
 
     /// Run over an explicit pre-drawn population instead of drawing one
-    /// from the population config at `run()`.
-    pub fn population(mut self, population: &[UserProfile]) -> Self {
-        self.population = Some(population.to_vec());
-        self
+    /// from the population config at `run()`. Borrowed, never cloned.
+    pub fn population<'q>(self, population: &'q [UserProfile]) -> ExperimentBuilder<'q> {
+        ExperimentBuilder {
+            cfg: self.cfg,
+            control: self.control,
+            treatment: self.treatment,
+            population: Some(population),
+            population_cfg: self.population_cfg,
+            detailed: self.detailed,
+            serial_reference: self.serial_reference,
+            stream: self.stream,
+        }
     }
 
     /// The population model used when no explicit population is given.
@@ -440,7 +455,7 @@ impl ExperimentBuilder {
     pub fn run(self) -> Result<ExperimentRun, SimError> {
         self.cfg.validate()?;
         let drawn;
-        let population: &[UserProfile] = match &self.population {
+        let population: &[UserProfile] = match self.population {
             Some(p) => p,
             None => {
                 drawn =
@@ -462,6 +477,85 @@ impl ExperimentBuilder {
             }
         }
         Ok(run)
+    }
+
+    /// Users per shard for the streaming runner (default 256). The shard
+    /// partition — not the thread count — defines the merge order, so
+    /// results are bit-identical for every thread count at a fixed
+    /// `shard_size`; changing `shard_size` changes digest merge order and
+    /// therefore the (equally valid) quantile estimates.
+    pub fn shard_size(mut self, n: usize) -> Self {
+        self.stream.shard_size = n;
+        self
+    }
+
+    /// Directory for streaming-run checkpoints (none by default). Each
+    /// checkpoint is the full merged state after a prefix of shards;
+    /// writes are atomic (tmp + rename) and the previous checkpoint is
+    /// retained, so a torn write can always fall back.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.stream.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Merged shards between checkpoints (default 16).
+    pub fn checkpoint_every(mut self, shards: usize) -> Self {
+        self.stream.checkpoint_every = shards;
+        self
+    }
+
+    /// Resume from the newest valid checkpoint in the checkpoint dir. The
+    /// resumed run's final state is bit-identical to an uninterrupted one;
+    /// with no checkpoint present the run starts from shard 0.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.stream.resume = resume;
+        self
+    }
+
+    /// Bound on completed-but-unmerged shards (0 = `2 × threads`). This is
+    /// the streaming runner's memory knob: peak state is
+    /// `O(threads + max_pending)` shard accumulators regardless of
+    /// population size.
+    pub fn max_pending_shards(mut self, n: usize) -> Self {
+        self.stream.max_pending_shards = n;
+        self
+    }
+
+    /// Test/ops hook: stop the run cleanly after writing `n` checkpoints,
+    /// as if the process had been killed at a checkpoint boundary. The
+    /// resume battery uses this to exercise kill/resume without signals.
+    pub fn abort_after_checkpoints(mut self, n: usize) -> Self {
+        self.stream.abort_after_checkpoints = Some(n);
+        self
+    }
+
+    /// Run the experiment through the streaming shard-merge runner.
+    ///
+    /// Workers fold each user's paired sessions directly into per-shard
+    /// accumulators (t-digest summaries, exact sums, bootstrap replicate
+    /// sums, telemetry registries); shards merge into the global state in
+    /// strict shard order. Nothing per-user is retained, so a 10M-user arm
+    /// costs the same memory as a 10-user one, and with no explicit
+    /// population the users themselves are derived lazily per index
+    /// ([`crate::population::user_at`]) — the population is never
+    /// materialized either. See [`StreamRun`](crate::streaming::StreamRun).
+    pub fn run_streaming(self) -> Result<crate::streaming::StreamRun, SimError> {
+        self.cfg.validate()?;
+        let population = match self.population {
+            Some(p) => crate::population::Population::Explicit(p),
+            None => crate::population::Population::Lazy {
+                cfg: self.population_cfg.clone(),
+                users: self.cfg.users_per_arm,
+                seed: self.cfg.seed,
+            },
+        };
+        crate::streaming::run_stream_impl(
+            &population,
+            self.control,
+            self.treatment,
+            &self.cfg,
+            &self.stream,
+        )
     }
 }
 
@@ -502,12 +596,12 @@ impl ExperimentRun {
 }
 
 /// Paired per-user records: (control sessions, treatment sessions).
-type UserSessions = (Vec<SessionRecord>, Vec<SessionRecord>);
+pub(crate) type UserSessions = (Vec<SessionRecord>, Vec<SessionRecord>);
 
 /// Run both arms for one user inside a fresh telemetry registry, returning
 /// the registry alongside the records so shards can merge deterministically
 /// at the user granularity. The caller's registry is restored afterwards.
-fn run_user_pair(
+pub(crate) fn run_user_pair(
     user: &UserProfile,
     control: Arm,
     treatment: Arm,
@@ -524,7 +618,7 @@ fn run_user_pair(
     (pair, per_user)
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -643,73 +737,54 @@ pub struct Report {
     pub rows: Vec<MetricRow>,
 }
 
-/// A named metric extractor with its aggregation rule.
-type MetricSpec = (
-    &'static str,
-    Aggregate,
-    Box<dyn Fn(&SessionRecord) -> Option<f64>>,
-);
+/// A per-session metric extractor. Capture-free (`fn`, not a closure) so
+/// the collecting report and the streaming shard-merge runner share one
+/// table ([`METRICS`]) and worker threads can carry it without boxing.
+pub type MetricExtractor = fn(&SessionRecord) -> Option<f64>;
+
+/// The Table 2 metric set: name, aggregation rule, extractor. Single
+/// source of truth for [`Report::build`] and the streaming runner's
+/// per-shard accumulators, so the two paths can never disagree on what a
+/// metric means.
+pub const METRICS: [(&str, Aggregate, MetricExtractor); 8] = [
+    ("Chunk Throughput", Aggregate::Median, |s| {
+        s.outcome.avg_chunk_throughput.map(|r| r.mbps())
+    }),
+    ("% Retransmits", Aggregate::Median, |s| {
+        Some(s.outcome.retx_fraction * 100.0)
+    }),
+    ("RTT", Aggregate::Median, |s| {
+        let v = s.outcome.median_rtt_ms;
+        v.is_finite().then_some(v)
+    }),
+    ("Initial VMAF", Aggregate::Median, |s| {
+        s.outcome.qoe.initial_vmaf
+    }),
+    ("VMAF", Aggregate::Median, |s| s.outcome.qoe.mean_vmaf),
+    ("Play Delay", Aggregate::Median, |s| {
+        s.outcome.qoe.play_delay.map(|d| d.as_secs_f64())
+    }),
+    ("Rebuffers (% sess)", Aggregate::Mean, |s| {
+        Some(if s.outcome.qoe.had_rebuffer() {
+            1.0
+        } else {
+            0.0
+        })
+    }),
+    ("Rebuffers (/ hr)", Aggregate::Mean, |s| {
+        Some(s.outcome.qoe.rebuffers_per_hour())
+    }),
+];
 
 impl Report {
     /// Build the report comparing `treatment` to `control`.
     pub fn build(control: &ArmResult, treatment: &ArmResult, reps: usize, seed: u64) -> Report {
-        let metrics: Vec<MetricSpec> = vec![
-            (
-                "Chunk Throughput",
-                Aggregate::Median,
-                Box::new(|s| s.outcome.avg_chunk_throughput.map(|r| r.mbps())),
-            ),
-            (
-                "% Retransmits",
-                Aggregate::Median,
-                Box::new(|s| Some(s.outcome.retx_fraction * 100.0)),
-            ),
-            (
-                "RTT",
-                Aggregate::Median,
-                Box::new(|s| {
-                    let v = s.outcome.median_rtt_ms;
-                    v.is_finite().then_some(v)
-                }),
-            ),
-            (
-                "Initial VMAF",
-                Aggregate::Median,
-                Box::new(|s| s.outcome.qoe.initial_vmaf),
-            ),
-            (
-                "VMAF",
-                Aggregate::Median,
-                Box::new(|s| s.outcome.qoe.mean_vmaf),
-            ),
-            (
-                "Play Delay",
-                Aggregate::Median,
-                Box::new(|s| s.outcome.qoe.play_delay.map(|d| d.as_secs_f64())),
-            ),
-            (
-                "Rebuffers (% sess)",
-                Aggregate::Mean,
-                Box::new(|s| {
-                    Some(if s.outcome.qoe.had_rebuffer() {
-                        1.0
-                    } else {
-                        0.0
-                    })
-                }),
-            ),
-            (
-                "Rebuffers (/ hr)",
-                Aggregate::Mean,
-                Box::new(|s| Some(s.outcome.qoe.rebuffers_per_hour())),
-            ),
-        ];
-        let rows = metrics
-            .into_iter()
+        let rows = METRICS
+            .iter()
             .enumerate()
-            .map(|(i, (name, agg, f))| {
-                let c = control.metric_by_user(&f);
-                let t = treatment.metric_by_user(&f);
+            .map(|(i, &(name, agg, f))| {
+                let c = control.metric_by_user(f);
+                let t = treatment.metric_by_user(f);
                 MetricRow {
                     name: name.to_string(),
                     change: compare_paired(&c, &t, agg, reps, seed.wrapping_add(i as u64)),

@@ -10,6 +10,9 @@
 //!   that builds history and pre-experiment p95 throughput, the session
 //!   loop, and [`Report`] — the Table 2/3-style percent-change table with
 //!   bootstrap CIs.
+//! - [`streaming`]: the shard-merge runner — million-user arms at
+//!   O(threads) memory, lazy per-index populations, and checkpoint/resume
+//!   that is bit-identical to an uninterrupted run.
 //! - [`stats`]: medians, percentiles, and the seeded percentile bootstrap.
 //! - [`sweep`]: the (c0, c1) grid behind Fig 5's VMAF-vs-throughput
 //!   tradeoff.
@@ -24,20 +27,25 @@ pub mod longitudinal;
 pub mod optimize;
 pub mod population;
 pub mod stats;
+pub mod streaming;
 pub mod sweep;
 
 pub use experiment::{
     run_user, throughput_by_bucket, Arm, ArmResult, Experiment, ExperimentBuilder,
-    ExperimentConfig, ExperimentRun, MetricRow, Report, SessionRecord, UserFailure,
+    ExperimentConfig, ExperimentRun, MetricExtractor, MetricRow, Report, SessionRecord,
+    UserFailure, METRICS,
 };
 pub use longitudinal::{run_cold_start, ColdStartConfig, ColdStartResult};
 pub use optimize::{search, Candidate, QoeGuards, SearchOutcome};
 pub use population::{
-    bucket_label, bucket_of, draw_population, ladder_with_top, PopulationConfig, UserProfile,
-    THROUGHPUT_BUCKETS,
+    bucket_label, bucket_of, draw_population, draw_population_indexed, ladder_with_top, user_at,
+    Population, PopulationConfig, UserProfile, THROUGHPUT_BUCKETS,
 };
 pub use stats::{
     compare, compare_paired, mean, median, paired_delta, percentile, Aggregate, PairedDelta,
     PercentChange, StreamingStat,
+};
+pub use streaming::{
+    MetricAcc, ShardState, StreamConfig, StreamFailure, StreamReport, StreamRow, StreamRun,
 };
 pub use sweep::{default_grid, run_sweep, SweepPoint};

@@ -138,11 +138,133 @@ pub fn ladder_with_top(top_mbps: f64) -> Ladder {
 }
 
 /// Draw a user population of `n` users, deterministically from `seed`.
+///
+/// Uses one sequential RNG across the whole draw, so user `i` depends on
+/// every user before it. This is the historical definition and is pinned
+/// by golden fixtures; for populations too large to materialize, use
+/// [`user_at`] / [`Population::Lazy`], whose per-index derivation yields
+/// any user in O(1) without generating its predecessors.
 pub fn draw_population(cfg: &PopulationConfig, n: usize, seed: u64) -> Vec<UserProfile> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|i| draw_user(cfg, i as u64, seed, &mut rng))
         .collect()
+}
+
+/// SplitMix64 finalizer — mixes (seed, index) into an independent per-user
+/// RNG seed so lazy generation is order-free.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate user `index` of the lazy population `(cfg, seed)` in O(1).
+///
+/// Each user gets an independent RNG derived from `(seed, index)`, so the
+/// population never needs materializing: the streaming runner derives
+/// users shard by shard and a 10M-user arm costs no more memory than a
+/// 10-user one. Draws the same marginal distributions as
+/// [`draw_population`] but is a *different* (order-free) realization —
+/// the two populations agree statistically, not user-for-user.
+pub fn user_at(cfg: &PopulationConfig, index: u64, seed: u64) -> UserProfile {
+    let mut rng = StdRng::seed_from_u64(mix(seed, index));
+    draw_user(cfg, index, seed, &mut rng)
+}
+
+/// Materialize the first `n` users of the lazy population — by
+/// construction identical, user for user, to what [`Population::Lazy`]
+/// streams to the runner for the same `(cfg, seed)`.
+pub fn draw_population_indexed(cfg: &PopulationConfig, n: usize, seed: u64) -> Vec<UserProfile> {
+    (0..n as u64).map(|i| user_at(cfg, i, seed)).collect()
+}
+
+/// Where an experiment's users come from: a pre-drawn slice (borrowed —
+/// the builder never clones it) or a lazy per-index generator that never
+/// materializes the population.
+#[derive(Debug, Clone)]
+pub enum Population<'a> {
+    /// An explicit, already-materialized population.
+    Explicit(&'a [UserProfile]),
+    /// Users derived on demand via [`user_at`].
+    Lazy {
+        /// Distribution parameters.
+        cfg: PopulationConfig,
+        /// Number of users.
+        users: usize,
+        /// Derivation seed.
+        seed: u64,
+    },
+}
+
+impl Population<'_> {
+    /// Number of users in the population.
+    pub fn len(&self) -> usize {
+        match self {
+            Population::Explicit(p) => p.len(),
+            Population::Lazy { users, .. } => *users,
+        }
+    }
+
+    /// True for a zero-user population.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// User `index`, borrowing from an explicit slice or deriving lazily.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    pub fn get(&self, index: usize) -> std::borrow::Cow<'_, UserProfile> {
+        match self {
+            Population::Explicit(p) => std::borrow::Cow::Borrowed(&p[index]),
+            Population::Lazy { cfg, users, seed } => {
+                assert!(index < *users, "user index out of range");
+                std::borrow::Cow::Owned(user_at(cfg, index as u64, *seed))
+            }
+        }
+    }
+
+    /// A stable fingerprint of the population's identity, folded into
+    /// checkpoint headers so a resume against different users is rejected
+    /// instead of silently merging incompatible shard streams.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = tdigest::wire::Fnv::new();
+        match self {
+            Population::Explicit(p) => {
+                h.u64(0xE);
+                h.u64(p.len() as u64);
+                for u in p.iter() {
+                    h.u64(u.id);
+                    h.u64(u.seed);
+                    h.f64(u.network.capacity.bps());
+                    h.f64(u.top_bitrate_mbps);
+                }
+            }
+            Population::Lazy { cfg, users, seed } => {
+                h.u64(0x1);
+                h.u64(*users as u64);
+                h.u64(*seed);
+                for w in cfg.bucket_weights {
+                    h.f64(w);
+                }
+                h.f64(cfg.rtt_median_ms);
+                h.f64(cfg.bloat_median_ms);
+                h.f64(cfg.ambient_loss_median);
+                h.f64(cfg.self_loss_median);
+                for &(v, w) in &cfg.top_bitrates_mbps {
+                    h.f64(v);
+                    h.f64(w);
+                }
+                h.u64(cfg.title_duration_s.0);
+                h.u64(cfg.title_duration_s.1);
+            }
+        }
+        h.finish()
+    }
 }
 
 fn draw_user(cfg: &PopulationConfig, id: u64, seed: u64, rng: &mut StdRng) -> UserProfile {
@@ -294,6 +416,80 @@ mod tests {
         ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = ratios[ratios.len() / 2];
         assert!(median > 6.0 && median < 25.0, "median ratio {median}");
+    }
+
+    #[test]
+    fn lazy_population_is_order_free_and_deterministic() {
+        let cfg = PopulationConfig::default();
+        // Deriving user i never depends on other users: any access order
+        // gives the same profiles.
+        let forward: Vec<UserProfile> = (0..40).map(|i| user_at(&cfg, i, 7)).collect();
+        let backward: Vec<UserProfile> = (0..40).rev().map(|i| user_at(&cfg, i, 7)).collect();
+        for (f, b) in forward.iter().zip(backward.iter().rev()) {
+            assert_eq!(f.id, b.id);
+            assert_eq!(f.seed, b.seed);
+            assert_eq!(f.network.capacity, b.network.capacity);
+            assert_eq!(f.top_bitrate_mbps, b.top_bitrate_mbps);
+            assert_eq!(f.title_duration, b.title_duration);
+        }
+        // Different seeds give different populations.
+        let other = user_at(&cfg, 3, 8);
+        assert_ne!(other.seed, forward[3].seed);
+        // And the materialized form matches the lazy source exactly.
+        let mat = draw_population_indexed(&cfg, 40, 7);
+        let lazy = Population::Lazy {
+            cfg: cfg.clone(),
+            users: 40,
+            seed: 7,
+        };
+        assert_eq!(lazy.len(), 40);
+        for (i, m) in mat.iter().enumerate() {
+            let l = lazy.get(i);
+            assert_eq!(l.id, m.id);
+            assert_eq!(l.seed, m.seed);
+            assert_eq!(l.network.capacity, m.network.capacity);
+        }
+    }
+
+    #[test]
+    fn lazy_capacity_distribution_matches_weights() {
+        // The per-index derivation must draw the same marginal
+        // distribution as the sequential draw.
+        let cfg = PopulationConfig::default();
+        let pop = draw_population_indexed(&cfg, 5000, 3);
+        let mut counts = [0usize; 5];
+        for u in &pop {
+            counts[bucket_of(u.network.capacity.mbps())] += 1;
+        }
+        let total: f64 = cfg.bucket_weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = cfg.bucket_weights[i] / total;
+            let got = c as f64 / pop.len() as f64;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "bucket {i}: got {got:.3}, expect {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn population_fingerprints_detect_changes() {
+        let cfg = PopulationConfig::default();
+        let lazy = |users, seed| Population::Lazy {
+            cfg: cfg.clone(),
+            users,
+            seed,
+        };
+        assert_eq!(lazy(100, 1).fingerprint(), lazy(100, 1).fingerprint());
+        assert_ne!(lazy(100, 1).fingerprint(), lazy(100, 2).fingerprint());
+        assert_ne!(lazy(100, 1).fingerprint(), lazy(101, 1).fingerprint());
+        let pop = draw_population_indexed(&cfg, 10, 1);
+        let explicit = Population::Explicit(&pop);
+        assert_ne!(explicit.fingerprint(), lazy(10, 1).fingerprint());
+        assert_eq!(
+            explicit.fingerprint(),
+            Population::Explicit(&pop).fingerprint()
+        );
     }
 
     #[test]

@@ -409,6 +409,24 @@ impl StreamingStat {
     pub fn max(&self) -> Option<f64> {
         self.digest.max()
     }
+
+    /// Serialize via the [`tdigest::wire`] codec (bit-exact round trip;
+    /// used by experiment checkpoints).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.digest.encode(out);
+        tdigest::wire::put_u64(out, self.count);
+        tdigest::wire::put_f64(out, self.sum);
+    }
+
+    /// Decode a summary written by [`StreamingStat::encode`].
+    pub fn decode(
+        r: &mut tdigest::wire::Reader<'_>,
+    ) -> Result<StreamingStat, tdigest::wire::WireError> {
+        let digest = tdigest::TDigest::decode(r)?;
+        let count = r.u64("streaming_stat.count")?;
+        let sum = r.f64("streaming_stat.sum")?;
+        Ok(StreamingStat { digest, count, sum })
+    }
 }
 
 impl FromIterator<f64> for StreamingStat {

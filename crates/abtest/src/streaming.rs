@@ -1,0 +1,1131 @@
+//! The streaming shard-merge runner: million-user arms at O(threads)
+//! memory, with checkpoint/resume bit-identical to an uninterrupted run.
+//!
+//! The collecting runner ([`crate::experiment::ExperimentBuilder::run`])
+//! keeps one slot per user, which is exactly right for table-sized
+//! experiments and exactly wrong for fleet-sized ones. This runner never
+//! materializes anything per-user:
+//!
+//! 1. The population is split into fixed-size **shards** (user index
+//!    ranges). The shard partition depends only on `shard_size` — never on
+//!    the thread count — so the merge order below is an invariant of the
+//!    configuration.
+//! 2. Workers claim shard indices from an atomic counter and fold each
+//!    user's paired sessions (in index order) straight into a
+//!    [`ShardState`]: per-metric t-digest summaries, exact paired-delta
+//!    sums, Poisson-bootstrap replicate sums, and the telemetry registry.
+//!    Session records die with the user.
+//! 3. A merger (the calling thread) folds completed shards into the global
+//!    state in **strict shard order**. Workers that run too far ahead of
+//!    the merger block (`max_pending_shards`), bounding completed-but-
+//!    unmerged state to O(threads).
+//!
+//! Every accumulator merge is deterministic given the merge order, and the
+//! merge order is fixed, so the final state — down to t-digest centroid
+//! bits and the telemetry JSONL — is identical for 1 thread or 64.
+//!
+//! **Checkpoints** are the same determinism viewed as fault tolerance: the
+//! global state after merging shards `0..K` plus `K` itself. A resumed run
+//! decodes the state (bit-exact; see [`tdigest::wire`]) and continues at
+//! shard `K`, replaying the identical merge sequence, so a run killed at
+//! any checkpoint boundary finishes byte-identical to one that never died.
+//! Writes are atomic (tmp + rename), files carry an FNV-1a checksum and a
+//! config fingerprint, and the previous checkpoint is retained: a torn
+//! write is detected and skipped (with a note in
+//! [`StreamRun::fallback_notes`]), a config mismatch is a hard error, and
+//! an all-corrupt directory fails with [`SimError::Checkpoint`] — never a
+//! silent wrong answer.
+
+use crate::experiment::{panic_message, run_user_pair, Arm, ExperimentConfig, METRICS};
+use crate::population::Population;
+use crate::stats::{percentile, Aggregate, PairedDelta, StreamingStat};
+use netsim::SimError;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use tdigest::wire::{self, Fnv, Reader};
+
+/// First 8 bytes of every checkpoint file ("SMYCKPT1", little-endian).
+const CKPT_MAGIC: u64 = u64::from_le_bytes(*b"SMYCKPT1");
+/// Bumped whenever the payload layout changes; old files are rejected.
+const CKPT_VERSION: u32 = 1;
+/// Failure samples retained in the merged state (counts are exact; the
+/// samples are the first few in population order, for error messages).
+const MAX_FAILURE_SAMPLES: usize = 32;
+
+/// Options for the streaming runner (set via the
+/// [`ExperimentBuilder`](crate::experiment::ExperimentBuilder) methods).
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Users per shard. Defines the merge order, so it — unlike the thread
+    /// count — is part of the result's identity.
+    pub shard_size: usize,
+    /// Merged shards between periodic checkpoints (a final checkpoint is
+    /// always written when a checkpoint dir is set).
+    pub checkpoint_every: usize,
+    /// Where checkpoints live; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir`.
+    pub resume: bool,
+    /// Checkpoint files retained (older ones are pruned). Two means a torn
+    /// newest file can always fall back to its predecessor.
+    pub keep_checkpoints: usize,
+    /// Bound on completed-but-unmerged shards (0 = `2 × threads`).
+    pub max_pending_shards: usize,
+    /// Test/ops hook: stop cleanly after writing this many checkpoints,
+    /// simulating a kill at a checkpoint boundary.
+    pub abort_after_checkpoints: Option<usize>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shard_size: 256,
+            checkpoint_every: 16,
+            checkpoint_dir: None,
+            resume: false,
+            keep_checkpoints: 2,
+            max_pending_shards: 0,
+            abort_after_checkpoints: None,
+        }
+    }
+}
+
+/// One step of a SplitMix64 stream (also its finalizer when used once):
+/// the workspace's standard cheap, well-mixed hash.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix two words into an independent key.
+fn mix2(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix(&mut s)
+}
+
+/// Poisson(1) variate derived from a 64-bit key (Knuth's product method
+/// over a SplitMix64 uniform stream). Deterministic and order-free, which
+/// is what makes the streaming bootstrap mergeable: the weight of user `u`
+/// in replicate `r` depends only on `(seed, metric, u, r)`, never on which
+/// shard or thread folded it.
+fn poisson1(key: u64) -> u64 {
+    const L: f64 = 0.367_879_441_171_442_33; // e^{-1}
+    let mut state = key;
+    let mut p = 1.0f64;
+    let mut k = 0u64;
+    loop {
+        let u = (splitmix(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        p *= u;
+        if p <= L || k >= 64 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Percent change with the same conventions as the collecting report.
+fn pct_change(control: f64, treatment: f64) -> f64 {
+    if control == 0.0 || !control.is_finite() || !treatment.is_finite() {
+        f64::NAN
+    } else {
+        (treatment - control) / control.abs() * 100.0
+    }
+}
+
+/// Mergeable accumulator for one metric of the 8-row table.
+///
+/// Per arm: a [`StreamingStat`] (t-digest quantiles + exact count/mean).
+/// For the paired comparison: the exact sum/count of per-session
+/// `(t − c)/c × 100` deltas, plus `R` Poisson-bootstrap replicates of that
+/// same (sum, count) pair — a cluster bootstrap over users that needs
+/// `O(R)` memory instead of `O(users)` resampling.
+#[derive(Debug, Clone)]
+pub struct MetricAcc {
+    control: StreamingStat,
+    treatment: StreamingStat,
+    delta_sum: f64,
+    delta_count: u64,
+    /// Per bootstrap replicate: (weighted delta sum, weighted pair count).
+    boot: Vec<(f64, u64)>,
+}
+
+impl MetricAcc {
+    fn new(reps: usize) -> Self {
+        MetricAcc {
+            control: StreamingStat::new(),
+            treatment: StreamingStat::new(),
+            delta_sum: 0.0,
+            delta_count: 0,
+            boot: vec![(0.0, 0); reps],
+        }
+    }
+
+    /// Fold one user's per-session values for this metric. `key` must be
+    /// unique per (seed, metric, user) — it seeds the user's bootstrap
+    /// weights.
+    fn fold_user(&mut self, key: u64, c_vals: &[f64], t_vals: &[f64]) {
+        for &v in c_vals {
+            self.control.add(v);
+        }
+        for &v in t_vals {
+            self.treatment.add(v);
+        }
+        // Paired per-session deltas, with the same pairing/skip rules as
+        // `stats::paired_delta`.
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for (&cv, &tv) in c_vals.iter().zip(t_vals) {
+            if cv.is_finite() && tv.is_finite() && cv != 0.0 {
+                sum += (tv - cv) / cv.abs() * 100.0;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return;
+        }
+        self.delta_sum += sum;
+        self.delta_count += n;
+        for (rep, slot) in self.boot.iter_mut().enumerate() {
+            let w = poisson1(mix2(key, rep as u64));
+            if w > 0 {
+                slot.0 += w as f64 * sum;
+                slot.1 += w * n;
+            }
+        }
+    }
+
+    /// Fold another shard's accumulator. Exact for every field; the digest
+    /// merge is order-sensitive in its low bits, which is why shards merge
+    /// in a fixed order.
+    fn merge(&mut self, other: &MetricAcc) {
+        assert_eq!(self.boot.len(), other.boot.len(), "bootstrap reps differ");
+        self.control.merge(&other.control);
+        self.treatment.merge(&other.treatment);
+        self.delta_sum += other.delta_sum;
+        self.delta_count += other.delta_count;
+        for (a, b) in self.boot.iter_mut().zip(&other.boot) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+    }
+
+    /// Control-arm summary.
+    pub fn control(&self) -> &StreamingStat {
+        &self.control
+    }
+
+    /// Treatment-arm summary.
+    pub fn treatment(&self) -> &StreamingStat {
+        &self.treatment
+    }
+
+    /// Number of (control, treatment) session pairs that entered the
+    /// paired delta.
+    pub fn pairs(&self) -> u64 {
+        self.delta_count
+    }
+
+    /// The paired mean delta with its 95% Poisson-bootstrap CI.
+    pub fn paired_delta(&self) -> PairedDelta {
+        if self.delta_count == 0 {
+            return PairedDelta {
+                mean_delta_pct: f64::NAN,
+                ci_low: f64::NAN,
+                ci_high: f64::NAN,
+            };
+        }
+        let mean = self.delta_sum / self.delta_count as f64;
+        let boots: Vec<f64> = self
+            .boot
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(s, n)| s / *n as f64)
+            .collect();
+        let (lo, hi) = if boots.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (percentile(&boots, 0.025), percentile(&boots, 0.975))
+        };
+        PairedDelta {
+            mean_delta_pct: mean,
+            ci_low: lo,
+            ci_high: hi,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.control.encode(out);
+        self.treatment.encode(out);
+        wire::put_f64(out, self.delta_sum);
+        wire::put_u64(out, self.delta_count);
+        wire::put_u64(out, self.boot.len() as u64);
+        for &(s, n) in &self.boot {
+            wire::put_f64(out, s);
+            wire::put_u64(out, n);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>, expect_reps: usize) -> Result<MetricAcc, wire::WireError> {
+        let control = StreamingStat::decode(r)?;
+        let treatment = StreamingStat::decode(r)?;
+        let delta_sum = r.f64("metric.delta_sum")?;
+        let delta_count = r.u64("metric.delta_count")?;
+        let reps = r.len("metric.boot_len")?;
+        if reps != expect_reps {
+            return Err(wire::WireError {
+                context: "metric.boot_len",
+            });
+        }
+        let mut boot = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let s = r.f64("metric.boot_sum")?;
+            let n = r.u64("metric.boot_count")?;
+            boot.push((s, n));
+        }
+        Ok(MetricAcc {
+            control,
+            treatment,
+            delta_sum,
+            delta_count,
+            boot,
+        })
+    }
+}
+
+/// A user whose sessions panicked, as retained in the streaming state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFailure {
+    /// The user's id.
+    pub user: u64,
+    /// The user's index in the population.
+    pub index: u64,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// The mergeable per-shard (and, after merging, global) experiment state:
+/// one [`MetricAcc`] per table row, exact user/session/failure counts, a
+/// bounded failure sample, and the merged telemetry registry.
+#[derive(Debug)]
+pub struct ShardState {
+    metrics: Vec<MetricAcc>,
+    /// Users folded in (successes only).
+    pub users: u64,
+    /// Control-arm sessions folded in.
+    pub control_sessions: u64,
+    /// Treatment-arm sessions folded in.
+    pub treatment_sessions: u64,
+    /// Users whose sessions panicked (exact count).
+    pub failures: u64,
+    /// The first [`MAX_FAILURE_SAMPLES`] failures in population order.
+    pub failure_samples: Vec<StreamFailure>,
+    /// Telemetry merged in population order (empty without the `obs`
+    /// feature).
+    pub registry: obs::Registry,
+}
+
+impl ShardState {
+    fn new(reps: usize) -> Self {
+        ShardState {
+            metrics: (0..METRICS.len()).map(|_| MetricAcc::new(reps)).collect(),
+            users: 0,
+            control_sessions: 0,
+            treatment_sessions: 0,
+            failures: 0,
+            failure_samples: Vec::new(),
+            registry: obs::Registry::new(),
+        }
+    }
+
+    /// Per-metric accumulators, in [`METRICS`] order.
+    pub fn metrics(&self) -> &[MetricAcc] {
+        &self.metrics
+    }
+
+    fn fold_user(
+        &mut self,
+        seed: u64,
+        user_id: u64,
+        control: &[crate::experiment::SessionRecord],
+        treatment: &[crate::experiment::SessionRecord],
+        registry: &obs::Registry,
+    ) {
+        for (idx, &(_, _, f)) in METRICS.iter().enumerate() {
+            let c_vals: Vec<f64> = control.iter().filter_map(f).collect();
+            let t_vals: Vec<f64> = treatment.iter().filter_map(f).collect();
+            let key = mix2(mix2(seed, 0xB007_5EED ^ idx as u64), user_id);
+            self.metrics[idx].fold_user(key, &c_vals, &t_vals);
+        }
+        self.users += 1;
+        self.control_sessions += control.len() as u64;
+        self.treatment_sessions += treatment.len() as u64;
+        self.registry.merge(registry);
+    }
+
+    fn record_failure(&mut self, user: u64, index: u64, message: String) {
+        self.failures += 1;
+        if self.failure_samples.len() < MAX_FAILURE_SAMPLES {
+            self.failure_samples.push(StreamFailure {
+                user,
+                index,
+                message,
+            });
+        }
+    }
+
+    fn merge(&mut self, other: &ShardState) {
+        for (a, b) in self.metrics.iter_mut().zip(&other.metrics) {
+            a.merge(b);
+        }
+        self.users += other.users;
+        self.control_sessions += other.control_sessions;
+        self.treatment_sessions += other.treatment_sessions;
+        self.failures += other.failures;
+        for f in &other.failure_samples {
+            if self.failure_samples.len() >= MAX_FAILURE_SAMPLES {
+                break;
+            }
+            self.failure_samples.push(f.clone());
+        }
+        self.registry.merge(&other.registry);
+    }
+
+    /// Serialize (the checkpoint payload).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.metrics.len() as u64);
+        for m in &self.metrics {
+            m.encode(out);
+        }
+        wire::put_u64(out, self.users);
+        wire::put_u64(out, self.control_sessions);
+        wire::put_u64(out, self.treatment_sessions);
+        wire::put_u64(out, self.failures);
+        wire::put_u64(out, self.failure_samples.len() as u64);
+        for f in &self.failure_samples {
+            wire::put_u64(out, f.user);
+            wire::put_u64(out, f.index);
+            wire::put_str(out, &f.message);
+        }
+        self.registry.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>, expect_reps: usize) -> Result<ShardState, wire::WireError> {
+        let n_metrics = r.len("state.metrics")?;
+        if n_metrics != METRICS.len() {
+            return Err(wire::WireError {
+                context: "state.metrics",
+            });
+        }
+        let mut metrics = Vec::with_capacity(n_metrics);
+        for _ in 0..n_metrics {
+            metrics.push(MetricAcc::decode(r, expect_reps)?);
+        }
+        let users = r.u64("state.users")?;
+        let control_sessions = r.u64("state.control_sessions")?;
+        let treatment_sessions = r.u64("state.treatment_sessions")?;
+        let failures = r.u64("state.failures")?;
+        let n_fail = r.len("state.failure_samples")?;
+        if n_fail > MAX_FAILURE_SAMPLES {
+            return Err(wire::WireError {
+                context: "state.failure_samples",
+            });
+        }
+        let mut failure_samples = Vec::with_capacity(n_fail);
+        for _ in 0..n_fail {
+            failure_samples.push(StreamFailure {
+                user: r.u64("failure.user")?,
+                index: r.u64("failure.index")?,
+                message: r.str("failure.message")?.to_string(),
+            });
+        }
+        let registry = obs::Registry::decode(r)?;
+        Ok(ShardState {
+            metrics,
+            users,
+            control_sessions,
+            treatment_sessions,
+            failures,
+            failure_samples,
+            registry,
+        })
+    }
+}
+
+/// The fingerprint that ties a checkpoint to one exact run configuration.
+/// Any difference — population, arms, seeds, session counts, shard size,
+/// bootstrap reps — makes resume a hard error instead of a subtle lie.
+fn config_fingerprint(
+    population: &Population<'_>,
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+    shard_size: usize,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(population.fingerprint());
+    h.str(&control.label());
+    h.str(&treatment.label());
+    h.u64(cfg.pre_sessions as u64);
+    h.u64(cfg.sessions_per_user as u64);
+    h.u64(cfg.seed);
+    h.u64(cfg.bootstrap_reps as u64);
+    h.u64(shard_size as u64);
+    h.finish()
+}
+
+/// Why a checkpoint file couldn't be used.
+#[derive(Debug)]
+enum CkptReject {
+    /// Torn/corrupt/truncated — eligible for fallback to an older file.
+    Corrupt(String),
+    /// Valid file for a *different* run — a hard error, no fallback.
+    ConfigMismatch,
+}
+
+fn checkpoint_path(dir: &Path, next_shard: usize) -> PathBuf {
+    dir.join(format!("ckpt-{next_shard:010}.bin"))
+}
+
+/// Checkpoint files in `dir`, ascending by shard index.
+fn list_checkpoints(dir: &Path) -> Result<Vec<(PathBuf, usize)>, SimError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if let Some(num) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".bin"))
+        {
+            if let Ok(shard) = num.parse::<usize>() {
+                out.push((path, shard));
+            }
+        }
+    }
+    out.sort_by_key(|&(_, shard)| shard);
+    Ok(out)
+}
+
+/// Atomically write the checkpoint for `next_shard` and prune old files.
+fn write_checkpoint(
+    dir: &Path,
+    config_fp: u64,
+    next_shard: usize,
+    state: &ShardState,
+    keep: usize,
+) -> Result<(), SimError> {
+    std::fs::create_dir_all(dir)?;
+    let mut buf = Vec::new();
+    wire::put_u64(&mut buf, CKPT_MAGIC);
+    wire::put_u32(&mut buf, CKPT_VERSION);
+    wire::put_u64(&mut buf, config_fp);
+    wire::put_u64(&mut buf, next_shard as u64);
+    state.encode(&mut buf);
+    let mut h = Fnv::new();
+    h.write(&buf);
+    wire::put_u64(&mut buf, h.finish());
+
+    let tmp = dir.join(format!("ckpt-{next_shard:010}.tmp"));
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, checkpoint_path(dir, next_shard))?;
+
+    let mut files = list_checkpoints(dir)?;
+    while files.len() > keep.max(1) {
+        let (path, _) = files.remove(0);
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+/// Validate and decode one checkpoint file.
+fn load_checkpoint(
+    path: &Path,
+    config_fp: u64,
+    expect_reps: usize,
+) -> Result<(ShardState, usize), CkptReject> {
+    let corrupt = |what: &str| CkptReject::Corrupt(what.to_string());
+    let bytes = std::fs::read(path).map_err(|e| corrupt(&format!("unreadable: {e}")))?;
+    if bytes.len() < 8 {
+        return Err(corrupt("shorter than its checksum"));
+    }
+    let (head, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let mut h = Fnv::new();
+    h.write(head);
+    if h.finish() != stored {
+        return Err(corrupt("checksum mismatch (torn write?)"));
+    }
+    let mut r = Reader::new(head);
+    let magic = r.u64("ckpt.magic").map_err(|e| corrupt(&e.to_string()))?;
+    if magic != CKPT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = r.u32("ckpt.version").map_err(|e| corrupt(&e.to_string()))?;
+    if version != CKPT_VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let fp = r.u64("ckpt.config").map_err(|e| corrupt(&e.to_string()))?;
+    if fp != config_fp {
+        return Err(CkptReject::ConfigMismatch);
+    }
+    let next_shard = r
+        .u64("ckpt.next_shard")
+        .map_err(|e| corrupt(&e.to_string()))? as usize;
+    let state = ShardState::decode(&mut r, expect_reps).map_err(|e| corrupt(&e.to_string()))?;
+    if !r.is_done() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok((state, next_shard))
+}
+
+/// Find the newest usable checkpoint: scan descending, skipping corrupt
+/// files (noted), erroring hard on a config mismatch or an all-corrupt
+/// directory. `Ok(None)` = nothing to resume, start fresh.
+fn resume_scan(
+    dir: &Path,
+    config_fp: u64,
+    expect_reps: usize,
+) -> Result<Option<(ShardState, usize, Vec<String>)>, SimError> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let files = list_checkpoints(dir)?;
+    if files.is_empty() {
+        return Ok(None);
+    }
+    let mut notes = Vec::new();
+    for (path, _) in files.iter().rev() {
+        match load_checkpoint(path, config_fp, expect_reps) {
+            Ok((state, next_shard)) => return Ok(Some((state, next_shard, notes))),
+            Err(CkptReject::Corrupt(reason)) => {
+                notes.push(format!("{}: {reason}", path.display()));
+            }
+            Err(CkptReject::ConfigMismatch) => {
+                return Err(SimError::Checkpoint {
+                    path: path.display().to_string(),
+                    reason: "config fingerprint mismatch: checkpoint belongs to a different run"
+                        .into(),
+                });
+            }
+        }
+    }
+    Err(SimError::Checkpoint {
+        path: dir.display().to_string(),
+        reason: format!(
+            "all {} checkpoint files are corrupt: {}",
+            notes.len(),
+            notes.join("; ")
+        ),
+    })
+}
+
+/// Result of a streaming run.
+#[derive(Debug)]
+pub struct StreamRun {
+    /// The merged global state (over `merged_shards` shards).
+    pub state: ShardState,
+    /// Users in the population.
+    pub users: usize,
+    /// Total shards in the partition.
+    pub shards: usize,
+    /// Users per shard.
+    pub shard_size: usize,
+    /// Shards merged so far (`== shards` iff `completed`).
+    pub merged_shards: usize,
+    /// False only when the run stopped early via `abort_after_checkpoints`.
+    pub completed: bool,
+    /// `Some(next_shard)` when this run resumed from a checkpoint.
+    pub resumed_from: Option<usize>,
+    /// Corrupt checkpoint files skipped during resume (tagged, per file).
+    pub fallback_notes: Vec<String>,
+    /// Checkpoints written by this process.
+    pub checkpoints_written: usize,
+}
+
+impl StreamRun {
+    /// The Table 2-style report over the merged state.
+    pub fn report(&self) -> StreamReport {
+        StreamReport::build(&self.state)
+    }
+
+    /// FNV-1a fingerprint of the complete merged state (metric
+    /// accumulators down to digest centroid bits, counts, failures,
+    /// telemetry). Two runs are bit-identical iff their fingerprints
+    /// match — the resume/thread-invariance batteries compare these.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        self.state.encode(&mut buf);
+        let mut h = Fnv::new();
+        h.write(&buf);
+        h.u64(self.shards as u64);
+        h.u64(self.merged_shards as u64);
+        h.finish()
+    }
+}
+
+/// One row of the streaming report.
+#[derive(Debug, Clone)]
+pub struct StreamRow {
+    /// Metric name, as in [`METRICS`].
+    pub name: &'static str,
+    /// How the per-arm statistic is aggregated.
+    pub agg: Aggregate,
+    /// Control-arm statistic (t-digest median or exact mean).
+    pub control: f64,
+    /// Treatment-arm statistic.
+    pub treatment: f64,
+    /// Percent change of the arm statistics.
+    pub pct_change: f64,
+    /// Paired per-session mean delta with bootstrap CI (exact mean;
+    /// resolves sub-percent effects the quantile estimate can't).
+    pub paired: PairedDelta,
+    /// Control sessions with a value for this metric.
+    pub control_count: u64,
+    /// Treatment sessions with a value for this metric.
+    pub treatment_count: u64,
+}
+
+/// The streaming analogue of [`crate::experiment::Report`].
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Rows in [`METRICS`] order.
+    pub rows: Vec<StreamRow>,
+    /// Users folded in.
+    pub users: u64,
+    /// Users that failed.
+    pub failures: u64,
+}
+
+impl StreamReport {
+    fn build(state: &ShardState) -> StreamReport {
+        let rows = METRICS
+            .iter()
+            .zip(state.metrics())
+            .map(|(&(name, agg, _), m)| {
+                let stat = |s: &StreamingStat| match agg {
+                    Aggregate::Median => s.median(),
+                    Aggregate::Mean => s.mean(),
+                };
+                let control = stat(m.control());
+                let treatment = stat(m.treatment());
+                StreamRow {
+                    name,
+                    agg,
+                    control,
+                    treatment,
+                    pct_change: pct_change(control, treatment),
+                    paired: m.paired_delta(),
+                    control_count: m.control().count(),
+                    treatment_count: m.treatment().count(),
+                }
+            })
+            .collect();
+        StreamReport {
+            rows,
+            users: state.users,
+            failures: state.failures,
+        }
+    }
+
+    /// Look up a row by name.
+    pub fn row(&self, name: &str) -> Option<&StreamRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>12} {:>10} {:>28}\n",
+            "Metric", "Control", "Treatment", "% Chg", "Paired mean [95% CI]"
+        ));
+        for r in &self.rows {
+            let paired = if r.paired.mean_delta_pct.is_nan() {
+                "n/a".to_string()
+            } else if r.paired.significant() {
+                format!(
+                    "{:+.3}% [{:+.3}, {:+.3}]",
+                    r.paired.mean_delta_pct, r.paired.ci_low, r.paired.ci_high
+                )
+            } else {
+                format!("–  [{:+.3}, {:+.3}]", r.paired.ci_low, r.paired.ci_high)
+            };
+            let chg = if r.pct_change.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{:+.2}%", r.pct_change)
+            };
+            out.push_str(&format!(
+                "{:<20} {:>12.4} {:>12.4} {:>10} {:>28}\n",
+                r.name, r.control, r.treatment, chg, paired
+            ));
+        }
+        out.push_str(&format!(
+            "users: {}   failures: {}\n",
+            self.users, self.failures
+        ));
+        out
+    }
+}
+
+/// Run one shard: fold users `[shard·size, (shard+1)·size)` in index
+/// order, isolating per-user panics exactly like the collecting runner.
+fn compute_shard(
+    population: &Population<'_>,
+    shard: usize,
+    shard_size: usize,
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+    reps: usize,
+) -> ShardState {
+    let mut state = ShardState::new(reps);
+    let lo = shard * shard_size;
+    let hi = ((shard + 1) * shard_size).min(population.len());
+    for index in lo..hi {
+        let user = population.get(index);
+        // A panic leaves the user's partial registry in the worker's
+        // thread-local; the next run_user_pair replaces it, so failed
+        // users contribute no telemetry (same policy as the collecting
+        // runner).
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_user_pair(&user, control, treatment, cfg)
+        }));
+        match result {
+            Ok(((c, t), mut registry)) => {
+                // Wall spans are wall-clock and therefore nondeterministic
+                // by design (DESIGN.md §13); the shard state is part of the
+                // bit-identity contract, so they stop here.
+                registry.clear_wall_spans();
+                state.fold_user(cfg.seed, user.id, &c, &t, &registry)
+            }
+            Err(payload) => state.record_failure(user.id, index as u64, panic_message(payload)),
+        }
+    }
+    state
+}
+
+/// Shared worker/merger coordination state.
+struct Pending {
+    /// Completed shards awaiting their turn, keyed by shard index.
+    ready: BTreeMap<usize, ShardState>,
+    /// Shards `0..merged_upto` are folded into the global state.
+    merged_upto: usize,
+    /// Set on error or requested abort; workers drain and exit.
+    abort: bool,
+}
+
+/// The streaming shard-merge runner (entry:
+/// [`crate::experiment::ExperimentBuilder::run_streaming`]).
+pub(crate) fn run_stream_impl(
+    population: &Population<'_>,
+    control: Arm,
+    treatment: Arm,
+    cfg: &ExperimentConfig,
+    stream: &StreamConfig,
+) -> Result<StreamRun, SimError> {
+    if stream.resume && stream.checkpoint_dir.is_none() {
+        return Err(SimError::InvalidConfig {
+            field: "resume",
+            reason: "resume requires a checkpoint dir".into(),
+        });
+    }
+    let users = population.len();
+    let shard_size = stream.shard_size.max(1);
+    let shards = users.div_ceil(shard_size);
+    let reps = cfg.bootstrap_reps;
+    let config_fp = config_fingerprint(population, control, treatment, cfg, shard_size);
+
+    let mut global = ShardState::new(reps);
+    let mut start_shard = 0usize;
+    let mut resumed_from = None;
+    let mut fallback_notes = Vec::new();
+    if stream.resume {
+        let dir = stream.checkpoint_dir.as_deref().expect("checked above");
+        if let Some((state, next_shard, notes)) = resume_scan(dir, config_fp, reps)? {
+            if next_shard > shards {
+                return Err(SimError::Checkpoint {
+                    path: dir.display().to_string(),
+                    reason: format!(
+                        "checkpoint covers {next_shard} shards but the run has {shards}"
+                    ),
+                });
+            }
+            global = state;
+            start_shard = next_shard;
+            resumed_from = Some(next_shard);
+            fallback_notes = notes;
+        }
+    }
+
+    let mut checkpoints_written = 0usize;
+    let mut aborted = false;
+    let mut merged_shards = start_shard;
+
+    if start_shard < shards {
+        let threads = cfg.effective_threads().min(shards - start_shard).max(1);
+        let window = if stream.max_pending_shards == 0 {
+            threads * 2
+        } else {
+            stream.max_pending_shards
+        }
+        .max(1);
+
+        let next = AtomicUsize::new(start_shard);
+        let pending = Mutex::new(Pending {
+            ready: BTreeMap::new(),
+            merged_upto: start_shard,
+            abort: false,
+        });
+        let cv = Condvar::new();
+
+        let merge_result: Result<(), SimError> = crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let shard = next.fetch_add(1, Ordering::Relaxed);
+                    if shard >= shards {
+                        break;
+                    }
+                    {
+                        // Backpressure: don't run further than `window`
+                        // shards ahead of the merger.
+                        let mut g = pending.lock().expect("stream lock");
+                        while !g.abort && shard >= g.merged_upto + window {
+                            g = cv.wait(g).expect("stream wait");
+                        }
+                        if g.abort {
+                            break;
+                        }
+                    }
+                    let state =
+                        compute_shard(population, shard, shard_size, control, treatment, cfg, reps);
+                    let mut g = pending.lock().expect("stream lock");
+                    g.ready.insert(shard, state);
+                    cv.notify_all();
+                });
+            }
+
+            // Merge, in strict shard order, on this thread.
+            let result = (|| -> Result<(), SimError> {
+                for k in start_shard..shards {
+                    let state = {
+                        let mut g = pending.lock().expect("stream lock");
+                        loop {
+                            if let Some(st) = g.ready.remove(&k) {
+                                break st;
+                            }
+                            g = cv.wait(g).expect("stream wait");
+                        }
+                    };
+                    global.merge(&state);
+                    merged_shards = k + 1;
+                    {
+                        let mut g = pending.lock().expect("stream lock");
+                        g.merged_upto = k + 1;
+                        cv.notify_all();
+                    }
+                    if let Some(dir) = stream.checkpoint_dir.as_deref() {
+                        let merged_here = k + 1 - start_shard;
+                        let due = stream.checkpoint_every > 0
+                            && merged_here.is_multiple_of(stream.checkpoint_every);
+                        let last = k + 1 == shards;
+                        if due || last {
+                            write_checkpoint(
+                                dir,
+                                config_fp,
+                                k + 1,
+                                &global,
+                                stream.keep_checkpoints,
+                            )?;
+                            checkpoints_written += 1;
+                            if stream
+                                .abort_after_checkpoints
+                                .is_some_and(|n| checkpoints_written >= n)
+                                && !last
+                            {
+                                aborted = true;
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })();
+
+            // Wake and drain every worker, whatever happened.
+            let mut g = pending.lock().expect("stream lock");
+            g.abort = true;
+            cv.notify_all();
+            drop(g);
+            result
+        })
+        .expect("stream worker pool");
+        merge_result?;
+    }
+
+    Ok(StreamRun {
+        state: global,
+        users,
+        shards,
+        shard_size,
+        merged_shards,
+        completed: !aborted,
+        resumed_from,
+        fallback_notes,
+        checkpoints_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson1_has_unit_mean() {
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|i| poisson1(mix2(42, i))).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "Poisson(1) mean off: {mean}");
+        // Deterministic per key.
+        assert_eq!(poisson1(mix2(7, 9)), poisson1(mix2(7, 9)));
+    }
+
+    #[test]
+    fn metric_acc_merge_is_exact_and_order_fixed() {
+        // The guarantee under test is the runner's: a FIXED shard
+        // partition merged in a FIXED order is bit-identical, whether or
+        // not the merge passed through a checkpoint (encode/decode)
+        // boundary partway. (A different partition gives a different —
+        // equally valid — f64 summation order, which is why shard_size is
+        // part of the run's identity.)
+        let fold = |acc: &mut MetricAcc, users: std::ops::Range<u64>| {
+            for u in users {
+                let c = [10.0 + u as f64, 12.0];
+                let t = [9.0 + u as f64, 11.5];
+                acc.fold_user(mix2(1, u), &c, &t);
+            }
+        };
+        let shards: Vec<MetricAcc> = (0..4)
+            .map(|s| {
+                let mut acc = MetricAcc::new(50);
+                fold(&mut acc, s * 10..(s + 1) * 10);
+                acc
+            })
+            .collect();
+
+        // Path A: uninterrupted merge of all four shards.
+        let mut a = MetricAcc::new(50);
+        for s in &shards {
+            a.merge(s);
+        }
+        // Path B: merge two, checkpoint (encode/decode), merge the rest.
+        let mut b = MetricAcc::new(50);
+        b.merge(&shards[0]);
+        b.merge(&shards[1]);
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        let mut b = MetricAcc::decode(&mut Reader::new(&buf), 50).unwrap();
+        b.merge(&shards[2]);
+        b.merge(&shards[3]);
+
+        assert_eq!(a.pairs(), b.pairs());
+        assert_eq!(a.delta_sum.to_bits(), b.delta_sum.to_bits());
+        assert_eq!(a.boot, b.boot);
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        a.encode(&mut ea);
+        b.encode(&mut eb);
+        assert_eq!(ea, eb, "resumed merge must be bit-identical");
+        // Counts are exact regardless of path: 40 users × 2 sessions.
+        assert_eq!(a.pairs(), 80);
+        assert_eq!(a.control().count(), 80);
+    }
+
+    #[test]
+    fn shard_state_round_trips_bit_exact() {
+        let mut st = ShardState::new(20);
+        for u in 0..30u64 {
+            let vals: Vec<f64> = (0..3).map(|s| (u * 3 + s) as f64 * 0.25 + 1.0).collect();
+            let tvals: Vec<f64> = vals.iter().map(|v| v * 0.9).collect();
+            for m in st.metrics.iter_mut() {
+                m.fold_user(mix2(3, u), &vals, &tvals);
+            }
+            st.users += 1;
+        }
+        st.record_failure(99, 99, "boom".into());
+        let mut buf = Vec::new();
+        st.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = ShardState::decode(&mut r, 20).unwrap();
+        assert!(r.is_done());
+        let mut buf2 = Vec::new();
+        back.encode(&mut buf2);
+        assert_eq!(buf, buf2, "decode/encode must be bit-exact");
+        assert_eq!(back.failure_samples, st.failure_samples);
+    }
+
+    #[test]
+    fn checkpoint_write_load_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("sammy-ckpt-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = ShardState::new(5);
+        write_checkpoint(&dir, 0xFEED, 3, &state, 2).unwrap();
+        let path = checkpoint_path(&dir, 3);
+        let (_, next_shard) = load_checkpoint(&path, 0xFEED, 5).unwrap();
+        assert_eq!(next_shard, 3);
+
+        // Wrong config is a mismatch, not corruption.
+        assert!(matches!(
+            load_checkpoint(&path, 0xBEEF, 5),
+            Err(CkptReject::ConfigMismatch)
+        ));
+
+        // Any flipped byte (including inside the checksum) is corruption.
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [0, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[cut] ^= 0xFF;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(
+                    load_checkpoint(&path, 0xFEED, 5),
+                    Err(CkptReject::Corrupt(_))
+                ),
+                "flipped byte {cut} must be detected"
+            );
+        }
+        // Truncation too.
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path, 0xFEED, 5),
+            Err(CkptReject::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_pruning_keeps_newest() {
+        let dir = std::env::temp_dir().join(format!("sammy-ckpt-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = ShardState::new(2);
+        for k in 1..=5 {
+            write_checkpoint(&dir, 1, k, &state, 2).unwrap();
+        }
+        let files = list_checkpoints(&dir).unwrap();
+        let shards: Vec<usize> = files.iter().map(|&(_, s)| s).collect();
+        assert_eq!(shards, vec![4, 5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,369 @@
+//! The resume-equivalence battery for the streaming shard-merge runner.
+//!
+//! The contract under test (DESIGN.md §16): for a fixed configuration —
+//! population, arms, seed, `shard_size` — the streaming runner's final
+//! state is **bit-identical** (a) for every thread count, (b) across any
+//! kill-at-a-checkpoint/resume boundary (including chains of kills, and
+//! resumes with a different thread count than the killed run), and (c)
+//! across corrupt-newest-checkpoint fallback. Corruption is always
+//! detected and tagged; an unusable checkpoint directory is a hard
+//! [`SimError::Checkpoint`], never a silent wrong answer.
+
+use abtest::{
+    draw_population_indexed, paired_delta, Arm, Experiment, ExperimentConfig, PopulationConfig,
+    StreamRun, METRICS,
+};
+use netsim::SimError;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+const USERS: usize = 12;
+const SHARD_SIZE: usize = 3; // 4 shards
+const SEED: u64 = 77;
+
+/// Short titles so the battery stays fast on one debug-mode core.
+fn light_population() -> PopulationConfig {
+    PopulationConfig {
+        title_duration_s: (20, 45),
+        ..PopulationConfig::default()
+    }
+}
+
+fn light_cfg(threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        users_per_arm: USERS,
+        pre_sessions: 1,
+        sessions_per_user: 1,
+        seed: SEED,
+        bootstrap_reps: 40,
+        threads,
+    }
+}
+
+fn builder(threads: usize) -> abtest::ExperimentBuilder<'static> {
+    Experiment::builder()
+        .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
+        .config(light_cfg(threads))
+        .population_config(light_population())
+        .shard_size(SHARD_SIZE)
+        .checkpoint_every(1)
+}
+
+/// A unique scratch dir, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sammy-stream-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+/// The uninterrupted single-thread golden run, computed once per process.
+fn golden() -> &'static StreamRun {
+    static GOLDEN: OnceLock<StreamRun> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let run = builder(1).run_streaming().unwrap();
+        assert!(run.completed);
+        assert_eq!(run.state.users as usize, USERS);
+        run
+    })
+}
+
+#[test]
+fn thread_count_does_not_change_a_single_bit() {
+    let base = golden();
+    for threads in [4, 8] {
+        let run = builder(threads).run_streaming().unwrap();
+        assert_eq!(
+            run.fingerprint(),
+            base.fingerprint(),
+            "threads={threads} changed the merged state"
+        );
+        assert_eq!(run.report().render(), base.report().render());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Kill the run after a random checkpoint (under a random thread
+    /// count), resume under another thread count: the finished state is
+    /// bit-identical to the uninterrupted golden run.
+    #[test]
+    fn killed_then_resumed_run_is_bit_identical(
+        abort_after in 1usize..4,
+        kill_threads in 1usize..5,
+        resume_threads in 1usize..5,
+    ) {
+        let dir = ScratchDir::new(&format!("kill{abort_after}t{kill_threads}r{resume_threads}"));
+        let partial = builder(kill_threads)
+            .checkpoint_dir(dir.path())
+            .abort_after_checkpoints(abort_after)
+            .run_streaming()
+            .unwrap();
+        prop_assert!(!partial.completed);
+        prop_assert_eq!(partial.merged_shards, abort_after);
+        prop_assert_eq!(partial.checkpoints_written, abort_after);
+
+        let resumed = builder(resume_threads)
+            .checkpoint_dir(dir.path())
+            .resume(true)
+            .run_streaming()
+            .unwrap();
+        prop_assert!(resumed.completed);
+        prop_assert_eq!(resumed.resumed_from, Some(abort_after));
+        prop_assert!(resumed.fallback_notes.is_empty());
+        prop_assert_eq!(resumed.fingerprint(), golden().fingerprint());
+        prop_assert_eq!(resumed.report().render(), golden().report().render());
+    }
+}
+
+#[test]
+fn chain_of_two_kills_still_matches() {
+    let dir = ScratchDir::new("chain");
+    let first = builder(2)
+        .checkpoint_dir(dir.path())
+        .abort_after_checkpoints(1)
+        .run_streaming()
+        .unwrap();
+    assert_eq!(first.merged_shards, 1);
+
+    let second = builder(1)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .abort_after_checkpoints(1)
+        .run_streaming()
+        .unwrap();
+    assert!(!second.completed);
+    assert_eq!(second.resumed_from, Some(1));
+    assert_eq!(second.merged_shards, 2);
+
+    let finished = builder(3)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .run_streaming()
+        .unwrap();
+    assert!(finished.completed);
+    assert_eq!(finished.fingerprint(), golden().fingerprint());
+}
+
+#[test]
+fn resume_of_a_completed_run_is_identical_without_rerunning() {
+    let dir = ScratchDir::new("completed");
+    let full = builder(1)
+        .checkpoint_dir(dir.path())
+        .run_streaming()
+        .unwrap();
+    assert!(full.completed);
+    assert_eq!(full.fingerprint(), golden().fingerprint());
+
+    // The final checkpoint covers every shard: resume decodes it and runs
+    // zero sessions, yet the state (and fingerprint) is unchanged.
+    let resumed = builder(1)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .run_streaming()
+        .unwrap();
+    assert!(resumed.completed);
+    assert_eq!(resumed.resumed_from, Some(resumed.shards));
+    assert_eq!(resumed.fingerprint(), golden().fingerprint());
+}
+
+#[test]
+fn corrupt_newest_checkpoint_falls_back_with_a_tagged_note() {
+    let dir = ScratchDir::new("corrupt-one");
+    let partial = builder(1)
+        .checkpoint_dir(dir.path())
+        .abort_after_checkpoints(2)
+        .run_streaming()
+        .unwrap();
+    assert_eq!(partial.checkpoints_written, 2);
+    let files = checkpoint_files(dir.path());
+    assert_eq!(files.len(), 2, "keep_checkpoints retains two files");
+
+    // Tear the newest file mid-payload.
+    let newest = files.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(newest, &bytes).unwrap();
+
+    let resumed = builder(1)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .run_streaming()
+        .unwrap();
+    // Fell back to the shard-1 checkpoint, said so, and still finished
+    // bit-identical.
+    assert_eq!(resumed.resumed_from, Some(1));
+    assert_eq!(resumed.fallback_notes.len(), 1);
+    assert!(
+        resumed.fallback_notes[0].contains("checksum"),
+        "note must name the defect: {:?}",
+        resumed.fallback_notes
+    );
+    assert_eq!(resumed.fingerprint(), golden().fingerprint());
+}
+
+#[test]
+fn all_checkpoints_corrupt_is_a_hard_tagged_error() {
+    let dir = ScratchDir::new("corrupt-all");
+    builder(1)
+        .checkpoint_dir(dir.path())
+        .abort_after_checkpoints(2)
+        .run_streaming()
+        .unwrap();
+    for f in checkpoint_files(dir.path()) {
+        let bytes = std::fs::read(&f).unwrap();
+        std::fs::write(&f, &bytes[..bytes.len() / 2]).unwrap(); // truncate
+    }
+    let err = builder(1)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .run_streaming()
+        .unwrap_err();
+    match &err {
+        SimError::Checkpoint { reason, .. } => {
+            assert!(reason.contains("corrupt"), "{err}");
+        }
+        other => panic!("expected SimError::Checkpoint, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_of_a_different_run_is_rejected() {
+    let dir = ScratchDir::new("mismatch");
+    builder(1)
+        .checkpoint_dir(dir.path())
+        .abort_after_checkpoints(1)
+        .run_streaming()
+        .unwrap();
+    // Same directory, different seed → different config fingerprint.
+    let err = builder(1)
+        .seed(SEED + 1)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .run_streaming()
+        .unwrap_err();
+    match &err {
+        SimError::Checkpoint { reason, .. } => {
+            assert!(reason.contains("fingerprint"), "{err}");
+        }
+        other => panic!("expected SimError::Checkpoint, got {other:?}"),
+    }
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_invalid_config() {
+    let err = builder(1).resume(true).run_streaming().unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+}
+
+#[test]
+fn explicit_and_lazy_populations_are_bit_identical() {
+    // The lazy path derives user `i` on demand; materializing the same
+    // derivation up front and passing it as an explicit borrowed slice
+    // must produce the identical run (the builder no longer clones the
+    // slice, so this is also the zero-copy path).
+    let pop = draw_population_indexed(&light_population(), USERS, SEED);
+    let explicit = builder(1).population(&pop).run_streaming().unwrap();
+    assert_eq!(explicit.fingerprint(), golden().fingerprint());
+    assert_eq!(explicit.report().render(), golden().report().render());
+}
+
+#[test]
+fn streaming_stats_match_the_collecting_runner_exactly() {
+    // Same explicit population through both runners: every exact
+    // statistic (counts, paired mean deltas) must agree; only the CI
+    // machinery (resampling vs Poisson replicates) and quantile estimator
+    // (sort vs t-digest) are allowed to differ.
+    let pop = draw_population_indexed(&light_population(), USERS, SEED);
+    let collected = builder(1).population(&pop).run().unwrap();
+    let streamed = builder(1).population(&pop).run_streaming().unwrap();
+
+    assert_eq!(streamed.state.users as usize, USERS);
+    assert_eq!(
+        streamed.state.control_sessions as usize,
+        collected.control.sessions.len()
+    );
+    assert_eq!(
+        streamed.state.treatment_sessions as usize,
+        collected.treatment.sessions.len()
+    );
+
+    for (i, &(name, _, f)) in METRICS.iter().enumerate() {
+        let acc = &streamed.state.metrics()[i];
+        let c_vals = collected.control.metric(f);
+        let t_vals = collected.treatment.metric(f);
+        assert_eq!(acc.control().count() as usize, c_vals.len(), "{name}");
+        assert_eq!(acc.treatment().count() as usize, t_vals.len(), "{name}");
+        let c_mean = c_vals.iter().sum::<f64>() / c_vals.len().max(1) as f64;
+        assert!(
+            (acc.control().mean() - c_mean).abs() <= 1e-9 * c_mean.abs().max(1.0),
+            "{name}: streaming mean {} vs collected {c_mean}",
+            acc.control().mean()
+        );
+
+        let c_by_user = collected.control.metric_by_user(f);
+        let t_by_user = collected.treatment.metric_by_user(f);
+        let reference = paired_delta(&c_by_user, &t_by_user, 40, 1);
+        let streaming = acc.paired_delta();
+        if reference.mean_delta_pct.is_nan() {
+            assert!(streaming.mean_delta_pct.is_nan(), "{name}");
+        } else {
+            assert!(
+                (streaming.mean_delta_pct - reference.mean_delta_pct).abs()
+                    <= 1e-9 * reference.mean_delta_pct.abs().max(1.0),
+                "{name}: paired mean {} vs {}",
+                streaming.mean_delta_pct,
+                reference.mean_delta_pct
+            );
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn resumed_telemetry_jsonl_is_byte_identical() {
+    let dir = ScratchDir::new("obs-jsonl");
+    let golden_jsonl = golden().state.registry.to_jsonl();
+    assert!(golden_jsonl.contains("abtest.sessions"));
+
+    builder(2)
+        .checkpoint_dir(dir.path())
+        .abort_after_checkpoints(2)
+        .run_streaming()
+        .unwrap();
+    let resumed = builder(4)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .run_streaming()
+        .unwrap();
+    assert_eq!(resumed.state.registry.to_jsonl(), golden_jsonl);
+}

@@ -38,6 +38,16 @@ pub enum SimError {
     Experiment(String),
     /// An I/O failure (metrics sink, figure output).
     Io(String),
+    /// A checkpoint file could not be used: torn write, checksum
+    /// mismatch, version skew, or a config that does not match the run
+    /// being resumed. Tagged so harnesses can distinguish "fell back to
+    /// an older checkpoint" from a silent wrong answer.
+    Checkpoint {
+        /// The offending file (or directory, for "nothing to resume").
+        path: String,
+        /// Why the checkpoint was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +68,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Experiment(msg) => write!(f, "experiment failed: {msg}"),
             SimError::Io(msg) => write!(f, "io error: {msg}"),
+            SimError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint rejected: {path}: {reason}")
+            }
         }
     }
 }

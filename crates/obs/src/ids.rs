@@ -55,6 +55,24 @@ impl TraceId {
     pub fn code(self) -> u16 {
         self as u16
     }
+
+    /// The variant for a stable numeric id, or `None` for a retired or
+    /// unknown code (snapshot decoding must not panic on foreign data).
+    pub fn from_code(code: u16) -> Option<TraceId> {
+        Some(match code {
+            1 => TraceId::LinkDrop,
+            2 => TraceId::RebufferStart,
+            3 => TraceId::RebufferEnd,
+            4 => TraceId::RungSwitch,
+            5 => TraceId::ChunkStart,
+            6 => TraceId::ChunkDone,
+            7 => TraceId::SessionStart,
+            8 => TraceId::SessionEnd,
+            9 => TraceId::TcpLossEvent,
+            10 => TraceId::TcpRto,
+            _ => return None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -66,5 +84,15 @@ mod tests {
         assert_eq!(TraceId::LinkDrop.code(), 1);
         assert_eq!(TraceId::TcpRto.code(), 10);
         assert_eq!(TraceId::RungSwitch.name(), "rung_switch");
+    }
+
+    #[test]
+    fn from_code_round_trips() {
+        for code in 1..=10u16 {
+            let id = TraceId::from_code(code).unwrap();
+            assert_eq!(id.code(), code);
+        }
+        assert_eq!(TraceId::from_code(0), None);
+        assert_eq!(TraceId::from_code(999), None);
     }
 }

@@ -30,8 +30,10 @@
 
 mod ids;
 mod sink;
+mod snapshot;
 
 pub use ids::TraceId;
+pub use snapshot::intern;
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -221,6 +223,21 @@ pub struct TraceRing {
     cap: usize,
 }
 
+impl TraceRing {
+    /// An empty ring retaining at most `cap` events.
+    pub fn with_cap(cap: usize) -> Self {
+        TraceRing {
+            events: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// The ring's retention capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
 impl Default for TraceRing {
     fn default() -> Self {
         TraceRing {
@@ -231,7 +248,7 @@ impl Default for TraceRing {
 }
 
 impl TraceRing {
-    fn push(&mut self, ev: TraceEvent) {
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
         if self.events.len() == self.cap {
             self.events.pop_front();
         }
@@ -264,13 +281,13 @@ impl TraceRing {
 /// and of deterministic shard merging.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, Gauge>,
-    hists: BTreeMap<&'static str, Histogram>,
-    spans: BTreeMap<&'static str, SpanStat>,
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) gauges: BTreeMap<&'static str, Gauge>,
+    pub(crate) hists: BTreeMap<&'static str, Histogram>,
+    pub(crate) spans: BTreeMap<&'static str, SpanStat>,
     /// Wall-clock spans; excluded from the deterministic sink.
-    wall_spans: BTreeMap<&'static str, SpanStat>,
-    trace: TraceRing,
+    pub(crate) wall_spans: BTreeMap<&'static str, SpanStat>,
+    pub(crate) trace: TraceRing,
 }
 
 impl Registry {
@@ -368,6 +385,15 @@ impl Registry {
     /// A wall-clock span by name.
     pub fn wall_span_stat(&self, name: &str) -> Option<&SpanStat> {
         self.wall_spans.get(name)
+    }
+
+    /// Drop the wall-clock section. Wall spans are nondeterministic by
+    /// design; callers that fold registries into bit-identity-contracted
+    /// state (the streaming A/B runner's shard accumulators) clear them
+    /// at the fold boundary so the deterministic sections alone define
+    /// the bytes.
+    pub fn clear_wall_spans(&mut self) {
+        self.wall_spans.clear();
     }
 
     /// The trace ring.

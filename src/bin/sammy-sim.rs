@@ -4,9 +4,15 @@
 //! sammy-sim single-flow [--sammy] [--rate-mbps 40] [--rtt-ms 5] [--secs 60]
 //! sammy-sim neighbors   [--secs 60]
 //! sammy-sim abtest      [--users 150] [--c0 3.2] [--c1 2.8] [--threads 0]
+//! sammy-sim stream      [--users 100000] [--checkpoint-dir DIR] [--resume] ...
 //! sammy-sim tune        [--users 40] [--rounds 2]
 //! sammy-sim quickstart  [--users 20]
 //! ```
+//!
+//! `stream` is the million-user front end: the streaming shard-merge
+//! runner with a lazily derived population, O(threads) memory, and
+//! checkpoint/resume (kill the process, rerun with `--resume`, get the
+//! byte-identical result — the printed state fingerprint proves it).
 //!
 //! Every subcommand accepts `--metrics <path>`: with the `obs` feature
 //! enabled, the run's telemetry registry is written to `<path>` as JSON
@@ -32,6 +38,7 @@ fn main() {
         "single-flow" => single_flow(&opts),
         "neighbors" => neighbors(&opts),
         "abtest" => abtest(&opts),
+        "stream" => stream(&opts),
         "tune" => tune(&opts),
         "quickstart" => quickstart(&opts),
         _ => {
@@ -43,10 +50,14 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: sammy-sim <single-flow|neighbors|abtest|tune|quickstart> [flags]");
+    eprintln!("usage: sammy-sim <single-flow|neighbors|abtest|stream|tune|quickstart> [flags]");
     eprintln!("  single-flow  [--sammy] [--rate-mbps N] [--rtt-ms N] [--secs N]");
     eprintln!("  neighbors    [--secs N]");
     eprintln!("  abtest       [--users N] [--c0 X] [--c1 X] [--seed N] [--threads N]");
+    eprintln!("  stream       [--users N] [--c0 X] [--c1 X] [--seed N] [--threads N]");
+    eprintln!("               [--shard-size N] [--sessions N] [--pre-sessions N] [--reps N]");
+    eprintln!("               [--light] [--checkpoint-dir DIR] [--checkpoint-every N]");
+    eprintln!("               [--resume] [--abort-after N]");
     eprintln!("  tune         [--users N] [--rounds N] [--seed N] [--threads N]");
     eprintln!("  quickstart   [--users N] [--seed N]");
     eprintln!("  all commands: [--metrics PATH]  (JSON lines; '-' = table on stdout)");
@@ -205,6 +216,81 @@ fn abtest(opts: &Opts) {
     // Fold the experiment's per-user telemetry into this process's registry
     // so `--metrics` sees it.
     obs::with(|r| r.merge(&run.metrics));
+}
+
+/// Streaming shard-merge A/B run: lazily derived population, O(threads)
+/// memory, optional checkpoint/resume. Prints the report plus the state
+/// fingerprint so interrupted-then-resumed runs can be compared to an
+/// uninterrupted golden byte-for-byte (the CI smoke job does exactly that).
+fn stream(opts: &Opts) {
+    let cfg = ExperimentConfig {
+        users_per_arm: opts.get("users", 100_000),
+        pre_sessions: opts.get("pre-sessions", 1),
+        sessions_per_user: opts.get("sessions", 1),
+        seed: opts.get("seed", 2023),
+        bootstrap_reps: opts.get("reps", 200),
+        threads: opts.get("threads", 0),
+    };
+    let c0 = opts.get("c0", 3.2);
+    let c1 = opts.get("c1", 2.8);
+    let mut b = Experiment::builder()
+        .treatment(Arm::Sammy { c0, c1 })
+        .config(cfg.clone())
+        .shard_size(opts.get("shard-size", 256))
+        .checkpoint_every(opts.get("checkpoint-every", 16))
+        .resume(opts.flag("resume"));
+    if opts.flag("light") {
+        // Short titles: the scale knob for million-user demos where the
+        // point is the runner, not the sessions.
+        b = b.population_config(PopulationConfig {
+            title_duration_s: (20, 45),
+            ..PopulationConfig::default()
+        });
+    }
+    if let Some(dir) = opts.get_str("checkpoint-dir") {
+        b = b.checkpoint_dir(dir);
+    }
+    let abort_after: usize = opts.get("abort-after", 0);
+    if abort_after > 0 {
+        b = b.abort_after_checkpoints(abort_after);
+    }
+    let run = match b.run_streaming() {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("stream setup rejected: {e}");
+            std::process::exit(2);
+        }
+    };
+    for note in &run.fallback_notes {
+        eprintln!("note: {note}");
+    }
+    if let Some(shard) = run.resumed_from {
+        eprintln!(
+            "resumed from checkpoint at shard {shard}/{} ({} users already merged)",
+            run.shards,
+            shard * run.shard_size
+        );
+    }
+    if !run.completed {
+        println!(
+            "partial run: merged {}/{} shards, wrote {} checkpoint(s); rerun with --resume to continue",
+            run.merged_shards, run.shards, run.checkpoints_written
+        );
+        println!("state fingerprint: {:016x}", run.fingerprint());
+        return;
+    }
+    println!(
+        "Paired A/B (streaming): production vs Sammy(c0={c0}, c1={c1}), {} users\n",
+        cfg.users_per_arm
+    );
+    print!("{}", run.report().render());
+    if run.state.failures > 0 {
+        println!("failed user-pairs: {}", run.state.failures);
+    }
+    println!("state fingerprint: {:016x}", run.fingerprint());
+    // Fold the streamed telemetry into this process's registry so
+    // `--metrics` sees it.
+    obs::with(|r| r.merge(&run.state.registry));
 }
 
 fn tune(opts: &Opts) {

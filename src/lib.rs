@@ -26,8 +26,9 @@ pub use video;
 /// ```
 pub mod prelude {
     pub use abtest::{
-        draw_population, Arm, Experiment, ExperimentBuilder, ExperimentConfig, ExperimentRun,
-        PopulationConfig, Report, UserProfile,
+        draw_population, draw_population_indexed, Arm, Experiment, ExperimentBuilder,
+        ExperimentConfig, ExperimentRun, Population, PopulationConfig, Report, StreamReport,
+        StreamRun, UserProfile,
     };
     pub use fluidsim::{FluidConfig, NetworkProfile, SessionBuilder, SessionOutcome};
     pub use netsim::{Rate, SimDuration, SimError, SimTime};
