@@ -16,6 +16,7 @@ use netsim::SimDuration;
 use sammy_bench::ablation;
 use sammy_bench::figures;
 use sammy_bench::lab::{self, LabArm, LabConfig};
+use sammy_bench::matrix;
 use sammy_bench::shared::{self, SharedLabConfig};
 use std::fmt::Write as _;
 use std::fs;
@@ -66,6 +67,7 @@ fn main() {
             "ablation",
             "fig_fairness",
             "fig_occupancy",
+            "fig_cc_matrix",
         ]
         .into_iter()
         .map(String::from)
@@ -93,6 +95,7 @@ fn main() {
             "ablation" => ablations(),
             "fig_fairness" => fig_fairness(threads),
             "fig_occupancy" => fig_occupancy(threads),
+            "fig_cc_matrix" => fig_cc_matrix(threads),
             other => eprintln!("unknown target: {other}"),
         }
     }
@@ -600,6 +603,36 @@ fn fig_occupancy(threads: usize) {
         })
         .collect();
     save_csv("fig_shared_occupancy.csv", "t_s,greedy_kb,sammy_kb", &rows);
+}
+
+fn fig_cc_matrix(threads: usize) {
+    banner("CC x pacing matrix: {Reno, CUBIC, BBR, QUIC} x {control, sammy}");
+    let base = LabConfig {
+        run_for: SimDuration::from_secs(60),
+        ..Default::default()
+    };
+    let cells = matrix::cc_matrix(&base, threads);
+    println!(
+        "{:<10} {:>6} {:>8} {:>16} {:>14} {:>8} {:>14}",
+        "substrate", "proto", "arm", "chunk tput Mbps", "median RTT ms", "retx %", "peak queue kB"
+    );
+    for c in &cells {
+        println!(
+            "{:<10} {:>6} {:>8} {:>16.2} {:>14.2} {:>8.3} {:>14.1}",
+            c.substrate,
+            c.transport.name(),
+            c.arm.label(),
+            c.chunk_tput_mbps,
+            c.median_rtt_ms,
+            c.retx_fraction * 100.0,
+            c.peak_queue_kb
+        );
+    }
+    save_csv(
+        "fig_cc_matrix.csv",
+        matrix::MATRIX_CSV_HEADER,
+        &matrix::matrix_csv_rows(&cells),
+    );
 }
 
 fn spiral() {

@@ -13,7 +13,7 @@ use netsim::{Dumbbell, DumbbellConfig, FlowId, Rate, SimDuration, SimTime, Simul
 use sammy_core::{Sammy, SammyConfig};
 use std::sync::Arc;
 use traffic::{BulkReceiver, BulkSender, HttpClient};
-use transport::{CcAlgorithm, SenderEndpoint, TcpConfig, UdpCbrSource, UdpSink};
+use transport::{CcAlgorithm, Protocol, SenderEndpoint, TcpConfig, UdpCbrSource, UdpSink};
 use video::{
     Abr, Ladder, Player, PlayerConfig, Title, TitleConfig, VideoClientEndpoint, VmafModel,
 };
@@ -60,6 +60,9 @@ pub struct LabConfig {
     /// Congestion-control substrate for the video sender (ablations swap
     /// Reno for CUBIC or the LEDBAT scavenger).
     pub cc: CcAlgorithm,
+    /// Wire protocol for the video sender (the CC x pacing matrix runs the
+    /// QUIC-style transport beside TCP).
+    pub transport: Protocol,
 }
 
 impl Default for LabConfig {
@@ -75,6 +78,7 @@ impl Default for LabConfig {
             max_buffer: SimDuration::from_secs(240),
             seed: 1,
             cc: CcAlgorithm::Reno,
+            transport: Protocol::Tcp,
         }
     }
 }
@@ -139,6 +143,7 @@ pub fn install_video(
     let tcp = TcpConfig {
         max_burst_packets: cfg.burst_packets,
         cc: cfg.cc,
+        transport: cfg.transport,
         ..Default::default()
     };
     let server = SenderEndpoint::new(server_node, client_node, flow, tcp);
@@ -155,7 +160,8 @@ pub fn install_video(
         },
         start,
     );
-    let client = VideoClientEndpoint::new(client_node, server_node, flow, player);
+    let client =
+        VideoClientEndpoint::with_protocol(client_node, server_node, flow, player, cfg.transport);
     client.install(sim, start);
 }
 

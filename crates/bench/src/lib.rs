@@ -21,6 +21,11 @@
 //! disciplines), backing the shared-queue-occupancy and Jain's-fairness
 //! figures.
 //!
+//! [`matrix`] runs the CC × pacing A/B matrix: the single-flow lab over
+//! every transport substrate ({Reno, CUBIC, BBR} on TCP, CUBIC on the
+//! QUIC-style transport) × {unpaced control, Sammy}, backing the
+//! `fig_cc_matrix` figure.
+//!
 //! The `figures` binary (`cargo run -p sammy-bench --bin figures --release`)
 //! regenerates all of them as aligned text tables and CSV files.
 //!
@@ -35,5 +40,6 @@ pub mod ablation;
 pub mod figures;
 pub mod json;
 pub mod lab;
+pub mod matrix;
 pub mod perf;
 pub mod shared;

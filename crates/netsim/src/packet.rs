@@ -64,6 +64,41 @@ pub enum Payload {
         /// pacing header; `None` leaves the server unpaced).
         pace_bps: Option<f64>,
     },
+    /// A QUIC-style stream frame: one packet number carrying bytes
+    /// `[offset, offset + len)` of stream `stream` within its connection
+    /// (flow). Packet numbers are monotonic and never reused — a
+    /// retransmission of the same stream bytes gets a fresh `pkt_num`.
+    QuicData {
+        /// Monotonic connection-level packet number.
+        pkt_num: u64,
+        /// Stream the frame belongs to.
+        stream: u64,
+        /// First byte of the frame within the stream.
+        offset: u64,
+        /// Frame length in bytes.
+        len: u32,
+        /// True if this frame is the last of its stream.
+        fin: bool,
+        /// True if the frame re-sends previously transmitted stream bytes.
+        retx: bool,
+    },
+    /// A QUIC-style acknowledgment: the largest packet number received
+    /// plus up to three ACK ranges, and the connection-level flow-control
+    /// credit.
+    QuicAck {
+        /// Largest packet number received so far.
+        largest: u64,
+        /// Send timestamp of the packet that triggered this ACK, echoed
+        /// back for RTT measurement.
+        echo_ts: SimTime,
+        /// Up to three received packet-number ranges `[start, end)`, in
+        /// descending order; `(0, 0)` marks unused slots. The first range
+        /// contains `largest`.
+        ranges: [(u64, u64); 3],
+        /// Connection flow control: the sender may have at most this many
+        /// cumulative stream bytes outstanding.
+        max_data: u64,
+    },
     /// An opaque control message. `tag` selects the meaning; `a`/`b` are
     /// protocol-defined operands.
     Control {
@@ -82,6 +117,8 @@ impl Payload {
         match *self {
             Payload::Data { len, .. } => len as u64,
             Payload::Ack { .. } => 0,
+            Payload::QuicData { len, .. } => len as u64,
+            Payload::QuicAck { .. } => 0,
             Payload::Datagram { .. } => 0,
             Payload::Request { .. } => 0,
             Payload::Control { .. } => 0,

@@ -2,17 +2,19 @@
 //!
 //! §2.2 of the paper contrasts Sammy with BBR: both pace, but "BBR aims to
 //! pace close to the bottleneck capacity while Sammy aims to pace
-//! significantly lower." This simplified controller reproduces the parts
-//! of BBR the comparison needs — a windowed-max bottleneck-bandwidth
-//! estimate, a min-RTT estimate, startup/drain/probe phases, and a pacing
-//! rate derived from the bandwidth model — so the ablations can show that
-//! BBR smooths packet bursts without reducing *chunk* throughput.
+//! significantly lower." This controller reproduces the parts of BBR the
+//! comparison needs — a windowed-max bottleneck-bandwidth estimate, a
+//! min-RTT estimate with staleness expiry, STARTUP/DRAIN/PROBE_BW/PROBE_RTT
+//! phases, app-limited sample marking, and pacing/cwnd gains derived from
+//! the bandwidth model — so the ablations can show that BBR smooths packet
+//! bursts without reducing *chunk* throughput.
 //!
-//! Simplifications vs real BBR: no PROBE_RTT phase (sessions are short and
-//! app-limited, so the min-RTT filter rarely staleness-expires), loss is
-//! ignored except for RTO (as in BBRv1), and delivery rate is estimated
-//! from cumulative-ACK byte counts over RTT-length epochs rather than
-//! per-packet delivery-rate sampling.
+//! Simplifications vs real BBR: loss is ignored except for RTO (as in
+//! BBRv1), and delivery rate is estimated from cumulative-ACK byte counts
+//! over RTT-length epochs rather than per-packet delivery-rate sampling.
+//! The epoch sampler is careful about its clock: the ACK that *opens* an
+//! epoch only starts the timer — its bytes arrived during the previous
+//! epoch's window, so counting them again would bias the max filter high.
 
 use crate::cc::{CongestionControl, INITIAL_CWND_SEGMENTS, MAX_CWND_BYTES};
 use netsim::{Rate, SimDuration, SimTime, MSS_BYTES};
@@ -27,12 +29,26 @@ enum Phase {
     Drain,
     /// Steady state: cycle pacing gains around 1.0.
     ProbeBw,
+    /// Periodically shrink the window to re-measure the propagation RTT.
+    ProbeRtt,
 }
 
 /// The PROBE_BW gain cycle (BBRv1's eight-phase cycle).
 const BW_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
 /// Startup pacing gain (2/ln 2).
 const STARTUP_GAIN: f64 = 2.885;
+/// Steady-state cwnd gain: window of 2x BDP to absorb ACK aggregation.
+const CWND_GAIN: f64 = 2.0;
+/// The min-RTT estimate expires after this long without a new minimum;
+/// expiry triggers PROBE_RTT.
+const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+/// How long PROBE_RTT holds the window down to re-measure the RTT floor.
+const PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+/// Minimum in-flight during PROBE_RTT, in segments (BBRMinPipeCwnd).
+const PROBE_RTT_CWND_SEGMENTS: u64 = 4;
+/// Consecutive DRAIN epochs after which we give up waiting for an
+/// in-flight report and move on (senders that never call `on_inflight`).
+const DRAIN_EPOCH_LIMIT: u32 = 2;
 
 /// Simplified BBR congestion control.
 #[derive(Debug, Clone)]
@@ -42,18 +58,32 @@ pub struct BbrLite {
     bw_samples: VecDeque<(f64, u64)>,
     /// Epoch counter for the max filter window.
     epoch: u64,
-    /// Bytes cumulatively acked during the current epoch.
+    /// Bytes cumulatively acked during the current epoch (excludes the
+    /// epoch-opening ACK, which only starts the clock).
     epoch_bytes: u64,
     /// When the current epoch began.
     epoch_start: Option<SimTime>,
-    /// Minimum RTT seen.
+    /// The sender reported running out of data during this epoch: the
+    /// sample understates the path and must not lower the max filter.
+    epoch_app_limited: bool,
+    /// Minimum RTT seen within the current window.
     min_rtt: Option<SimDuration>,
+    /// When the current minimum was last confirmed.
+    min_rtt_stamp: SimTime,
     /// Consecutive epochs without ≥25% bandwidth growth (startup exit).
     plateau: u32,
     /// Bandwidth at the last startup growth check.
     last_growth_bw: f64,
     /// Index into the PROBE_BW gain cycle.
     cycle_idx: usize,
+    /// Epochs spent in DRAIN (fallback exit for inflight-blind senders).
+    drain_epochs: u32,
+    /// When the active PROBE_RTT may end.
+    probe_rtt_end: Option<SimTime>,
+    /// Lowest RTT sample observed during the active PROBE_RTT.
+    probe_rtt_min: Option<SimDuration>,
+    /// Phase to resume after PROBE_RTT.
+    resume: Phase,
 }
 
 impl Default for BbrLite {
@@ -71,10 +101,16 @@ impl BbrLite {
             epoch: 0,
             epoch_bytes: 0,
             epoch_start: None,
+            epoch_app_limited: false,
             min_rtt: None,
+            min_rtt_stamp: SimTime::ZERO,
             plateau: 0,
             last_growth_bw: 0.0,
             cycle_idx: 0,
+            drain_epochs: 0,
+            probe_rtt_end: None,
+            probe_rtt_min: None,
+            resume: Phase::ProbeBw,
         }
     }
 
@@ -84,6 +120,11 @@ impl BbrLite {
             .iter()
             .map(|&(bw, _)| bw)
             .fold(0.0, f64::max)
+    }
+
+    /// True while the controller is in its PROBE_RTT phase.
+    pub fn in_probe_rtt(&self) -> bool {
+        self.phase == Phase::ProbeRtt
     }
 
     /// Estimated bandwidth-delay product in bytes (0 before any sample,
@@ -100,42 +141,91 @@ impl BbrLite {
             Phase::Startup => STARTUP_GAIN,
             Phase::Drain => 1.0 / STARTUP_GAIN,
             Phase::ProbeBw => BW_GAINS[self.cycle_idx],
+            Phase::ProbeRtt => 1.0,
         }
     }
 
-    fn on_epoch_complete(&mut self, sample_bps: f64) {
-        self.epoch += 1;
-        self.bw_samples.push_back((sample_bps, self.epoch));
-        // Keep a 10-epoch window.
-        while let Some(&(_, e)) = self.bw_samples.front() {
-            if self.epoch - e >= 10 {
-                self.bw_samples.pop_front();
-            } else {
-                break;
+    /// The cwnd gain is separate from the pacing gain: STARTUP/DRAIN keep a
+    /// high-gain window so pacing (not the window) is the binding limit,
+    /// while PROBE_BW holds 2x BDP.
+    fn cwnd_gain(&self) -> f64 {
+        match self.phase {
+            Phase::Startup | Phase::Drain => STARTUP_GAIN,
+            Phase::ProbeBw | Phase::ProbeRtt => CWND_GAIN,
+        }
+    }
+
+    fn enter_probe_rtt(&mut self, now: SimTime) {
+        self.resume = match self.phase {
+            Phase::Startup => Phase::Startup,
+            _ => Phase::ProbeBw,
+        };
+        self.phase = Phase::ProbeRtt;
+        self.probe_rtt_end = Some(now + PROBE_RTT_DURATION);
+        self.probe_rtt_min = None;
+    }
+
+    fn exit_probe_rtt(&mut self, now: SimTime) {
+        if let Some(m) = self.probe_rtt_min {
+            self.min_rtt = Some(m);
+        }
+        self.min_rtt_stamp = now;
+        self.probe_rtt_end = None;
+        self.probe_rtt_min = None;
+        self.phase = self.resume;
+        self.cycle_idx = 0;
+    }
+
+    fn on_epoch_complete(&mut self, sample_bps: f64, app_limited: bool) {
+        // App-limited samples understate the path: they may only *raise*
+        // the estimate (a busier path than we thought), never lower it —
+        // and they do not advance the filter window, so a converged
+        // estimate survives arbitrarily long app-limited gaps instead of
+        // decaying to the trickle rate.
+        if !app_limited || sample_bps > self.btlbw_bps() {
+            self.epoch += 1;
+            self.bw_samples.push_back((sample_bps, self.epoch));
+            // Keep a 10-epoch window.
+            while let Some(&(_, e)) = self.bw_samples.front() {
+                if self.epoch - e >= 10 {
+                    self.bw_samples.pop_front();
+                } else {
+                    break;
+                }
             }
         }
 
         match self.phase {
             Phase::Startup => {
-                let bw = self.btlbw_bps();
-                if bw > self.last_growth_bw * 1.25 {
-                    self.last_growth_bw = bw;
-                    self.plateau = 0;
-                } else {
-                    self.plateau += 1;
-                    if self.plateau >= 3 {
-                        self.phase = Phase::Drain;
+                // Judge growth only on epochs where the sender kept the
+                // pipe full; an app-limited lull is not a plateau.
+                if !app_limited {
+                    let bw = self.btlbw_bps();
+                    if bw > self.last_growth_bw * 1.25 {
+                        self.last_growth_bw = bw;
+                        self.plateau = 0;
+                    } else {
+                        self.plateau += 1;
+                        if self.plateau >= 3 {
+                            self.phase = Phase::Drain;
+                            self.drain_epochs = 0;
+                        }
                     }
                 }
             }
             Phase::Drain => {
-                // One drain epoch is enough at our scale.
-                self.phase = Phase::ProbeBw;
-                self.cycle_idx = 0;
+                // Preferred exit is `on_inflight` (inflight ≤ BDP); this is
+                // the fallback for drivers that never report flight.
+                self.drain_epochs += 1;
+                if self.drain_epochs >= DRAIN_EPOCH_LIMIT {
+                    self.phase = Phase::ProbeBw;
+                    self.cycle_idx = 0;
+                }
             }
             Phase::ProbeBw => {
                 self.cycle_idx = (self.cycle_idx + 1) % BW_GAINS.len();
             }
+            Phase::ProbeRtt => {}
         }
     }
 }
@@ -149,22 +239,61 @@ impl CongestionControl for BbrLite {
         _in_recovery: bool,
     ) {
         if let Some(r) = rtt {
-            self.min_rtt = Some(match self.min_rtt {
-                Some(m) if m < r => m,
-                _ => r,
-            });
+            match self.min_rtt {
+                Some(m) if r < m => {
+                    self.min_rtt = Some(r);
+                    self.min_rtt_stamp = now;
+                }
+                None => {
+                    self.min_rtt = Some(r);
+                    self.min_rtt_stamp = now;
+                }
+                _ => {}
+            }
+            if self.phase == Phase::ProbeRtt {
+                self.probe_rtt_min = Some(match self.probe_rtt_min {
+                    Some(m) if m < r => m,
+                    _ => r,
+                });
+            }
         }
-        self.epoch_bytes += bytes_acked;
+
+        // PROBE_RTT lifecycle: enter when the min-RTT estimate has gone
+        // stale, leave once the probe window has elapsed.
+        match self.phase {
+            Phase::ProbeRtt => {
+                if self.probe_rtt_end.is_some_and(|end| now >= end) {
+                    self.exit_probe_rtt(now);
+                }
+            }
+            _ => {
+                if self.min_rtt.is_some()
+                    && now.saturating_since(self.min_rtt_stamp) > MIN_RTT_WINDOW
+                {
+                    self.enter_probe_rtt(now);
+                }
+            }
+        }
+
         let epoch_len = self.min_rtt.unwrap_or(SimDuration::from_millis(50));
         match self.epoch_start {
-            None => self.epoch_start = Some(now),
+            None => {
+                // First ACK of an epoch only starts the clock: its bytes
+                // arrived before the window it opens, so counting them
+                // would credit the sample with bytes from zero elapsed
+                // time and bias the max filter high.
+                self.epoch_start = Some(now);
+            }
             Some(start) => {
+                self.epoch_bytes += bytes_acked;
                 let elapsed = now.saturating_since(start);
                 if elapsed >= epoch_len && !elapsed.is_zero() {
                     let sample = self.epoch_bytes as f64 * 8.0 / elapsed.as_secs_f64();
-                    self.on_epoch_complete(sample);
+                    let app_limited = self.epoch_app_limited;
+                    self.on_epoch_complete(sample, app_limited);
                     self.epoch_bytes = 0;
                     self.epoch_start = Some(now);
+                    self.epoch_app_limited = false;
                 }
             }
         }
@@ -183,18 +312,41 @@ impl CongestionControl for BbrLite {
         self.last_growth_bw = 0.0;
         self.epoch_bytes = 0;
         self.epoch_start = None;
+        self.epoch_app_limited = false;
+        self.drain_epochs = 0;
+        self.probe_rtt_end = None;
+        self.probe_rtt_min = None;
     }
 
     fn on_idle_restart(&mut self, _now: SimTime) {
         // Keep the model (BBR's rate is remembered across app-limited
-        // gaps), but refresh the epoch accounting.
+        // gaps), but refresh the epoch accounting and mark the restart
+        // app-limited: whatever trickles in first understates the path.
         self.epoch_bytes = 0;
         self.epoch_start = None;
+        self.epoch_app_limited = true;
+    }
+
+    fn on_app_limited(&mut self, _now: SimTime) {
+        self.epoch_app_limited = true;
+    }
+
+    fn on_inflight(&mut self, _now: SimTime, bytes_in_flight: u64) {
+        if self.phase == Phase::Drain && bytes_in_flight <= self.bdp_bytes() {
+            // The STARTUP queue has drained: enter steady state.
+            self.phase = Phase::ProbeBw;
+            self.cycle_idx = 0;
+        }
     }
 
     fn cwnd(&self) -> u64 {
-        // 2x BDP, floored at the initial window.
-        (2 * self.bdp_bytes()).clamp(INITIAL_CWND_SEGMENTS * MSS_BYTES, MAX_CWND_BYTES)
+        if self.phase == Phase::ProbeRtt {
+            // Hold the pipe nearly empty so queuing delay vanishes and the
+            // next samples measure the propagation floor.
+            return PROBE_RTT_CWND_SEGMENTS * MSS_BYTES;
+        }
+        let target = (self.cwnd_gain() * self.bdp_bytes() as f64) as u64;
+        target.clamp(INITIAL_CWND_SEGMENTS * MSS_BYTES, MAX_CWND_BYTES)
     }
 
     fn ssthresh(&self) -> u64 {
@@ -222,9 +374,21 @@ mod tests {
 
     /// Feed ACKs simulating a path with the given capacity and RTT.
     fn drive(cc: &mut BbrLite, capacity_mbps: f64, rtt_ms: u64, epochs: usize) {
+        drive_from(cc, SimTime::ZERO, capacity_mbps, rtt_ms, epochs);
+    }
+
+    /// As [`drive`], but starting the ACK clock at `start`. Returns the
+    /// time after the last ACK.
+    fn drive_from(
+        cc: &mut BbrLite,
+        start: SimTime,
+        capacity_mbps: f64,
+        rtt_ms: u64,
+        epochs: usize,
+    ) -> SimTime {
         let rtt = SimDuration::from_millis(rtt_ms);
         let bytes_per_epoch = (capacity_mbps * 1e6 / 8.0 * rtt.as_secs_f64()) as u64;
-        let mut now = SimTime::ZERO;
+        let mut now = start;
         for _ in 0..epochs {
             // Two ACKs per epoch, half the bytes each.
             cc.on_ack(now, bytes_per_epoch / 2, Some(rtt), false);
@@ -232,6 +396,7 @@ mod tests {
             cc.on_ack(now, bytes_per_epoch / 2, Some(rtt), false);
             now += rtt / 2;
         }
+        now
     }
 
     #[test]
@@ -243,9 +408,43 @@ mod tests {
     }
 
     #[test]
+    fn epoch_opening_ack_only_starts_clock() {
+        // Regression: the first ACK of an epoch used to contribute its
+        // bytes to `epoch_bytes` while also starting the epoch clock, so a
+        // two-ACK epoch sampled 1.5x the true delivery rate and the max
+        // filter latched the inflated value forever.
+        let mut cc = BbrLite::new();
+        drive(&mut cc, 40.0, 20, 5);
+        let bw = cc.btlbw_bps() / 1e6;
+        assert!(
+            bw <= 40.0 * 1.05,
+            "btlbw {bw} Mbps overestimates a 40 Mbps path"
+        );
+        assert!(bw >= 40.0 * 0.8, "btlbw {bw} Mbps lost bytes somewhere");
+    }
+
+    #[test]
     fn startup_exits_to_probe_bw() {
         let mut cc = BbrLite::new();
         drive(&mut cc, 40.0, 20, 30);
+        assert_eq!(cc.phase, Phase::ProbeBw);
+    }
+
+    #[test]
+    fn drain_exits_when_inflight_reaches_bdp() {
+        let mut cc = BbrLite::new();
+        // Ride startup until the plateau detector fires.
+        let mut now = SimTime::ZERO;
+        while cc.phase == Phase::Startup {
+            now = drive_from(&mut cc, now, 40.0, 20, 1);
+            assert!(now < SimTime::from_secs(5), "startup never exited");
+        }
+        assert_eq!(cc.phase, Phase::Drain);
+        // Flight above BDP: still draining.
+        cc.on_inflight(now, cc.bdp_bytes() * 3);
+        assert_eq!(cc.phase, Phase::Drain);
+        // Flight at/below BDP: steady state.
+        cc.on_inflight(now, cc.bdp_bytes());
         assert_eq!(cc.phase, Phase::ProbeBw);
     }
 
@@ -266,7 +465,8 @@ mod tests {
     fn cwnd_tracks_two_bdp() {
         let mut cc = BbrLite::new();
         drive(&mut cc, 40.0, 20, 30);
-        // BDP = 40 Mbps x 20 ms = 100 kB; cwnd ~ 200 kB.
+        // BDP = 40 Mbps x 20 ms = 100 kB; cwnd ~ 200 kB in PROBE_BW.
+        assert_eq!(cc.phase, Phase::ProbeBw);
         let cwnd = cc.cwnd() as f64 / 1e3;
         assert!(cwnd > 140.0 && cwnd < 280.0, "cwnd {cwnd} kB");
     }
@@ -288,5 +488,80 @@ mod tests {
         cc.on_rto(SimTime::ZERO);
         assert_eq!(cc.btlbw_bps(), 0.0, "RTO must reset the model");
         assert_eq!(cc.phase, Phase::Startup);
+    }
+
+    #[test]
+    fn min_rtt_expiry_triggers_probe_rtt() {
+        let mut cc = BbrLite::new();
+        // Converge with a constant 20 ms RTT; the minimum never refreshes,
+        // so a little over MIN_RTT_WINDOW later the probe must fire.
+        let mut now = drive_from(&mut cc, SimTime::ZERO, 40.0, 20, 30);
+        assert_eq!(cc.phase, Phase::ProbeBw);
+        // Feed constant-RTT ACKs one at a time so we observe the exact
+        // entry instant (the probe only lasts 200 ms).
+        let mut guard = 0;
+        while !cc.in_probe_rtt() {
+            now += SimDuration::from_millis(10);
+            cc.on_ack(now, 50_000, Some(SimDuration::from_millis(20)), false);
+            guard += 1;
+            assert!(guard < 5_000, "PROBE_RTT never triggered");
+        }
+        assert!(now > SimTime::from_secs(10), "probe fired before expiry");
+        // During the probe the window collapses to the minimum pipe.
+        assert_eq!(cc.cwnd(), PROBE_RTT_CWND_SEGMENTS * MSS_BYTES);
+
+        // RTT samples during the probe re-seed the minimum: feed 30 ms
+        // (path got longer) until the probe window elapses.
+        let end = now + PROBE_RTT_DURATION + SimDuration::from_millis(50);
+        while now < end {
+            cc.on_ack(now, 10_000, Some(SimDuration::from_millis(30)), false);
+            now += SimDuration::from_millis(15);
+        }
+        assert_eq!(cc.phase, Phase::ProbeBw, "probe must end");
+        assert_eq!(
+            cc.min_rtt,
+            Some(SimDuration::from_millis(30)),
+            "min RTT must re-seed from probe samples"
+        );
+    }
+
+    #[test]
+    fn app_limited_epochs_do_not_lower_estimate() {
+        let mut cc = BbrLite::new();
+        let now = drive_from(&mut cc, SimTime::ZERO, 40.0, 20, 30);
+        let bw = cc.btlbw_bps();
+        // A long run of app-limited epochs at a trickle must not displace
+        // the converged estimate as the old samples age out of the window.
+        let mut t = now;
+        for _ in 0..40 {
+            cc.on_app_limited(t);
+            t = drive_from(&mut cc, t, 1.0, 20, 1);
+            cc.on_app_limited(t);
+        }
+        assert!(
+            cc.btlbw_bps() >= bw * 0.99,
+            "app-limited trickle dragged btlbw from {bw} to {}",
+            cc.btlbw_bps()
+        );
+    }
+
+    #[test]
+    fn idle_restart_does_not_ratchet_estimate() {
+        // Regression: an idle restart cleared the epoch clock, and the
+        // next ACK's bytes were credited against a window that began at
+        // that same ACK — repeated restarts ratcheted btlbw upward.
+        let mut cc = BbrLite::new();
+        let mut now = drive_from(&mut cc, SimTime::ZERO, 40.0, 20, 30);
+        let bw = cc.btlbw_bps() / 1e6;
+        for _ in 0..20 {
+            cc.on_idle_restart(now);
+            now += SimDuration::from_secs(2);
+            now = drive_from(&mut cc, now, 40.0, 20, 3);
+        }
+        let after = cc.btlbw_bps() / 1e6;
+        assert!(
+            after <= bw * 1.05,
+            "idle restarts ratcheted btlbw {bw} -> {after} Mbps"
+        );
     }
 }

@@ -60,6 +60,18 @@ pub trait CongestionControl: std::fmt::Debug {
     fn pacing_rate(&self) -> Option<netsim::Rate> {
         None
     }
+
+    /// The sender ran out of application data while the window still had
+    /// room: delivery-rate samples taken now understate the path capacity.
+    /// Model-based controllers (BBR) mark the current sample app-limited;
+    /// loss-based algorithms ignore this.
+    fn on_app_limited(&mut self, _now: SimTime) {}
+
+    /// Bytes in flight after the sender processed an ACK. Model-based
+    /// controllers use this to exit DRAIN once the queue built during
+    /// STARTUP has emptied (inflight ≤ BDP). Loss-based algorithms ignore
+    /// this.
+    fn on_inflight(&mut self, _now: SimTime, _bytes_in_flight: u64) {}
 }
 
 /// NewReno congestion control: slow start, AIMD congestion avoidance,
@@ -294,6 +306,28 @@ impl CcAlgorithm {
             CcAlgorithm::Cubic => Box::new(Cubic::new()),
             CcAlgorithm::Ledbat => Box::new(crate::scavenger::Ledbat::default()),
             CcAlgorithm::BbrLite => Box::new(crate::bbr::BbrLite::default()),
+        }
+    }
+
+    /// Parse an algorithm name (`reno` / `cubic` / `ledbat` / `bbr`), as
+    /// used by CLI flags.
+    pub fn parse(s: &str) -> Option<CcAlgorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "reno" => Some(CcAlgorithm::Reno),
+            "cubic" => Some(CcAlgorithm::Cubic),
+            "ledbat" => Some(CcAlgorithm::Ledbat),
+            "bbr" | "bbrlite" => Some(CcAlgorithm::BbrLite),
+            _ => None,
+        }
+    }
+
+    /// Lower-case label for CSV columns and CLI round-tripping.
+    pub fn label(self) -> &'static str {
+        match self {
+            CcAlgorithm::Reno => "reno",
+            CcAlgorithm::Cubic => "cubic",
+            CcAlgorithm::Ledbat => "ledbat",
+            CcAlgorithm::BbrLite => "bbr",
         }
     }
 }

@@ -1,16 +1,18 @@
-//! Ready-made [`netsim::Endpoint`] adapters around the TCP state machines.
+//! Ready-made [`netsim::Endpoint`] adapters around the transport state
+//! machines.
 //!
-//! [`SenderEndpoint`] hosts one [`TcpSender`] and responds to application
+//! [`SenderEndpoint`] hosts one [`TransportSender`] (TCP or QUIC, per
+//! [`TcpConfig::transport`]) and responds to application
 //! [`Payload::Request`] messages by starting a transfer of the requested
 //! size at the requested pace rate — this is the "server" side of
 //! application-informed pacing: the client puts the pace rate in its request
 //! (the CMCD `rtp`-style header of §3.2) and the server obeys it.
 //!
-//! [`ReceiverEndpoint`] hosts one [`TcpReceiver`] and ACKs arriving data.
-//! Experiments read progress via [`ReceiverEndpoint::receiver`].
+//! [`ReceiverEndpoint`] hosts one [`TransportReceiver`] and ACKs arriving
+//! data. Experiments read progress via [`ReceiverEndpoint::receiver`].
 
-use crate::receiver::TcpReceiver;
-use crate::sender::{CompletedTransfer, TcpConfig, TcpSender};
+use crate::mux::{self, Protocol, TransportReceiver, TransportSender};
+use crate::sender::{CompletedTransfer, TcpConfig};
 use netsim::{
     BinnedThroughput, Endpoint, FlowId, GaugeSeries, NodeCtx, NodeId, Packet, Payload, Rate,
     SimDuration, SimTime,
@@ -19,9 +21,9 @@ use netsim::{
 /// Timer token used by sender endpoints for all wakeups.
 const TICK: u64 = 1;
 
-/// A server endpoint: one TCP sender serving transfer requests.
+/// A server endpoint: one transport sender serving transfer requests.
 pub struct SenderEndpoint {
-    sender: TcpSender,
+    sender: TransportSender,
     /// Completed transfers drained from the sender after each event.
     pub completed: Vec<CompletedTransfer>,
     /// Smoothed-RTT samples over time (ms), recorded on each ACK.
@@ -39,7 +41,7 @@ impl SenderEndpoint {
     /// Create a sender endpoint for a flow from `local` to `remote`.
     pub fn new(local: NodeId, remote: NodeId, flow: FlowId, cfg: TcpConfig) -> Self {
         SenderEndpoint {
-            sender: TcpSender::new(local, remote, flow, cfg),
+            sender: TransportSender::new(local, remote, flow, cfg),
             completed: Vec::new(),
             rtt_trace: GaugeSeries::new(),
             requests_served: 0,
@@ -48,12 +50,12 @@ impl SenderEndpoint {
     }
 
     /// Access the underlying sender (telemetry, manual transfers).
-    pub fn sender(&self) -> &TcpSender {
+    pub fn sender(&self) -> &TransportSender {
         &self.sender
     }
 
     /// Mutable access to the underlying sender.
-    pub fn sender_mut(&mut self) -> &mut TcpSender {
+    pub fn sender_mut(&mut self) -> &mut TransportSender {
         &mut self.sender
     }
 
@@ -84,24 +86,17 @@ impl SenderEndpoint {
 impl Endpoint for SenderEndpoint {
     fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
         let mut out = Vec::new();
-        match pkt.payload {
-            Payload::Ack {
-                cum_ack,
-                echo_ts,
-                round,
-            } if pkt.flow == self.sender.flow() => {
-                self.sender.on_ack(now, cum_ack, echo_ts, round, &mut out);
-                if let Some(srtt) = self.sender.srtt() {
-                    self.rtt_trace.record(now, srtt.as_millis_f64());
-                }
+        if self.sender.handle_packet(now, &pkt, &mut out) {
+            if let Some(srtt) = self.sender.srtt() {
+                self.rtt_trace.record(now, srtt.as_millis_f64());
             }
-            Payload::Request { size, pace_bps, .. } if pkt.flow == self.sender.flow() => {
+        } else if let Payload::Request { size, pace_bps, .. } = pkt.payload {
+            if pkt.flow == self.sender.flow() {
                 let pace = pace_bps.map(Rate::from_bps);
                 self.sender.start_transfer(now, size, pace);
                 self.sender.pump(now, &mut out);
                 self.requests_served += 1;
             }
-            _ => {}
         }
         for p in out {
             ctx.send(p);
@@ -128,31 +123,37 @@ impl Endpoint for SenderEndpoint {
 
 /// A client-side endpoint: ACKs data, tracks goodput.
 pub struct ReceiverEndpoint {
-    receiver: TcpReceiver,
+    receiver: TransportReceiver,
     /// Client-side delivered-byte timeseries (drives the Fig 1/7 traces).
     pub throughput: BinnedThroughput,
 }
 
 impl ReceiverEndpoint {
-    /// Create a receiver endpoint at `local` for data from `remote`.
+    /// Create a TCP receiver endpoint at `local` for data from `remote`.
     pub fn new(local: NodeId, remote: NodeId, flow: FlowId) -> Self {
+        Self::with_protocol(local, remote, flow, Protocol::Tcp)
+    }
+
+    /// Create a receiver endpoint speaking `protocol` (must match the
+    /// server's [`TcpConfig::transport`]).
+    pub fn with_protocol(local: NodeId, remote: NodeId, flow: FlowId, protocol: Protocol) -> Self {
         ReceiverEndpoint {
-            receiver: TcpReceiver::new(local, remote, flow),
+            receiver: TransportReceiver::new(local, remote, flow, protocol),
             throughput: BinnedThroughput::new(SimDuration::from_millis(100)),
         }
     }
 
     /// Access the underlying receiver.
-    pub fn receiver(&self) -> &TcpReceiver {
+    pub fn receiver(&self) -> &TransportReceiver {
         &self.receiver
     }
 }
 
 impl Endpoint for ReceiverEndpoint {
     fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
-        if let Payload::Data { len, .. } = pkt.payload {
+        if let Some(len) = mux::data_len(&pkt) {
             if let Some(ack) = self.receiver.on_data(now, &pkt) {
-                self.throughput.record(now, len as u64);
+                self.throughput.record(now, len);
                 ctx.send(ack);
             }
         }

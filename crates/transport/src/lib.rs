@@ -7,8 +7,15 @@
 //!   slow start, AIMD congestion avoidance, duplicate-ACK fast retransmit,
 //!   partial-ACK recovery, RTO with exponential backoff, and slow-start
 //!   restart after idle.
-//! - [`Reno`] and [`Cubic`] congestion controllers behind the
-//!   [`CongestionControl`] trait.
+//! - [`QuicSender`] / [`QuicReceiver`]: a QUIC-style transport — stream
+//!   multiplexing over one connection, ACK ranges with selective
+//!   retransmission (no head-of-line blocking across streams), connection
+//!   flow control — behind the same pacing and congestion-control hooks.
+//!   [`TransportSender`] / [`TransportReceiver`] select the protocol per
+//!   [`Protocol`] so endpoints are transport-agnostic.
+//! - [`Reno`], [`Cubic`], [`BbrLite`] (BBR with PROBE_RTT, app-limited
+//!   sampling, and drain-exit) and [`Ledbat`] congestion controllers
+//!   behind the [`CongestionControl`] trait.
 //! - [`Pacer`]: token-bucket pacing with a configurable burst size — the
 //!   mechanism behind *application-informed pacing* (paper §3.2). Transfers
 //!   carry an optional pace rate; the sender releases packets no faster
@@ -31,7 +38,9 @@ pub mod bbr;
 pub mod cc;
 pub mod endpoint;
 pub mod multi;
+pub mod mux;
 pub mod pacing;
+pub mod quic;
 pub mod receiver;
 pub mod rtt;
 pub mod scavenger;
@@ -42,7 +51,9 @@ pub use bbr::BbrLite;
 pub use cc::{CcAlgorithm, CongestionControl, Cubic, Reno, INITIAL_CWND_SEGMENTS};
 pub use endpoint::{ReceiverEndpoint, SenderEndpoint};
 pub use multi::MultiSenderEndpoint;
+pub use mux::{Protocol, TransportReceiver, TransportSender};
 pub use pacing::Pacer;
+pub use quic::{QuicReceiver, QuicSender};
 pub use receiver::TcpReceiver;
 pub use rtt::RttEstimator;
 pub use scavenger::{Ledbat, LedbatConfig};

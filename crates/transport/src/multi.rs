@@ -1,9 +1,10 @@
 //! Multi-flow sender endpoint for shared-bottleneck topologies.
 //!
-//! [`MultiSenderEndpoint`] hosts N independent [`TcpSender`]s at a single
-//! node — the CDN origin of a [`netsim::SharedTopology`] serves every video
-//! session from one server node, so the endpoint demultiplexes arriving
-//! ACKs/requests by [`FlowId`] and keeps one timer chain per flow.
+//! [`MultiSenderEndpoint`] hosts N independent [`TransportSender`]s (TCP or
+//! QUIC per flow) at a single node — the CDN origin of a
+//! [`netsim::SharedTopology`] serves every video session from one server
+//! node, so the endpoint demultiplexes arriving ACKs/requests by [`FlowId`]
+//! and keeps one timer chain per flow.
 //!
 //! Timer tokens are `1 + slot_index`, so a single-flow instance uses token
 //! `1` — exactly the `TICK` of the legacy [`SenderEndpoint`] — and drives
@@ -13,7 +14,8 @@
 //!
 //! [`SenderEndpoint`]: crate::SenderEndpoint
 
-use crate::sender::{CompletedTransfer, TcpConfig, TcpSender};
+use crate::mux::TransportSender;
+use crate::sender::{CompletedTransfer, TcpConfig};
 use netsim::{
     Endpoint, FlowId, GaugeSeries, NodeCtx, NodeId, Packet, Payload, Rate, SimDuration, SimTime,
 };
@@ -21,7 +23,7 @@ use std::collections::HashMap;
 
 /// One hosted sender plus its per-flow bookkeeping.
 struct SenderSlot {
-    sender: TcpSender,
+    sender: TransportSender,
     completed: Vec<CompletedTransfer>,
     rtt_trace: GaugeSeries,
     requests_served: u64,
@@ -31,7 +33,7 @@ struct SenderSlot {
     next_timer: SimTime,
 }
 
-/// A server endpoint hosting one [`TcpSender`] per flow.
+/// A server endpoint hosting one [`TransportSender`] per flow.
 ///
 /// Flows are registered up front with [`add_flow`](Self::add_flow); packets
 /// for unknown flows are ignored (same as the single-flow endpoint's flow
@@ -66,7 +68,7 @@ impl MultiSenderEndpoint {
         );
         let slot = self.slots.len();
         self.slots.push(SenderSlot {
-            sender: TcpSender::new(local, remote, flow, cfg),
+            sender: TransportSender::new(local, remote, flow, cfg),
             completed: Vec::new(),
             rtt_trace: GaugeSeries::new(),
             requests_served: 0,
@@ -87,12 +89,12 @@ impl MultiSenderEndpoint {
     }
 
     /// The sender in `slot`.
-    pub fn sender(&self, slot: usize) -> &TcpSender {
+    pub fn sender(&self, slot: usize) -> &TransportSender {
         &self.slots[slot].sender
     }
 
     /// Mutable access to the sender in `slot`.
-    pub fn sender_mut(&mut self, slot: usize) -> &mut TcpSender {
+    pub fn sender_mut(&mut self, slot: usize) -> &mut TransportSender {
         &mut self.slots[slot].sender
     }
 
@@ -134,24 +136,15 @@ impl Endpoint for MultiSenderEndpoint {
         };
         let mut out = Vec::new();
         let s = &mut self.slots[slot];
-        match pkt.payload {
-            Payload::Ack {
-                cum_ack,
-                echo_ts,
-                round,
-            } => {
-                s.sender.on_ack(now, cum_ack, echo_ts, round, &mut out);
-                if let Some(srtt) = s.sender.srtt() {
-                    s.rtt_trace.record(now, srtt.as_millis_f64());
-                }
+        if s.sender.handle_packet(now, &pkt, &mut out) {
+            if let Some(srtt) = s.sender.srtt() {
+                s.rtt_trace.record(now, srtt.as_millis_f64());
             }
-            Payload::Request { size, pace_bps, .. } => {
-                let pace = pace_bps.map(Rate::from_bps);
-                s.sender.start_transfer(now, size, pace);
-                s.sender.pump(now, &mut out);
-                s.requests_served += 1;
-            }
-            _ => {}
+        } else if let Payload::Request { size, pace_bps, .. } = pkt.payload {
+            let pace = pace_bps.map(Rate::from_bps);
+            s.sender.start_transfer(now, size, pace);
+            s.sender.pump(now, &mut out);
+            s.requests_served += 1;
         }
         for p in out {
             ctx.send(p);

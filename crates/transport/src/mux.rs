@@ -1,0 +1,342 @@
+//! Transport selection: one enum over the TCP and QUIC state machines.
+//!
+//! Host endpoints ([`crate::SenderEndpoint`], [`crate::MultiSenderEndpoint`],
+//! the video client) hold a [`TransportSender`]/[`TransportReceiver`] and
+//! stay oblivious to which wire protocol is running; [`Protocol`] in
+//! [`TcpConfig`](crate::TcpConfig) picks the variant. This is what lets the
+//! A/B matrix vary transport and congestion control independently of the
+//! Sammy pacing policy.
+
+use crate::quic::{QuicReceiver, QuicSender};
+use crate::receiver::TcpReceiver;
+use crate::sender::{CompletedTransfer, SenderStats, TcpConfig, TcpSender};
+use netsim::{FlowId, NodeId, Packet, Payload, Rate, SimDuration, SimTime};
+use tdigest::TDigest;
+
+/// Which wire protocol a sender/receiver pair speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// TCP-style cumulative-ACK byte stream (NewReno recovery).
+    #[default]
+    Tcp,
+    /// QUIC-style streams with ACK ranges and selective retransmission.
+    Quic,
+}
+
+impl Protocol {
+    /// Parse a protocol name (`tcp` / `quic`), as used by CLI flags.
+    pub fn parse(s: &str) -> Option<Protocol> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcp" => Some(Protocol::Tcp),
+            "quic" => Some(Protocol::Quic),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name for CSV columns and CLI round-tripping.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Tcp => "tcp",
+            Protocol::Quic => "quic",
+        }
+    }
+}
+
+/// A sender of either protocol, chosen by [`TcpConfig::transport`].
+///
+/// Every method delegates to the underlying state machine; the two expose
+/// the same surface by construction.
+#[derive(Debug)]
+pub enum TransportSender {
+    /// TCP byte-stream sender.
+    Tcp(TcpSender),
+    /// QUIC-style stream sender.
+    Quic(QuicSender),
+}
+
+impl TransportSender {
+    /// Build the sender variant selected by `cfg.transport`.
+    pub fn new(src: NodeId, dst: NodeId, flow: FlowId, cfg: TcpConfig) -> Self {
+        match cfg.transport {
+            Protocol::Tcp => TransportSender::Tcp(TcpSender::new(src, dst, flow, cfg)),
+            Protocol::Quic => TransportSender::Quic(QuicSender::new(src, dst, flow, cfg)),
+        }
+    }
+
+    /// Which protocol this sender speaks.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            TransportSender::Tcp(_) => Protocol::Tcp,
+            TransportSender::Quic(_) => Protocol::Quic,
+        }
+    }
+
+    /// The connection's flow id.
+    pub fn flow(&self) -> FlowId {
+        match self {
+            TransportSender::Tcp(s) => s.flow(),
+            TransportSender::Quic(s) => s.flow(),
+        }
+    }
+
+    /// Queue a transfer of `bytes`, paced at `pace`; returns the transfer id.
+    pub fn start_transfer(&mut self, now: SimTime, bytes: u64, pace: Option<Rate>) -> u64 {
+        match self {
+            TransportSender::Tcp(s) => s.start_transfer(now, bytes, pace),
+            TransportSender::Quic(s) => s.start_transfer(now, bytes, pace),
+        }
+    }
+
+    /// Change a queued/in-flight transfer's pace rate.
+    pub fn set_transfer_pace(&mut self, now: SimTime, id: u64, pace: Option<Rate>) {
+        match self {
+            TransportSender::Tcp(s) => s.set_transfer_pace(now, id, pace),
+            TransportSender::Quic(s) => s.set_transfer_pace(now, id, pace),
+        }
+    }
+
+    /// Transmit whatever the window, flow control, and pacer allow.
+    pub fn pump(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        match self {
+            TransportSender::Tcp(s) => s.pump(now, out),
+            TransportSender::Quic(s) => s.pump(now, out),
+        }
+    }
+
+    /// Timer callback (retransmission timeouts, pacing releases).
+    pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        match self {
+            TransportSender::Tcp(s) => s.on_tick(now, out),
+            TransportSender::Quic(s) => s.on_tick(now, out),
+        }
+    }
+
+    /// Feed an arriving packet to the sender. Returns `true` if it was an
+    /// acknowledgment of this sender's protocol and flow (and was
+    /// consumed), `false` for anything else — e.g. a [`Payload::Request`],
+    /// which the host endpoint handles itself.
+    pub fn handle_packet(&mut self, now: SimTime, pkt: &Packet, out: &mut Vec<Packet>) -> bool {
+        match self {
+            TransportSender::Tcp(s) => match pkt.payload {
+                Payload::Ack {
+                    cum_ack,
+                    echo_ts,
+                    round,
+                } if pkt.flow == s.flow() => {
+                    s.on_ack(now, cum_ack, echo_ts, round, out);
+                    true
+                }
+                _ => false,
+            },
+            TransportSender::Quic(s) => s.on_ack_packet(now, pkt, out),
+        }
+    }
+
+    /// When the sender next needs a timer callback.
+    pub fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
+        match self {
+            TransportSender::Tcp(s) => s.next_wakeup(now),
+            TransportSender::Quic(s) => s.next_wakeup(now),
+        }
+    }
+
+    /// Drain completed-transfer reports.
+    pub fn take_completed(&mut self) -> Vec<CompletedTransfer> {
+        match self {
+            TransportSender::Tcp(s) => s.take_completed(),
+            TransportSender::Quic(s) => s.take_completed(),
+        }
+    }
+
+    /// True when nothing remains queued or outstanding.
+    pub fn is_idle(&self) -> bool {
+        match self {
+            TransportSender::Tcp(s) => s.is_idle(),
+            TransportSender::Quic(s) => s.is_idle(),
+        }
+    }
+
+    /// Bytes currently in flight.
+    pub fn bytes_in_flight(&self) -> u64 {
+        match self {
+            TransportSender::Tcp(s) => s.bytes_in_flight(),
+            TransportSender::Quic(s) => s.bytes_in_flight(),
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        match self {
+            TransportSender::Tcp(s) => s.cwnd(),
+            TransportSender::Quic(s) => s.cwnd(),
+        }
+    }
+
+    /// The congestion-control algorithm's name.
+    pub fn cc_name(&self) -> &'static str {
+        match self {
+            TransportSender::Tcp(s) => s.cc_name(),
+            TransportSender::Quic(s) => s.cc_name(),
+        }
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> &SenderStats {
+        match self {
+            TransportSender::Tcp(s) => s.stats(),
+            TransportSender::Quic(s) => s.stats(),
+        }
+    }
+
+    /// Per-packet RTT samples (t-digest).
+    pub fn rtt_digest(&self) -> &TDigest {
+        match self {
+            TransportSender::Tcp(s) => s.rtt_digest(),
+            TransportSender::Quic(s) => s.rtt_digest(),
+        }
+    }
+
+    /// Smoothed RTT estimate.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        match self {
+            TransportSender::Tcp(s) => s.srtt(),
+            TransportSender::Quic(s) => s.srtt(),
+        }
+    }
+}
+
+/// A receiver of either protocol.
+#[derive(Debug)]
+pub enum TransportReceiver {
+    /// TCP cumulative-ACK receiver.
+    Tcp(TcpReceiver),
+    /// QUIC-style range-ACK receiver.
+    Quic(QuicReceiver),
+}
+
+impl TransportReceiver {
+    /// Build the receiver variant for `protocol`.
+    pub fn new(local: NodeId, remote: NodeId, flow: FlowId, protocol: Protocol) -> Self {
+        match protocol {
+            Protocol::Tcp => TransportReceiver::Tcp(TcpReceiver::new(local, remote, flow)),
+            Protocol::Quic => TransportReceiver::Quic(QuicReceiver::new(local, remote, flow)),
+        }
+    }
+
+    /// The flow id this receiver listens on.
+    pub fn flow(&self) -> FlowId {
+        match self {
+            TransportReceiver::Tcp(r) => r.flow(),
+            TransportReceiver::Quic(r) => r.flow(),
+        }
+    }
+
+    /// Handle an arriving data packet of this receiver's protocol,
+    /// producing the ACK to send back. `None` for any other packet.
+    pub fn on_data(&mut self, now: SimTime, pkt: &Packet) -> Option<Packet> {
+        match self {
+            TransportReceiver::Tcp(r) => r.on_data(now, pkt),
+            TransportReceiver::Quic(r) => r.on_data(now, pkt),
+        }
+    }
+
+    /// Application-visible delivered bytes (contiguous prefix for TCP; sum
+    /// of per-stream contiguous prefixes for QUIC).
+    pub fn contiguous_bytes(&self) -> u64 {
+        match self {
+            TransportReceiver::Tcp(r) => r.contiguous_bytes(),
+            TransportReceiver::Quic(r) => r.contiguous_bytes(),
+        }
+    }
+
+    /// Total payload bytes received, including duplicates.
+    pub fn bytes_received(&self) -> u64 {
+        match self {
+            TransportReceiver::Tcp(r) => r.bytes_received,
+            TransportReceiver::Quic(r) => r.bytes_received,
+        }
+    }
+
+    /// Payload bytes that duplicated already-held data.
+    pub fn duplicate_bytes(&self) -> u64 {
+        match self {
+            TransportReceiver::Tcp(r) => r.duplicate_bytes,
+            TransportReceiver::Quic(r) => r.duplicate_bytes,
+        }
+    }
+}
+
+/// Payload length of a data packet of either protocol, or `None` if the
+/// packet carries no transport data. Used by endpoints to record goodput
+/// without matching on the payload themselves.
+pub fn data_len(pkt: &Packet) -> Option<u64> {
+    match pkt.payload {
+        Payload::Data { len, .. } => Some(len as u64),
+        Payload::QuicData { len, .. } => Some(len as u64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_parse_roundtrip() {
+        assert_eq!(Protocol::parse("tcp"), Some(Protocol::Tcp));
+        assert_eq!(Protocol::parse("QUIC"), Some(Protocol::Quic));
+        assert_eq!(Protocol::parse("sctp"), None);
+        for p in [Protocol::Tcp, Protocol::Quic] {
+            assert_eq!(Protocol::parse(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn sender_variant_follows_config() {
+        let tcp = TransportSender::new(NodeId(0), NodeId(1), FlowId(1), TcpConfig::default());
+        assert_eq!(tcp.protocol(), Protocol::Tcp);
+        let quic = TransportSender::new(
+            NodeId(0),
+            NodeId(1),
+            FlowId(1),
+            TcpConfig {
+                transport: Protocol::Quic,
+                ..Default::default()
+            },
+        );
+        assert_eq!(quic.protocol(), Protocol::Quic);
+    }
+
+    /// The same request-driven transfer completes over either variant.
+    #[test]
+    fn both_variants_complete_a_transfer() {
+        for proto in [Protocol::Tcp, Protocol::Quic] {
+            let cfg = TcpConfig {
+                transport: proto,
+                ..Default::default()
+            };
+            let mut s = TransportSender::new(NodeId(0), NodeId(1), FlowId(1), cfg);
+            let mut r = TransportReceiver::new(NodeId(1), NodeId(0), FlowId(1), proto);
+            let mut out = Vec::new();
+            s.start_transfer(SimTime::ZERO, 100_000, None);
+            s.pump(SimTime::ZERO, &mut out);
+            let mut now = SimTime::ZERO;
+            let mut guard = 0;
+            while !s.is_idle() {
+                now += SimDuration::from_millis(10);
+                let pkts = std::mem::take(&mut out);
+                for mut pkt in pkts {
+                    pkt.sent_at = now;
+                    assert!(data_len(&pkt).is_some(), "{proto:?} sent non-data");
+                    let ack = r.on_data(now, &pkt).expect("ack");
+                    now += SimDuration::from_millis(5);
+                    assert!(s.handle_packet(now, &ack, &mut out), "{proto:?} ack");
+                }
+                guard += 1;
+                assert!(guard < 1000, "{proto:?} wedged");
+            }
+            assert_eq!(s.take_completed().len(), 1, "{proto:?}");
+            assert_eq!(r.contiguous_bytes(), 100_000, "{proto:?}");
+        }
+    }
+}

@@ -74,7 +74,11 @@ impl Pacer {
         if let Some(rate) = self.rate {
             self.tokens =
                 (self.tokens + rate.bytes_per_sec() * elapsed.as_secs_f64()).min(self.capacity);
-        } else {
+        } else if elapsed > SimDuration::ZERO {
+            // Unpaced models an infinitely fast line between *distinct*
+            // instants, but the burst cap must still hold within one instant:
+            // at most `burst_packets` MTUs back to back, then the sender has
+            // to yield to the event loop before the bucket refills.
             self.tokens = self.capacity;
         }
     }
@@ -99,11 +103,21 @@ impl Pacer {
     }
 
     /// Earliest time a packet of `bytes` may be released, given current
-    /// tokens. Returns `now` if it may be released immediately; `None` if
-    /// the pacer is unpaced (always immediate).
+    /// tokens. Returns `now` if it may be released immediately, and `None`
+    /// only for a zero-rate pacer (blocked forever). An unpaced pacer whose
+    /// burst allowance is exhausted becomes ready again one microsecond
+    /// later, when the bucket snaps back to full.
     pub fn next_release(&mut self, now: SimTime, bytes: u64) -> Option<SimTime> {
         let Some(rate) = self.rate else {
-            return Some(now);
+            self.refill(now);
+            // Unpaced: ready now if the burst allowance covers it, otherwise
+            // at the next representable instant (the bucket snaps full as
+            // soon as any simulated time passes).
+            return if self.tokens + 1e-9 >= bytes as f64 {
+                Some(now)
+            } else {
+                Some(now + SimDuration::from_micros(1))
+            };
         };
         self.refill(now);
         if self.tokens + 1e-9 >= bytes as f64 {
@@ -123,12 +137,44 @@ mod tests {
     use super::*;
 
     #[test]
-    fn unpaced_always_ready() {
+    fn unpaced_burst_cap_is_enforced() {
+        // Regression: refill() used to snap the bucket full even with zero
+        // elapsed time, so an unpaced sender could emit unbounded
+        // back-to-back packets at one instant and `Pacer::unlimited(40)`
+        // never actually capped the burst.
         let mut p = Pacer::unlimited(40);
-        assert!(p.can_send(SimTime::ZERO, 1500));
-        for _ in 0..100 {
-            assert_eq!(p.next_release(SimTime::ZERO, 1500), Some(SimTime::ZERO));
-            p.on_send(SimTime::ZERO, 1500);
+        let t0 = SimTime::from_millis(5);
+        for _ in 0..40 {
+            assert!(p.can_send(t0, 1500));
+            assert_eq!(p.next_release(t0, 1500), Some(t0));
+            p.on_send(t0, 1500);
+        }
+        // 41st packet at the same instant must wait for time to advance.
+        assert!(!p.can_send(t0, 1500));
+        let next = p.next_release(t0, 1500).unwrap();
+        assert!(next > t0, "burst-exhausted unpaced pacer must defer");
+        // Any positive time advance restores the full burst allowance.
+        assert!(p.can_send(next, 1500));
+        for _ in 0..40 {
+            assert!(p.can_send(next, 1500));
+            p.on_send(next, 1500);
+        }
+        assert!(!p.can_send(next, 1500));
+    }
+
+    #[test]
+    fn unpaced_small_burst_splits_window() {
+        // An unpaced pacer with burst 2 releases exactly two packets per
+        // instant, no matter how many the window would allow.
+        let mut p = Pacer::unlimited(2);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            assert!(p.can_send(now, 1500));
+            p.on_send(now, 1500);
+            assert!(p.can_send(now, 1500));
+            p.on_send(now, 1500);
+            assert!(!p.can_send(now, 1500));
+            now = p.next_release(now, 1500).unwrap();
         }
     }
 
@@ -185,10 +231,13 @@ mod tests {
         let t0 = SimTime::ZERO;
         p.on_send(t0, 1500);
         assert!(!p.can_send(t0, 1500));
-        // Application removes the pace limit: release is immediate.
+        // Application removes the pace limit: the burst allowance for this
+        // instant is already spent, but the very next instant is wide open
+        // (versus a 1.2 s wait at 10 kbps).
         p.set_rate(t0, None);
-        assert!(p.can_send(t0, 1500));
-        assert_eq!(p.next_release(t0, 1500), Some(t0));
+        let next = p.next_release(t0, 1500).unwrap();
+        assert_eq!(next, t0 + SimDuration::from_micros(1));
+        assert!(p.can_send(next, 1500));
     }
 
     #[test]

@@ -18,15 +18,19 @@
 //! [`crate::endpoint::SenderEndpoint`] for a ready-made wrapper).
 
 use crate::cc::{CcAlgorithm, CongestionControl};
+use crate::mux::Protocol;
 use crate::pacing::Pacer;
 use crate::rtt::RttEstimator;
 use netsim::{FlowId, NodeId, Packet, Payload, Rate, SimDuration, SimTime, MSS_BYTES};
 use std::collections::VecDeque;
 use tdigest::TDigest;
 
-/// Configuration for a TCP sender.
+/// Configuration for a transport sender (TCP or QUIC — the name predates
+/// the QUIC-style transport; every field applies to both).
 #[derive(Debug, Clone)]
 pub struct TcpConfig {
+    /// Wire protocol: TCP byte stream or QUIC-style streams.
+    pub transport: Protocol,
     /// Congestion-control algorithm.
     pub cc: CcAlgorithm,
     /// Maximum line-rate burst in packets (applies even when unpaced; the
@@ -44,6 +48,7 @@ pub struct TcpConfig {
 impl Default for TcpConfig {
     fn default() -> Self {
         TcpConfig {
+            transport: Protocol::Tcp,
             cc: CcAlgorithm::Reno,
             max_burst_packets: 40,
             idle_restart: true,
@@ -349,6 +354,7 @@ impl TcpSender {
                 }
             }
             self.cc.on_ack(now, newly_acked, rtt, in_recovery);
+            self.cc.on_inflight(now, self.bytes_in_flight());
 
             self.complete_transfers(now);
 
@@ -429,6 +435,11 @@ impl TcpSender {
 
             // Priority 2: new data within cwnd.
             if !self.can_send_more() {
+                // Out of data (not window): the path is app-limited, so
+                // delivery-rate samples must not be taken at face value.
+                if self.snd_nxt == self.stream_end && self.bytes_in_flight() < self.cc.cwnd() {
+                    self.cc.on_app_limited(now);
+                }
                 break;
             }
             let len = self.next_segment_len();

@@ -3,19 +3,19 @@
 //! [`VideoClientEndpoint`] glues a [`Player`] to the packet simulator: it
 //! sends chunk requests (carrying the application-informed pace rate) to a
 //! [`transport::SenderEndpoint`] acting as the CDN server, ACKs the data
-//! stream via a [`transport::TcpReceiver`], and reports completed chunks
-//! back to the player.
+//! stream via a [`transport::TransportReceiver`] (TCP or QUIC), and reports
+//! completed chunks back to the player.
 
 use crate::player::{ChunkRequest, Player, PlayerState};
 use netsim::{
     BinnedThroughput, Endpoint, FlowId, NodeCtx, NodeId, Packet, Payload, SimDuration, SimTime,
 };
-use transport::TcpReceiver;
+use transport::{mux, Protocol, TransportReceiver};
 
 /// Timer token for player-deadline wakeups.
 const PLAYER_TICK: u64 = 7;
 
-/// A pending chunk download over the TCP stream.
+/// A pending chunk download over the transport stream.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     request: ChunkRequest,
@@ -24,12 +24,12 @@ struct Pending {
     requested_at: SimTime,
 }
 
-/// Client endpoint: video player + TCP receiver on one node.
+/// Client endpoint: video player + transport receiver on one node.
 pub struct VideoClientEndpoint {
     local: NodeId,
     server: NodeId,
     flow: FlowId,
-    receiver: TcpReceiver,
+    receiver: TransportReceiver,
     player: Player,
     pending: Option<Pending>,
     /// Cumulative bytes requested over the connection so far.
@@ -44,13 +44,25 @@ pub struct VideoClientEndpoint {
 }
 
 impl VideoClientEndpoint {
-    /// Create a client at `local` streaming from `server` over `flow`.
+    /// Create a TCP client at `local` streaming from `server` over `flow`.
     pub fn new(local: NodeId, server: NodeId, flow: FlowId, player: Player) -> Self {
+        Self::with_protocol(local, server, flow, player, Protocol::Tcp)
+    }
+
+    /// Create a client speaking `protocol` (must match the server's
+    /// transport).
+    pub fn with_protocol(
+        local: NodeId,
+        server: NodeId,
+        flow: FlowId,
+        player: Player,
+        protocol: Protocol,
+    ) -> Self {
         VideoClientEndpoint {
             local,
             server,
             flow,
-            receiver: TcpReceiver::new(local, server, flow),
+            receiver: TransportReceiver::new(local, server, flow, protocol),
             player,
             pending: None,
             requested_bytes: 0,
@@ -72,8 +84,8 @@ impl VideoClientEndpoint {
         &self.player
     }
 
-    /// The TCP receiver (goodput inspection).
-    pub fn receiver(&self) -> &TcpReceiver {
+    /// The transport receiver (goodput inspection).
+    pub fn receiver(&self) -> &TransportReceiver {
         &self.receiver
     }
 
@@ -141,9 +153,9 @@ impl VideoClientEndpoint {
 
 impl Endpoint for VideoClientEndpoint {
     fn on_packet(&mut self, now: SimTime, pkt: Packet, ctx: &mut NodeCtx) {
-        if let Payload::Data { len, .. } = pkt.payload {
+        if let Some(len) = mux::data_len(&pkt) {
             if let Some(ack) = self.receiver.on_data(now, &pkt) {
-                self.throughput.record(now, len as u64);
+                self.throughput.record(now, len);
                 ctx.send(ack);
             }
         }

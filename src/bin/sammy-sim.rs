@@ -1,13 +1,19 @@
 //! `sammy-sim` — command-line front end for the Sammy reproduction.
 //!
 //! ```text
-//! sammy-sim single-flow [--sammy] [--rate-mbps 40] [--rtt-ms 5] [--secs 60]
+//! sammy-sim single-flow [--sammy] [--transport tcp|quic] [--cc reno|cubic|bbr|ledbat]
+//!                       [--rate-mbps 40] [--rtt-ms 5] [--secs 60]
+//! sammy-sim matrix      [--secs 60] [--threads 0]
 //! sammy-sim neighbors   [--secs 60]
 //! sammy-sim abtest      [--users 150] [--c0 3.2] [--c1 2.8] [--threads 0]
 //! sammy-sim stream      [--users 100000] [--checkpoint-dir DIR] [--resume] ...
 //! sammy-sim tune        [--users 40] [--rounds 2]
 //! sammy-sim quickstart  [--users 20]
 //! ```
+//!
+//! `single-flow` selects the wire protocol and congestion controller per
+//! arm; `matrix` runs the full CC × pacing grid ({Reno, CUBIC, BBR} on
+//! TCP plus CUBIC on the QUIC-style transport, each unpaced and paced).
 //!
 //! `stream` is the million-user front end: the streaming shard-merge
 //! runner with a lazily derived population, O(threads) memory, and
@@ -24,6 +30,8 @@ use sammy_repro::abtest::{
 use sammy_repro::netsim::{DumbbellConfig, Rate, SimDuration};
 use sammy_repro::obs;
 use sammy_repro::sammy_bench::lab::{self, LabArm, LabConfig};
+use sammy_repro::sammy_bench::matrix as cc_matrix;
+use sammy_repro::transport::{CcAlgorithm, Protocol};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +44,7 @@ fn main() {
     let _ = obs::take();
     match cmd.as_str() {
         "single-flow" => single_flow(&opts),
+        "matrix" => matrix(&opts),
         "neighbors" => neighbors(&opts),
         "abtest" => abtest(&opts),
         "stream" => stream(&opts),
@@ -50,8 +59,12 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: sammy-sim <single-flow|neighbors|abtest|stream|tune|quickstart> [flags]");
-    eprintln!("  single-flow  [--sammy] [--rate-mbps N] [--rtt-ms N] [--secs N]");
+    eprintln!(
+        "usage: sammy-sim <single-flow|matrix|neighbors|abtest|stream|tune|quickstart> [flags]"
+    );
+    eprintln!("  single-flow  [--sammy] [--transport tcp|quic] [--cc reno|cubic|bbr|ledbat]");
+    eprintln!("               [--rate-mbps N] [--rtt-ms N] [--secs N]");
+    eprintln!("  matrix       [--secs N] [--threads N]");
     eprintln!("  neighbors    [--secs N]");
     eprintln!("  abtest       [--users N] [--c0 X] [--c1 X] [--seed N] [--threads N]");
     eprintln!("  stream       [--users N] [--c0 X] [--c1 X] [--seed N] [--threads N]");
@@ -131,7 +144,27 @@ fn emit_metrics(opts: &Opts, registry: obs::Registry) {
     }
 }
 
+/// Parse `--transport` / `--cc`, exiting with a message on junk values.
+fn transport_cc(opts: &Opts) -> (Protocol, CcAlgorithm) {
+    let transport = match opts.get_str("transport") {
+        None => Protocol::default(),
+        Some(s) => Protocol::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown --transport '{s}' (expected tcp or quic)");
+            std::process::exit(2);
+        }),
+    };
+    let cc = match opts.get_str("cc") {
+        None => CcAlgorithm::default(),
+        Some(s) => CcAlgorithm::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown --cc '{s}' (expected reno, cubic, bbr, or ledbat)");
+            std::process::exit(2);
+        }),
+    };
+    (transport, cc)
+}
+
 fn single_flow(opts: &Opts) {
+    let (transport, cc) = transport_cc(opts);
     let cfg = LabConfig {
         dumbbell: DumbbellConfig {
             bottleneck_rate: Rate::from_mbps(opts.get("rate-mbps", 40.0)),
@@ -140,6 +173,8 @@ fn single_flow(opts: &Opts) {
             ..Default::default()
         },
         run_for: SimDuration::from_secs(opts.get("secs", 60)),
+        transport,
+        cc,
         ..Default::default()
     };
     let arm = if opts.flag("sammy") {
@@ -149,6 +184,7 @@ fn single_flow(opts: &Opts) {
     };
     let r = lab::single_flow(arm, &cfg);
     println!("arm              : {}", arm.label());
+    println!("transport / cc   : {} / {}", transport.name(), cc.label());
     println!("chunk throughput : {:.1} Mbps", r.chunk_throughput_mbps);
     println!("median RTT       : {:.2} ms", r.median_rtt_ms);
     println!("retransmits      : {:.3} %", r.retx_fraction * 100.0);
@@ -158,6 +194,31 @@ fn single_flow(opts: &Opts) {
         "peak queue       : {:.1} kB",
         r.max_queue_bytes as f64 / 1e3
     );
+}
+
+/// The full CC × pacing grid on the default dumbbell.
+fn matrix(opts: &Opts) {
+    let base = LabConfig {
+        run_for: SimDuration::from_secs(opts.get("secs", 60)),
+        ..Default::default()
+    };
+    let cells = cc_matrix::cc_matrix(&base, opts.get("threads", 0));
+    println!(
+        "{:<10} {:>6} {:>8} {:>16} {:>14} {:>8} {:>14}",
+        "substrate", "proto", "arm", "chunk tput Mbps", "median RTT ms", "retx %", "peak queue kB"
+    );
+    for c in &cells {
+        println!(
+            "{:<10} {:>6} {:>8} {:>16.2} {:>14.2} {:>8.3} {:>14.1}",
+            c.substrate,
+            c.transport.name(),
+            c.arm.label(),
+            c.chunk_tput_mbps,
+            c.median_rtt_ms,
+            c.retx_fraction * 100.0,
+            c.peak_queue_kb
+        );
+    }
 }
 
 fn neighbors(opts: &Opts) {

@@ -122,9 +122,14 @@ fn table2_fingerprint() -> u64 {
 /// count pins the global event order (any reordering shifts the TCP
 /// feedback loop and changes the count), and the flow stats pin the
 /// delivery/drop accounting.
+///
+/// Event count re-baselined (41_317 → 41_323) when the pacer's unpaced
+/// burst cap was fixed: the cap now holds within a single instant, so
+/// over-burst sends defer by 1 µs and add a handful of timer events.
+/// Bytes, drops, and loss events are unchanged.
 #[test]
 fn golden_tcp_transfer_unpaced() {
-    assert_eq!(tcp_transfer(None), (41_317, 5_274_040, 6_851, 101));
+    assert_eq!(tcp_transfer(None), (41_323, 5_274_040, 6_851, 101));
 }
 
 /// Same transfer with a 12 Mbps application pace: exercises the pacing
