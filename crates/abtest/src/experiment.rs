@@ -87,6 +87,41 @@ impl Arm {
     }
 }
 
+/// The spec-level arm maps 1:1 onto the runner's arm.
+impl From<&spec::ArmSpec> for Arm {
+    fn from(s: &spec::ArmSpec) -> Arm {
+        match *s {
+            spec::ArmSpec::Production => Arm::Production,
+            spec::ArmSpec::Sammy { c0, c1 } => Arm::Sammy { c0, c1 },
+            spec::ArmSpec::InitialOnly => Arm::InitialOnly,
+            spec::ArmSpec::NaivePaced { multiplier } => Arm::NaivePaced { multiplier },
+        }
+    }
+}
+
+/// The runner config is the sizing/seed subset of an [`spec::ExperimentSpec`].
+impl From<&spec::ExperimentSpec> for ExperimentConfig {
+    fn from(s: &spec::ExperimentSpec) -> ExperimentConfig {
+        ExperimentConfig {
+            users_per_arm: s.users_per_arm,
+            pre_sessions: s.pre_sessions,
+            sessions_per_user: s.sessions_per_user,
+            seed: s.seed,
+            bootstrap_reps: s.bootstrap_reps,
+            threads: s.threads,
+        }
+    }
+}
+
+/// The population model an [`spec::ExperimentSpec`] asks for.
+pub fn population_config_from_spec(s: &spec::ExperimentSpec) -> PopulationConfig {
+    if s.light_population {
+        PopulationConfig::light()
+    } else {
+        PopulationConfig::default()
+    }
+}
+
 /// Experiment configuration.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -390,6 +425,20 @@ impl<'p> ExperimentBuilder<'p> {
         self
     }
 
+    /// Apply a complete [`spec::ExperimentSpec`]: arms, sizing, seed,
+    /// population model, and shard size in one call — the spec is the
+    /// single schema shared with the HTTP API and the CLI. Network and
+    /// transport fields don't apply here (the population model carries
+    /// its own network draw); the lab harnesses consume those.
+    pub fn spec(mut self, s: &spec::ExperimentSpec) -> Self {
+        self.control = (&s.control).into();
+        self.treatment = (&s.treatment).into();
+        self.cfg = s.into();
+        self.population_cfg = population_config_from_spec(s);
+        self.stream.shard_size = s.shard_size;
+        self
+    }
+
     /// Users per arm (ignored when an explicit population is set).
     pub fn users_per_arm(mut self, n: usize) -> Self {
         self.cfg.users_per_arm = n;
@@ -526,6 +575,14 @@ impl<'p> ExperimentBuilder<'p> {
     /// resume battery uses this to exercise kill/resume without signals.
     pub fn abort_after_checkpoints(mut self, n: usize) -> Self {
         self.stream.abort_after_checkpoints = Some(n);
+        self
+    }
+
+    /// Append one JSONL progress line per merged shard to `path` (the
+    /// serve daemon's live metrics tail). The file is an append log across
+    /// resumes; the lines themselves carry only deterministic counters.
+    pub fn progress_jsonl(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.stream.progress_path = Some(path.into());
         self
     }
 

@@ -31,12 +31,15 @@ pub mod streaming;
 pub mod sweep;
 
 pub use experiment::{
-    run_user, throughput_by_bucket, Arm, ArmResult, Experiment, ExperimentBuilder,
-    ExperimentConfig, ExperimentRun, MetricExtractor, MetricRow, Report, SessionRecord,
-    UserFailure, METRICS,
+    population_config_from_spec, run_user, throughput_by_bucket, Arm, ArmResult, Experiment,
+    ExperimentBuilder, ExperimentConfig, ExperimentRun, MetricExtractor, MetricRow, Report,
+    SessionRecord, UserFailure, METRICS,
 };
 pub use longitudinal::{run_cold_start, ColdStartConfig, ColdStartResult};
-pub use optimize::{search, Candidate, QoeGuards, SearchOutcome};
+pub use optimize::{
+    halving_search, halving_search_with, search, Candidate, Evaluation, HalvingConfig,
+    HalvingOutcome, QoeGuards, SearchOutcome,
+};
 pub use population::{
     bucket_label, bucket_of, draw_population, draw_population_indexed, ladder_with_top, user_at,
     Population, PopulationConfig, UserProfile, THROUGHPUT_BUCKETS,

@@ -87,6 +87,21 @@ impl Default for PopulationConfig {
     }
 }
 
+impl PopulationConfig {
+    /// A trimmed-down population for fast smoke runs (CI, the serve
+    /// daemon's tests, `--light` million-user demos): very short titles
+    /// and mid-range ladders only. Same model and draw logic, an order of
+    /// magnitude less simulated playback per session — not calibrated for
+    /// the paper's tables.
+    pub fn light() -> Self {
+        PopulationConfig {
+            top_bitrates_mbps: vec![(1.75, 0.2), (2.35, 0.3), (3.0, 0.3), (4.3, 0.2)],
+            title_duration_s: (20, 45),
+            ..PopulationConfig::default()
+        }
+    }
+}
+
 /// One simulated user/device.
 #[derive(Debug, Clone)]
 pub struct UserProfile {

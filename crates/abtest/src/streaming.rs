@@ -77,6 +77,12 @@ pub struct StreamConfig {
     /// Test/ops hook: stop cleanly after writing this many checkpoints,
     /// simulating a kill at a checkpoint boundary.
     pub abort_after_checkpoints: Option<usize>,
+    /// Append one JSONL progress line per merged shard (live tail for the
+    /// serve daemon's `GET /runs/:id/metrics`). Lines carry only
+    /// deterministic counters — never wall-clock — but the *file* is an
+    /// append log across kills and resumes, so it is a monitoring surface,
+    /// not part of the run's bit-identity contract.
+    pub progress_path: Option<PathBuf>,
 }
 
 impl Default for StreamConfig {
@@ -89,6 +95,7 @@ impl Default for StreamConfig {
             keep_checkpoints: 2,
             max_pending_shards: 0,
             abort_after_checkpoints: None,
+            progress_path: None,
         }
     }
 }
@@ -104,7 +111,7 @@ fn splitmix(state: &mut u64) -> u64 {
 }
 
 /// Mix two words into an independent key.
-fn mix2(a: u64, b: u64) -> u64 {
+pub(crate) fn mix2(a: u64, b: u64) -> u64 {
     let mut s = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     splitmix(&mut s)
 }
@@ -818,6 +825,30 @@ fn compute_shard(
     state
 }
 
+/// Append one progress line to the live JSONL tail. Every field is a
+/// deterministic counter over the merged prefix; flushed per line so a
+/// tailing reader never sees a torn record from a cooperative writer.
+fn write_progress_line(
+    f: &mut std::fs::File,
+    merged: usize,
+    shards: usize,
+    global: &ShardState,
+) -> Result<(), SimError> {
+    use std::io::Write;
+    let (control_sessions, treatment_sessions) = global
+        .metrics()
+        .first()
+        .map(|m| (m.control().count(), m.treatment().count()))
+        .unwrap_or((0, 0));
+    let line = format!(
+        "{{\"type\":\"progress\",\"shard\":{merged},\"shards\":{shards},\"users\":{},\"failures\":{},\"control_sessions\":{control_sessions},\"treatment_sessions\":{treatment_sessions}}}\n",
+        global.users, global.failures,
+    );
+    f.write_all(line.as_bytes())
+        .and_then(|()| f.flush())
+        .map_err(|e| SimError::Io(format!("append progress line: {e}")))
+}
+
 /// Shared worker/merger coordination state.
 struct Pending {
     /// Completed shards awaiting their turn, keyed by shard index.
@@ -874,6 +905,16 @@ pub(crate) fn run_stream_impl(
     let mut checkpoints_written = 0usize;
     let mut aborted = false;
     let mut merged_shards = start_shard;
+    let mut progress = match stream.progress_path.as_deref() {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| SimError::Io(format!("open progress log {path:?}: {e}")))?,
+        ),
+        None => None,
+    };
 
     if start_shard < shards {
         let threads = cfg.effective_threads().min(shards - start_shard).max(1);
@@ -932,6 +973,9 @@ pub(crate) fn run_stream_impl(
                     };
                     global.merge(&state);
                     merged_shards = k + 1;
+                    if let Some(f) = progress.as_mut() {
+                        write_progress_line(f, k + 1, shards, &global)?;
+                    }
                     {
                         let mut g = pending.lock().expect("stream lock");
                         g.merged_upto = k + 1;

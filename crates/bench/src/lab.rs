@@ -93,6 +93,24 @@ impl LabConfig {
             ..Default::default()
         }
     }
+
+    /// Build the lab scenario from the shared wire-format spec — the same
+    /// `ExperimentSpec` the HTTP API and `sammy-sim` consume. Network
+    /// shape, run length, transport substrate, and seed come from the
+    /// spec; lab-only knobs (title length, client buffer, host pairs)
+    /// keep their defaults.
+    pub fn from_spec(s: &spec::ExperimentSpec) -> Self {
+        let d = LabConfig::default();
+        LabConfig {
+            dumbbell: s.network.dumbbell(d.dumbbell.pairs),
+            run_for: s.network.run_for(),
+            burst_packets: s.transport.burst_packets,
+            seed: s.seed,
+            cc: s.transport.cc,
+            transport: s.transport.protocol,
+            ..d
+        }
+    }
 }
 
 /// The lab ladder: 3.3 Mbps top bitrate (§6).
@@ -674,6 +692,33 @@ mod tests {
         assert!(control.play_delay_s < 5.0 && sammy.play_delay_s < 5.0);
         // Queue: Sammy never fills the 100 kB bottleneck queue.
         assert!(sammy.max_queue_bytes < control.max_queue_bytes);
+    }
+
+    #[test]
+    fn lab_config_tracks_the_spec() {
+        let mut s = spec::ExperimentSpec {
+            seed: 9,
+            ..Default::default()
+        };
+        s.network.rate_mbps = 25.0;
+        s.network.rtt_ms = 12.0;
+        s.network.run_secs = 45;
+        s.transport.protocol = Protocol::Quic;
+        s.transport.cc = CcAlgorithm::Cubic;
+        s.transport.burst_packets = 7;
+        let cfg = LabConfig::from_spec(&s);
+        assert_eq!(cfg.dumbbell.bottleneck_rate, Rate::from_mbps(25.0));
+        assert_eq!(cfg.dumbbell.rtt, SimDuration::from_millis(12));
+        assert_eq!(cfg.run_for, SimDuration::from_secs(45));
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.transport, Protocol::Quic);
+        assert_eq!(cfg.cc, CcAlgorithm::Cubic);
+        assert_eq!(cfg.burst_packets, 7);
+        // Lab-only knobs keep their defaults.
+        let d = LabConfig::default();
+        assert_eq!(cfg.dumbbell.pairs, d.dumbbell.pairs);
+        assert_eq!(cfg.title_secs, d.title_secs);
+        assert_eq!(cfg.max_buffer, d.max_buffer);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! CLI entry point for the experiment service daemon.
+//!
+//! ```text
+//! sammy-serve [--addr 127.0.0.1:7787] [--runs-dir ./sammy-runs] [--threads N]
+//! ```
+//!
+//! Starts the HTTP API on `--addr`, recovers any unfinished jobs found
+//! under `--runs-dir`, then serves until killed. Because every run
+//! checkpoints and every search journals its evaluations, `kill -9` is a
+//! supported shutdown: restart on the same runs-dir and the daemon picks
+//! every in-flight job back up with bit-identical results.
+
+use std::process::ExitCode;
+
+use sammy_serve::{Daemon, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sammy-serve [--addr HOST:PORT] [--runs-dir DIR] [--threads N]\n\
+         \n\
+         Options:\n\
+           --addr HOST:PORT   listen address (default 127.0.0.1:7787; port 0 = ephemeral)\n\
+           --runs-dir DIR     persistent runs directory (default ./sammy-runs)\n\
+           --threads N        override every spec's thread count (results are\n\
+                              thread-invariant; this only changes wall-clock)"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7787".to_string();
+    let mut cfg = ServeConfig::new("./sammy-runs");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--runs-dir" => cfg.runs_dir = value("--runs-dir").into(),
+            "--threads" => match value("--threads").parse() {
+                Ok(n) => cfg.threads = Some(n),
+                Err(_) => {
+                    eprintln!("--threads: expected an integer");
+                    usage()
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+
+    let daemon = match Daemon::start(&addr, cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sammy-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sammy-serve listening on {}", daemon.local_addr());
+    if daemon.recovered() > 0 {
+        println!("recovered {} unfinished job(s)", daemon.recovered());
+    }
+    // Serve until killed; kill -9 is a supported shutdown path.
+    loop {
+        std::thread::park();
+    }
+}

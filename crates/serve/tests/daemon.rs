@@ -1,0 +1,245 @@
+//! End-to-end daemon battery: submit → poll → result over real sockets,
+//! strict 4xx rejection of bad specs, and the headline guarantee — a
+//! daemon killed mid-run (or mid-search) and restarted on the same runs
+//! directory produces **byte-identical** final artifacts to one that was
+//! never interrupted.
+//!
+//! Kills are simulated at the exact durability boundaries (checkpoint
+//! written / evaluation journaled) via the `ServeConfig` abort hooks, so
+//! the battery exercises the same resume paths as a real `kill -9`
+//! without the flakiness of killing a process at a random instruction.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use sammy_serve::http::http_request;
+use sammy_serve::{Daemon, JobState, ServeConfig};
+use spec::json::{self, Value};
+
+/// Fresh scratch directory under the system temp dir.
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    let dir =
+        std::env::temp_dir().join(format!("sammy-serve-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn get(daemon: &Daemon, path: &str) -> (u16, String) {
+    http_request(daemon.local_addr(), "GET", path, None).expect("GET")
+}
+
+fn post(daemon: &Daemon, path: &str, body: &str) -> (u16, String) {
+    http_request(daemon.local_addr(), "POST", path, Some(body)).expect("POST")
+}
+
+/// Poll a job's status until `want` (panics after 120 s — debug-profile
+/// fluid runs are slow but nowhere near that slow).
+fn wait_for(daemon: &Daemon, path: &str, want: JobState) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (code, body) = get(daemon, path);
+        assert_eq!(code, 200, "poll {path}: {body}");
+        let doc = json::parse(&body).unwrap();
+        let state = doc
+            .get("state")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        if state == want.as_str() {
+            return;
+        }
+        assert!(
+            !JobState::parse(&state).unwrap().terminal(),
+            "{path} reached terminal state {state:?} while waiting for {want:?}: {body}"
+        );
+        assert!(Instant::now() < deadline, "timed out waiting for {path}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Tiny two-shard experiment: 8 users × (1 pre + 1 measured) session.
+const RUN_SPEC: &str = r#"{"name":"t1","users_per_arm":8,"pre_sessions":1,"sessions_per_user":1,"seed":7,"bootstrap_reps":40,"threads":2,"shard_size":4,"light_population":true}"#;
+
+/// Three-shard variant for the kill/resume battery (interrupt after the
+/// first of three checkpoints).
+const RESUME_RUN_SPEC: &str = r#"{"name":"t2","users_per_arm":12,"pre_sessions":1,"sessions_per_user":1,"seed":9,"bootstrap_reps":40,"threads":2,"shard_size":4,"light_population":true}"#;
+
+/// Four-arm, two-rung halving search over a tiny base experiment, with
+/// guards loose enough that everything is feasible.
+const SEARCH_SPEC: &str = r#"{"name":"s1","arms":[{"c0":1.5,"c1":1.3},{"c0":2.0,"c1":1.75},{"c0":2.5,"c1":2.2},{"c0":3.0,"c1":2.6}],"initial_users":4,"eta":2,"rungs":2,"guards":{"min_vmaf_pct":-100.0,"max_play_delay_pct":1000.0,"max_rebuffer_pct":1000.0},"base":{"name":"s1-base","pre_sessions":1,"sessions_per_user":1,"seed":11,"bootstrap_reps":40,"threads":2,"light_population":true}}"#;
+
+#[test]
+fn submit_poll_result_and_metrics_tail() {
+    let dir = tmp_dir("e2e");
+    let daemon = Daemon::start("127.0.0.1:0", ServeConfig::new(&dir)).unwrap();
+
+    let (code, body) = get(&daemon, "/healthz");
+    assert_eq!((code, body.as_str()), (200, r#"{"ok":true}"#));
+
+    // Strict validation happens before anything touches disk.
+    let (code, body) = post(&daemon, "/runs", "{not json");
+    assert_eq!(code, 400, "{body}");
+    let (code, body) = post(&daemon, "/runs", r#"{"userz_per_arm":8}"#);
+    assert_eq!(code, 400, "{body}");
+    assert!(body.contains("unknown field"), "{body}");
+    let (code, body) = post(&daemon, "/runs", r#"{"transport":{"cc":"vegas"}}"#);
+    assert_eq!(code, 400, "{body}");
+    assert!(body.contains("vegas"), "{body}");
+    let (code, _) = get(&daemon, "/runs/r9999");
+    assert_eq!(code, 404);
+
+    // Happy path: submit, poll to done, fetch the artifacts.
+    let (code, body) = post(&daemon, "/runs", RUN_SPEC);
+    assert_eq!(code, 201, "{body}");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("id").and_then(Value::as_str), Some("r0001"));
+    wait_for(&daemon, "/runs/r0001", JobState::Done);
+
+    let (code, body) = get(&daemon, "/runs");
+    assert_eq!(code, 200);
+    assert!(body.contains(r#""id":"r0001""#), "{body}");
+    assert!(body.contains(r#""state":"done""#), "{body}");
+
+    let (code, body) = get(&daemon, "/runs/r0001/result");
+    assert_eq!(code, 200, "{body}");
+    let result = json::parse(&body).unwrap();
+    assert_eq!(result.get("users").and_then(Value::as_u64), Some(8));
+    assert!(result.get("fingerprint").and_then(Value::as_str).is_some());
+    assert_eq!(
+        result
+            .get("rows")
+            .and_then(Value::as_arr)
+            .map(|r| !r.is_empty()),
+        Some(true)
+    );
+
+    // The metrics tail streams one progress line per merged shard.
+    let (code, body) = get(&daemon, "/runs/r0001/metrics");
+    assert_eq!(code, 200);
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 2, "8 users / shard_size 4 = 2 shards: {body}");
+    for line in &lines {
+        let doc = json::parse(line).unwrap();
+        assert_eq!(doc.get("type").and_then(Value::as_str), Some("progress"));
+    }
+
+    // The stored spec is the canonical re-render, not the client bytes.
+    let stored = std::fs::read_to_string(dir.join("runs/r0001/spec.json")).unwrap();
+    let canon = spec::ExperimentSpec::from_json_str(RUN_SPEC).unwrap();
+    assert_eq!(stored, canon.to_json().to_string());
+
+    daemon.stop();
+}
+
+#[test]
+fn killed_run_resumes_bit_identical() {
+    // Daemon A dies (simulated) after the first of three checkpoints.
+    let dir_a = tmp_dir("resume-a");
+    let mut cfg = ServeConfig::new(&dir_a);
+    cfg.abort_runs_after_checkpoints = Some(1);
+    let daemon = Daemon::start("127.0.0.1:0", cfg).unwrap();
+    let (code, body) = post(&daemon, "/runs", RESUME_RUN_SPEC);
+    assert_eq!(code, 201, "{body}");
+    wait_for(&daemon, "/runs/r0001", JobState::Interrupted);
+    assert!(!dir_a.join("runs/r0001/result.json").exists());
+    daemon.stop();
+
+    // Daemon A′ restarts on the same runs-dir and finishes the job.
+    let daemon = Daemon::start("127.0.0.1:0", ServeConfig::new(&dir_a)).unwrap();
+    assert_eq!(daemon.recovered(), 1);
+    wait_for(&daemon, "/runs/r0001", JobState::Done);
+    daemon.stop();
+    let resumed = std::fs::read(dir_a.join("runs/r0001/result.json")).unwrap();
+
+    // Daemon B runs the same spec uninterrupted in a fresh directory.
+    let dir_b = tmp_dir("resume-b");
+    let daemon = Daemon::start("127.0.0.1:0", ServeConfig::new(&dir_b)).unwrap();
+    let (code, _) = post(&daemon, "/runs", RESUME_RUN_SPEC);
+    assert_eq!(code, 201);
+    wait_for(&daemon, "/runs/r0001", JobState::Done);
+    daemon.stop();
+    let fresh = std::fs::read(dir_b.join("runs/r0001/result.json")).unwrap();
+
+    assert_eq!(resumed, fresh, "kill/resume must not change a single byte");
+}
+
+#[test]
+fn killed_search_resumes_bit_identical() {
+    // Daemon A dies (simulated) after journaling 3 of the 6 evaluations.
+    let dir_a = tmp_dir("search-a");
+    let mut cfg = ServeConfig::new(&dir_a);
+    cfg.abort_search_after_evals = Some(3);
+    let daemon = Daemon::start("127.0.0.1:0", cfg).unwrap();
+    let (code, body) = post(&daemon, "/searches", SEARCH_SPEC);
+    assert_eq!(code, 201, "{body}");
+    assert!(
+        json::parse(&body)
+            .unwrap()
+            .get("id")
+            .and_then(Value::as_str)
+            == Some("s0001")
+    );
+    wait_for(&daemon, "/searches/s0001", JobState::Interrupted);
+    daemon.stop();
+    let journal_after_kill =
+        std::fs::read_to_string(dir_a.join("searches/s0001/evals.jsonl")).unwrap();
+    assert_eq!(journal_after_kill.lines().count(), 3);
+
+    // Restarted daemon replays the journal and finishes the search.
+    let daemon = Daemon::start("127.0.0.1:0", ServeConfig::new(&dir_a)).unwrap();
+    assert_eq!(daemon.recovered(), 1);
+    wait_for(&daemon, "/searches/s0001", JobState::Done);
+    let (code, resumed_result) = get(&daemon, "/searches/s0001/result");
+    assert_eq!(code, 200);
+    daemon.stop();
+    let resumed_journal =
+        std::fs::read_to_string(dir_a.join("searches/s0001/evals.jsonl")).unwrap();
+
+    // Daemon B runs the same search uninterrupted.
+    let dir_b = tmp_dir("search-b");
+    let daemon = Daemon::start("127.0.0.1:0", ServeConfig::new(&dir_b)).unwrap();
+    let (code, _) = post(&daemon, "/searches", SEARCH_SPEC);
+    assert_eq!(code, 201);
+    wait_for(&daemon, "/searches/s0001", JobState::Done);
+    let (code, fresh_result) = get(&daemon, "/searches/s0001/result");
+    assert_eq!(code, 200);
+
+    // The evals tail endpoint serves the complete journal.
+    let (code, tailed) = get(&daemon, "/searches/s0001/evals");
+    assert_eq!(code, 200);
+    daemon.stop();
+    let fresh_journal = std::fs::read_to_string(dir_b.join("searches/s0001/evals.jsonl")).unwrap();
+
+    assert_eq!(
+        resumed_result, fresh_result,
+        "search result must be byte-identical"
+    );
+    assert_eq!(
+        resumed_journal, fresh_journal,
+        "evaluation journal must be byte-identical"
+    );
+    assert_eq!(tailed, fresh_journal);
+
+    // Sanity on the search outcome itself: 4 + 2 evaluations, a feasible
+    // winner, and the spec's budget arithmetic.
+    let doc = json::parse(&fresh_result).unwrap();
+    assert_eq!(
+        doc.get("evaluations")
+            .and_then(Value::as_arr)
+            .map(|a| a.len()),
+        Some(6)
+    );
+    assert_eq!(doc.get("rungs_run").and_then(Value::as_u64), Some(2));
+    // 4 arms × 4 users + 2 arms × 8 users, × 2 arms-per-experiment
+    // × (1 pre + 1 measured) sessions.
+    assert_eq!(doc.get("user_sessions").and_then(Value::as_u64), Some(128));
+    assert_eq!(
+        doc.get("best")
+            .and_then(|b| b.get("feasible"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+}

@@ -312,13 +312,7 @@ impl CcAlgorithm {
     /// Parse an algorithm name (`reno` / `cubic` / `ledbat` / `bbr`), as
     /// used by CLI flags.
     pub fn parse(s: &str) -> Option<CcAlgorithm> {
-        match s.to_ascii_lowercase().as_str() {
-            "reno" => Some(CcAlgorithm::Reno),
-            "cubic" => Some(CcAlgorithm::Cubic),
-            "ledbat" => Some(CcAlgorithm::Ledbat),
-            "bbr" | "bbrlite" => Some(CcAlgorithm::BbrLite),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// Lower-case label for CSV columns and CLI round-tripping.
@@ -332,9 +326,56 @@ impl CcAlgorithm {
     }
 }
 
+impl std::fmt::Display for CcAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The one spelling of each algorithm shared by the CLI, the JSON spec
+/// API, and CSV headers. Unknown names are a [`netsim::SimError::Parse`],
+/// never a panic or a silent default.
+impl std::str::FromStr for CcAlgorithm {
+    type Err = netsim::SimError;
+
+    fn from_str(s: &str) -> Result<CcAlgorithm, netsim::SimError> {
+        match s.to_ascii_lowercase().as_str() {
+            "reno" => Ok(CcAlgorithm::Reno),
+            "cubic" => Ok(CcAlgorithm::Cubic),
+            "ledbat" => Ok(CcAlgorithm::Ledbat),
+            "bbr" | "bbrlite" => Ok(CcAlgorithm::BbrLite),
+            _ => Err(netsim::SimError::Parse {
+                what: "congestion-control algorithm",
+                input: s.to_string(),
+                reason: "expected reno, cubic, bbr, or ledbat".into(),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cc_algorithm_spelling_roundtrip() {
+        for cc in [
+            CcAlgorithm::Reno,
+            CcAlgorithm::Cubic,
+            CcAlgorithm::Ledbat,
+            CcAlgorithm::BbrLite,
+        ] {
+            assert_eq!(cc.to_string(), cc.label());
+            assert_eq!(cc.to_string().parse::<CcAlgorithm>().unwrap(), cc);
+            assert_eq!(CcAlgorithm::parse(cc.label()), Some(cc));
+        }
+        assert_eq!(
+            "BBRLite".parse::<CcAlgorithm>().unwrap(),
+            CcAlgorithm::BbrLite
+        );
+        let err = "vegas".parse::<CcAlgorithm>().unwrap_err();
+        assert!(err.to_string().contains("vegas"), "{err}");
+    }
 
     #[test]
     fn reno_slow_start_doubles_per_rtt() {

@@ -26,11 +26,7 @@ pub enum Protocol {
 impl Protocol {
     /// Parse a protocol name (`tcp` / `quic`), as used by CLI flags.
     pub fn parse(s: &str) -> Option<Protocol> {
-        match s.to_ascii_lowercase().as_str() {
-            "tcp" => Some(Protocol::Tcp),
-            "quic" => Some(Protocol::Quic),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// Lower-case name for CSV columns and CLI round-tripping.
@@ -38,6 +34,31 @@ impl Protocol {
         match self {
             Protocol::Tcp => "tcp",
             Protocol::Quic => "quic",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The one spelling of each protocol shared by the CLI, the JSON spec
+/// API, and CSV headers. Unknown names are a [`SimError::Parse`], never a
+/// panic or a silent default.
+impl std::str::FromStr for Protocol {
+    type Err = netsim::SimError;
+
+    fn from_str(s: &str) -> Result<Protocol, netsim::SimError> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcp" => Ok(Protocol::Tcp),
+            "quic" => Ok(Protocol::Quic),
+            _ => Err(netsim::SimError::Parse {
+                what: "transport protocol",
+                input: s.to_string(),
+                reason: "expected tcp or quic".into(),
+            }),
         }
     }
 }
@@ -288,7 +309,14 @@ mod tests {
         assert_eq!(Protocol::parse("sctp"), None);
         for p in [Protocol::Tcp, Protocol::Quic] {
             assert_eq!(Protocol::parse(p.name()), Some(p));
+            // Display and FromStr agree with name()/parse(): one spelling
+            // for CLI flags, the JSON API, and CSV headers.
+            assert_eq!(p.to_string(), p.name());
+            assert_eq!(p.to_string().parse::<Protocol>().unwrap(), p);
         }
+        let err = "sctp".parse::<Protocol>().unwrap_err();
+        assert!(err.to_string().contains("sctp"), "{err}");
+        assert!(err.to_string().contains("tcp or quic"), "{err}");
     }
 
     #[test]

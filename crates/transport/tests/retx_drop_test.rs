@@ -1,4 +1,4 @@
-use netsim::{FlowId, NodeId, Packet, Payload, Rate, SimDuration, SimTime, MSS_BYTES};
+use netsim::{FlowId, NodeId, Payload, Rate, SimDuration, SimTime, MSS_BYTES};
 use transport::quic::QuicSender;
 use transport::TcpConfig;
 
@@ -21,12 +21,26 @@ fn paced_retx_not_dropped_when_pacer_blocked() {
     // bytes queued for retransmission; the pacer has ~0 tokens so the
     // retransmission cannot go out yet.
     let t1 = SimTime::from_millis(10);
-    s.on_quic_ack(t1, 3, SimTime::ZERO, &[(3, 4), (0, 0), (0, 0)], 8 << 20, &mut out);
+    s.on_quic_ack(
+        t1,
+        3,
+        SimTime::ZERO,
+        &[(3, 4), (0, 0), (0, 0)],
+        8 << 20,
+        &mut out,
+    );
     assert_eq!(s.stats().loss_events, 1);
 
     // Now ACK packets 1 and 2 too, and give the pacer plenty of time.
     let t2 = SimTime::from_millis(20);
-    s.on_quic_ack(t2, 3, SimTime::ZERO, &[(1, 4), (0, 0), (0, 0)], 8 << 20, &mut out);
+    s.on_quic_ack(
+        t2,
+        3,
+        SimTime::ZERO,
+        &[(1, 4), (0, 0), (0, 0)],
+        8 << 20,
+        &mut out,
+    );
 
     // Drive ticks for 10 simulated minutes, acking every packet that comes
     // out. The lost first MSS must eventually be retransmitted and the

@@ -25,12 +25,14 @@
 //! lines (`-` renders the pretty table to stdout instead).
 
 use sammy_repro::abtest::{
-    draw_population, search, Arm, Experiment, ExperimentConfig, PopulationConfig, QoeGuards,
+    draw_population, halving_search, population_config_from_spec, search, Experiment,
+    ExperimentConfig, HalvingConfig, QoeGuards,
 };
-use sammy_repro::netsim::{DumbbellConfig, Rate, SimDuration};
+use sammy_repro::netsim::SimDuration;
 use sammy_repro::obs;
 use sammy_repro::sammy_bench::lab::{self, LabArm, LabConfig};
 use sammy_repro::sammy_bench::matrix as cc_matrix;
+use sammy_repro::spec::{ArmPoint, ArmSpec, ExperimentSpec, SearchSpec};
 use sammy_repro::transport::{CcAlgorithm, Protocol};
 
 fn main() {
@@ -72,6 +74,7 @@ fn usage() {
     eprintln!("               [--light] [--checkpoint-dir DIR] [--checkpoint-every N]");
     eprintln!("               [--resume] [--abort-after N]");
     eprintln!("  tune         [--users N] [--rounds N] [--seed N] [--threads N]");
+    eprintln!("               [--halving] [--initial-users N] [--eta N] [--rungs N]");
     eprintln!("  quickstart   [--users N] [--seed N]");
     eprintln!("  all commands: [--metrics PATH]  (JSON lines; '-' = table on stdout)");
 }
@@ -144,39 +147,64 @@ fn emit_metrics(opts: &Opts, registry: obs::Registry) {
     }
 }
 
-/// Parse `--transport` / `--cc`, exiting with a message on junk values.
+/// Parse `--transport` / `--cc` via the enums' `FromStr` (the one
+/// spelling shared with the JSON API and CSV headers), exiting with the
+/// parse error's own message on junk values.
 fn transport_cc(opts: &Opts) -> (Protocol, CcAlgorithm) {
     let transport = match opts.get_str("transport") {
         None => Protocol::default(),
-        Some(s) => Protocol::parse(s).unwrap_or_else(|| {
-            eprintln!("unknown --transport '{s}' (expected tcp or quic)");
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("--transport: {e}");
             std::process::exit(2);
         }),
     };
     let cc = match opts.get_str("cc") {
         None => CcAlgorithm::default(),
-        Some(s) => CcAlgorithm::parse(s).unwrap_or_else(|| {
-            eprintln!("unknown --cc '{s}' (expected reno, cubic, bbr, or ledbat)");
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("--cc: {e}");
             std::process::exit(2);
         }),
     };
     (transport, cc)
 }
 
-fn single_flow(opts: &Opts) {
-    let (transport, cc) = transport_cc(opts);
-    let cfg = LabConfig {
-        dumbbell: DumbbellConfig {
-            bottleneck_rate: Rate::from_mbps(opts.get("rate-mbps", 40.0)),
-            rtt: SimDuration::from_millis(opts.get("rtt-ms", 5)),
-            pairs: 2,
-            ..Default::default()
+/// Resolve the command-line flags into one [`ExperimentSpec`] — the same
+/// schema `sammy-serve` accepts over HTTP, so the CLI and the API cannot
+/// drift. `defaults` carries the per-subcommand sizing; every flag
+/// overrides its spec field.
+fn spec_from_flags(opts: &Opts, defaults: ExperimentSpec) -> ExperimentSpec {
+    let (protocol, cc) = transport_cc(opts);
+    ExperimentSpec {
+        treatment: ArmSpec::Sammy {
+            c0: opts.get("c0", 3.2),
+            c1: opts.get("c1", 2.8),
         },
-        run_for: SimDuration::from_secs(opts.get("secs", 60)),
-        transport,
-        cc,
-        ..Default::default()
-    };
+        users_per_arm: opts.get("users", defaults.users_per_arm),
+        pre_sessions: opts.get("pre-sessions", defaults.pre_sessions),
+        sessions_per_user: opts.get("sessions", defaults.sessions_per_user),
+        seed: opts.get("seed", defaults.seed),
+        bootstrap_reps: opts.get("reps", defaults.bootstrap_reps),
+        threads: opts.get("threads", defaults.threads),
+        shard_size: opts.get("shard-size", defaults.shard_size),
+        light_population: opts.flag("light") || defaults.light_population,
+        network: sammy_repro::spec::NetworkSpec {
+            rate_mbps: opts.get("rate-mbps", defaults.network.rate_mbps),
+            rtt_ms: opts.get("rtt-ms", defaults.network.rtt_ms),
+            run_secs: opts.get("secs", defaults.network.run_secs),
+            ..defaults.network
+        },
+        transport: sammy_repro::spec::TransportSpec {
+            protocol,
+            cc,
+            ..defaults.transport
+        },
+        ..defaults
+    }
+}
+
+fn single_flow(opts: &Opts) {
+    let spec = spec_from_flags(opts, sixty_second_lab_spec());
+    let cfg = LabConfig::from_spec(&spec);
     let arm = if opts.flag("sammy") {
         LabArm::Sammy
     } else {
@@ -184,7 +212,10 @@ fn single_flow(opts: &Opts) {
     };
     let r = lab::single_flow(arm, &cfg);
     println!("arm              : {}", arm.label());
-    println!("transport / cc   : {} / {}", transport.name(), cc.label());
+    println!(
+        "transport / cc   : {} / {}",
+        spec.transport.protocol, spec.transport.cc
+    );
     println!("chunk throughput : {:.1} Mbps", r.chunk_throughput_mbps);
     println!("median RTT       : {:.2} ms", r.median_rtt_ms);
     println!("retransmits      : {:.3} %", r.retx_fraction * 100.0);
@@ -196,13 +227,22 @@ fn single_flow(opts: &Opts) {
     );
 }
 
+/// The 60-second lab default the packet-level subcommands share.
+fn sixty_second_lab_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        network: sammy_repro::spec::NetworkSpec {
+            run_secs: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
 /// The full CC × pacing grid on the default dumbbell.
 fn matrix(opts: &Opts) {
-    let base = LabConfig {
-        run_for: SimDuration::from_secs(opts.get("secs", 60)),
-        ..Default::default()
-    };
-    let cells = cc_matrix::cc_matrix(&base, opts.get("threads", 0));
+    let spec = spec_from_flags(opts, sixty_second_lab_spec());
+    let base = LabConfig::from_spec(&spec);
+    let cells = cc_matrix::cc_matrix(&base, spec.threads);
     println!(
         "{:<10} {:>6} {:>8} {:>16} {:>14} {:>8} {:>14}",
         "substrate", "proto", "arm", "chunk tput Mbps", "median RTT ms", "retx %", "peak queue kB"
@@ -247,31 +287,29 @@ fn neighbors(opts: &Opts) {
 }
 
 fn abtest(opts: &Opts) {
-    let cfg = ExperimentConfig {
-        users_per_arm: opts.get("users", 150),
-        pre_sessions: 3,
-        sessions_per_user: 3,
-        seed: opts.get("seed", 2023),
-        bootstrap_reps: 400,
-        threads: opts.get("threads", 0),
-    };
-    let c0 = opts.get("c0", 3.2);
-    let c1 = opts.get("c1", 2.8);
-    let run = match Experiment::builder()
-        .treatment(Arm::Sammy { c0, c1 })
-        .config(cfg.clone())
-        .run()
-    {
+    let spec = spec_from_flags(
+        opts,
+        ExperimentSpec {
+            users_per_arm: 150,
+            pre_sessions: 3,
+            sessions_per_user: 3,
+            seed: 2023,
+            bootstrap_reps: 400,
+            ..Default::default()
+        },
+    );
+    let run = match Experiment::builder().spec(&spec).run() {
         Ok(run) => run,
         Err(e) => {
             eprintln!("abtest setup rejected: {e}");
             std::process::exit(2);
         }
     };
-    let report = run.report(cfg.bootstrap_reps, cfg.seed);
+    let report = run.report(spec.bootstrap_reps, spec.seed);
     println!(
-        "Paired A/B: production vs Sammy(c0={c0}, c1={c1}), {} users\n",
-        cfg.users_per_arm
+        "Paired A/B: production vs {}, {} users\n",
+        sammy_repro::abtest::Arm::from(&spec.treatment).label(),
+        spec.users_per_arm
     );
     print!("{}", report.render());
     // Fold the experiment's per-user telemetry into this process's registry
@@ -284,30 +322,24 @@ fn abtest(opts: &Opts) {
 /// fingerprint so interrupted-then-resumed runs can be compared to an
 /// uninterrupted golden byte-for-byte (the CI smoke job does exactly that).
 fn stream(opts: &Opts) {
-    let cfg = ExperimentConfig {
-        users_per_arm: opts.get("users", 100_000),
-        pre_sessions: opts.get("pre-sessions", 1),
-        sessions_per_user: opts.get("sessions", 1),
-        seed: opts.get("seed", 2023),
-        bootstrap_reps: opts.get("reps", 200),
-        threads: opts.get("threads", 0),
-    };
-    let c0 = opts.get("c0", 3.2);
-    let c1 = opts.get("c1", 2.8);
+    let spec = spec_from_flags(
+        opts,
+        ExperimentSpec {
+            users_per_arm: 100_000,
+            pre_sessions: 1,
+            sessions_per_user: 1,
+            seed: 2023,
+            bootstrap_reps: 200,
+            ..Default::default()
+        },
+    );
+    // `--light` flows through the spec: the short-title population is the
+    // scale knob for million-user demos where the point is the runner,
+    // not the sessions.
     let mut b = Experiment::builder()
-        .treatment(Arm::Sammy { c0, c1 })
-        .config(cfg.clone())
-        .shard_size(opts.get("shard-size", 256))
+        .spec(&spec)
         .checkpoint_every(opts.get("checkpoint-every", 16))
         .resume(opts.flag("resume"));
-    if opts.flag("light") {
-        // Short titles: the scale knob for million-user demos where the
-        // point is the runner, not the sessions.
-        b = b.population_config(PopulationConfig {
-            title_duration_s: (20, 45),
-            ..PopulationConfig::default()
-        });
-    }
     if let Some(dir) = opts.get_str("checkpoint-dir") {
         b = b.checkpoint_dir(dir);
     }
@@ -341,8 +373,9 @@ fn stream(opts: &Opts) {
         return;
     }
     println!(
-        "Paired A/B (streaming): production vs Sammy(c0={c0}, c1={c1}), {} users\n",
-        cfg.users_per_arm
+        "Paired A/B (streaming): production vs {}, {} users\n",
+        sammy_repro::abtest::Arm::from(&spec.treatment).label(),
+        spec.users_per_arm
     );
     print!("{}", run.report().render());
     if run.state.failures > 0 {
@@ -355,18 +388,30 @@ fn stream(opts: &Opts) {
 }
 
 fn tune(opts: &Opts) {
-    let cfg = ExperimentConfig {
-        users_per_arm: opts.get("users", 40),
-        pre_sessions: 2,
-        sessions_per_user: 2,
-        seed: opts.get("seed", 7),
-        bootstrap_reps: 150,
-        threads: opts.get("threads", 0),
-    };
+    let spec = spec_from_flags(
+        opts,
+        ExperimentSpec {
+            users_per_arm: 40,
+            pre_sessions: 2,
+            sessions_per_user: 2,
+            seed: 7,
+            bootstrap_reps: 150,
+            ..Default::default()
+        },
+    );
+    if opts.flag("halving") {
+        tune_halving(opts, &spec);
+        return;
+    }
+    let cfg: ExperimentConfig = (&spec).into();
     let rounds = opts.get("rounds", 2);
-    let pop = draw_population(&PopulationConfig::default(), cfg.users_per_arm, cfg.seed);
+    let pop = draw_population(
+        &population_config_from_spec(&spec),
+        cfg.users_per_arm,
+        cfg.seed,
+    );
     println!(
-        "Searching (c0, c1) over {rounds} rounds, {} users...\n",
+        "Searching (c0, c1) over {rounds} fixed-grid rounds, {} users...\n",
         cfg.users_per_arm
     );
     let out = match search(&pop, &cfg, QoeGuards::default(), rounds) {
@@ -392,16 +437,110 @@ fn tune(opts: &Opts) {
         b.c0, b.c1, b.tput_pct, b.vmaf_pct, b.play_delay_pct
     );
     println!("(the paper's production choice was c0=3.2, c1=2.8 at -61% throughput)");
+    let spent =
+        out.trace.len() * cfg.users_per_arm * 2 * (cfg.pre_sessions + cfg.sessions_per_user);
+    println!(
+        "budget: {spent} simulated user-sessions over {} evaluations",
+        out.trace.len()
+    );
+}
+
+/// The default candidate grid for halving searches: eight arms along the
+/// production ratio (c1 = 0.875 × c0, the paper's 3.2/2.8 shape), from
+/// barely-paced 1.2× to conservative 4.0×.
+fn default_arm_points() -> Vec<ArmPoint> {
+    (0..8)
+        .map(|i| {
+            let c0 = 1.2 + 0.4 * i as f64;
+            ArmPoint {
+                c0: (c0 * 100.0).round() / 100.0,
+                c1: (c0 * 0.875 * 100.0).round() / 100.0,
+            }
+        })
+        .collect()
+}
+
+/// `tune --halving`: the successive-halving scheduler over the default
+/// arm grid — same schema as `POST /searches` on `sammy-serve`.
+fn tune_halving(opts: &Opts, base: &ExperimentSpec) {
+    let search_spec = SearchSpec {
+        name: "tune".into(),
+        arms: default_arm_points(),
+        initial_users: opts.get("initial-users", base.users_per_arm.div_ceil(4).max(1)),
+        eta: opts.get("eta", 2),
+        rungs: opts.get("rungs", 3),
+        guards: Default::default(),
+        base: base.clone(),
+    };
+    let cfg = HalvingConfig::from_spec(&search_spec);
+    println!(
+        "Halving search over {} arms: {} rungs, eta {}, rung-0 users {}...\n",
+        cfg.arms.len(),
+        cfg.rungs,
+        cfg.eta,
+        cfg.initial_users
+    );
+    let out = match halving_search(&cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("tune setup rejected: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{:>5} {:>6} {:>6} {:>6} {:>10} {:>9} {:>10} {:>9}",
+        "rung", "users", "c0", "c1", "tput %", "vmaf %", "delay %", "feasible"
+    );
+    for e in &out.evaluations {
+        let c = &e.candidate;
+        println!(
+            "{:>5} {:>6} {:>6.2} {:>6.2} {:>10.1} {:>9.3} {:>10.2} {:>9}",
+            e.rung, e.users, c.c0, c.c1, c.tput_pct, c.vmaf_pct, c.play_delay_pct, c.feasible
+        );
+    }
+    let b = &out.best;
+    println!(
+        "\nchosen: c0={}, c1={} -> throughput {:.1}%, VMAF {:.3}%, play delay {:.2}%",
+        b.c0, b.c1, b.tput_pct, b.vmaf_pct, b.play_delay_pct
+    );
+    // The budget comparison EXPERIMENTS.md tabulates: the fixed grid
+    // evaluates every arm at the final-rung population.
+    let full_users = cfg.initial_users * cfg.eta.pow(out.rungs_run.saturating_sub(1) as u32);
+    let grid_equiv = cfg.arms.len() as u64
+        * full_users as u64
+        * 2
+        * (cfg.base.pre_sessions + cfg.base.sessions_per_user) as u64;
+    println!(
+        "budget: {} simulated user-sessions over {} evaluations \
+         (grid over the same {} arms at {} users/arm: {})",
+        out.user_sessions,
+        out.evaluations.len(),
+        cfg.arms.len(),
+        full_users,
+        grid_equiv
+    );
 }
 
 /// A small end-to-end tour that exercises every instrumented layer: one
 /// packet-level lab session (engine + transport + player telemetry) and a
 /// small fluid A/B experiment (fluidsim + abtest telemetry).
 fn quickstart(opts: &Opts) {
-    let lab_cfg = LabConfig {
-        run_for: SimDuration::from_secs(opts.get("secs", 30)),
-        ..Default::default()
-    };
+    let spec = spec_from_flags(
+        opts,
+        ExperimentSpec {
+            users_per_arm: 20,
+            pre_sessions: 2,
+            sessions_per_user: 2,
+            seed: 2023,
+            bootstrap_reps: 200,
+            network: sammy_repro::spec::NetworkSpec {
+                run_secs: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let lab_cfg = LabConfig::from_spec(&spec);
     println!("[1/2] packet-level lab session (Sammy arm)...");
     let r = lab::single_flow(LabArm::Sammy, &lab_cfg);
     println!(
@@ -409,30 +548,18 @@ fn quickstart(opts: &Opts) {
         r.chunk_throughput_mbps, r.median_rtt_ms, r.rebuffers
     );
 
-    let cfg = ExperimentConfig {
-        users_per_arm: opts.get("users", 20),
-        pre_sessions: 2,
-        sessions_per_user: 2,
-        seed: opts.get("seed", 2023),
-        bootstrap_reps: 200,
-        threads: opts.get("threads", 0),
-    };
     println!(
         "[2/2] fluid A/B experiment ({} users per arm)...",
-        cfg.users_per_arm
+        spec.users_per_arm
     );
-    let run = match Experiment::builder()
-        .treatment(Arm::Sammy { c0: 3.2, c1: 2.8 })
-        .config(cfg.clone())
-        .run()
-    {
+    let run = match Experiment::builder().spec(&spec).run() {
         Ok(run) => run,
         Err(e) => {
             eprintln!("quickstart setup rejected: {e}");
             std::process::exit(2);
         }
     };
-    let report = run.report(cfg.bootstrap_reps, cfg.seed);
+    let report = run.report(spec.bootstrap_reps, spec.seed);
     print!("{}", report.render());
     obs::with(|r| r.merge(&run.metrics));
 }

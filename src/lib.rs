@@ -11,6 +11,8 @@ pub use netsim;
 pub use obs;
 pub use sammy_bench;
 pub use sammy_core;
+pub use sammy_serve;
+pub use spec;
 pub use tdigest;
 pub use traffic;
 pub use transport;
@@ -33,5 +35,6 @@ pub mod prelude {
     pub use fluidsim::{FluidConfig, NetworkProfile, SessionBuilder, SessionOutcome};
     pub use netsim::{Rate, SimDuration, SimError, SimTime};
     pub use obs::Registry;
+    pub use spec::{ArmSpec, ExperimentSpec, GuardSpec, NetworkSpec, SearchSpec, TransportSpec};
     pub use video::{Ladder, Title, TitleConfig, VmafModel};
 }
